@@ -1,0 +1,88 @@
+// Ablation (ours, called out in DESIGN.md): effect of the recursive
+// previous-action input during evaluation. The paper's Section 4.4 argues
+// the recursive mechanism discourages portfolio churn; here we compare the
+// trained PPN evaluated (a) normally — feeding back its own previous
+// action — and (b) with the recursive input frozen to the uniform
+// portfolio, which removes the "stay where you are" signal.
+//
+// Expected shape: freezing the recursive input raises turnover.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace ppn {
+namespace {
+
+/// Evaluation adapter that lies to the policy about its previous action.
+class FrozenPrevStrategy : public backtest::Strategy {
+ public:
+  explicit FrozenPrevStrategy(core::PolicyModule* policy) : policy_(policy) {}
+  std::string name() const override { return "PPN(frozen prev)"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override {
+    (void)panel;
+    (void)first_period;
+    policy_->SetTraining(false);
+  }
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override {
+    (void)prev_hat;
+    const int64_t m = policy_->config().num_assets;
+    const int64_t k = policy_->config().window;
+    Tensor window = market::NormalizedWindow(panel, period - 1, k);
+    Tensor prev = Tensor::Full({1, m}, 1.0f / static_cast<float>(m));
+    ag::Var out = policy_->Forward(
+        ag::Constant(window.Reshaped({1, m, k, market::kNumPriceFields})),
+        ag::Constant(prev));
+    std::vector<double> action(m + 1);
+    for (int64_t i = 0; i <= m; ++i) action[i] = out->value()[i];
+    return action;
+  }
+
+ private:
+  core::PolicyModule* policy_;
+};
+
+}  // namespace
+}  // namespace ppn
+
+int main() {
+  using namespace ppn;
+  const RunScale scale = GetRunScale();
+  bench::PrintBenchHeader("Ablation: recursive previous-action input", scale);
+  const market::MarketDataset dataset =
+      market::MakeDataset(market::DatasetId::kCryptoA, scale);
+  const int64_t m = dataset.panel.num_assets();
+  constexpr double kCostRate = 0.0025;
+
+  Rng init(2023);
+  Rng dropout(2024);
+  auto policy = core::MakePolicy(
+      bench::PaperPolicyConfig(core::PolicyVariant::kPpn, m, 1), &init,
+      &dropout);
+  core::TrainerConfig tc;
+  tc.batch_size = 16;
+  tc.steps = bench::BudgetFor(scale, m).steps;
+  tc.learning_rate = bench::BudgetFor(scale, m).learning_rate;
+  tc.reward.cost_rate = kCostRate;
+  core::PolicyGradientTrainer trainer(policy.get(), dataset, tc);
+  trainer.Train();
+
+  TablePrinter printer({"Evaluation mode", "APV", "TO", "SR(%)"});
+  {
+    core::PolicyStrategy normal(policy.get(), "PPN");
+    const backtest::Metrics metrics = backtest::ComputeMetrics(
+        backtest::RunOnTestRange(&normal, dataset, kCostRate));
+    printer.AddRow("recursive prev action",
+                   {metrics.apv, metrics.turnover, metrics.sr_pct}, 3);
+  }
+  {
+    FrozenPrevStrategy frozen(policy.get());
+    const backtest::Metrics metrics = backtest::ComputeMetrics(
+        backtest::RunOnTestRange(&frozen, dataset, kCostRate));
+    printer.AddRow("frozen uniform prev action",
+                   {metrics.apv, metrics.turnover, metrics.sr_pct}, 3);
+  }
+  std::printf("%s\n", printer.ToString().c_str());
+  return 0;
+}

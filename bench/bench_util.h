@@ -1,0 +1,79 @@
+#ifndef PPN_BENCH_BENCH_UTIL_H_
+#define PPN_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backtest/backtester.h"
+#include "common/run_scale.h"
+#include "common/table_printer.h"
+#include "market/presets.h"
+#include "ppn/strategy_adapter.h"
+#include "ppn/trainer.h"
+
+/// \file
+/// Shared machinery of the experiment harness: one-call "train a policy
+/// variant on a dataset and backtest it" with budgets scaled to the active
+/// `PPN_SCALE` tier, plus helpers to print paper-style tables and dump
+/// wealth curves as CSV.
+
+namespace ppn::bench {
+
+/// Training budget for one neural run at the given scale, shrunk for
+/// large-asset-count datasets (the correlational convolution costs O(m²)).
+struct NeuralBudget {
+  int64_t steps = 400;
+  int64_t batch_size = 16;
+  float learning_rate = 3e-3f;
+};
+
+/// Computes the budget for a dataset with `num_assets` assets.
+NeuralBudget BudgetFor(RunScale scale, int64_t num_assets,
+                       int64_t base_steps = 400);
+
+/// Everything produced by one trained-and-backtested neural run.
+struct NeuralRunResult {
+  backtest::Metrics metrics;
+  backtest::BacktestRecord record;
+};
+
+/// Options of one neural run.
+struct NeuralRunOptions {
+  core::PolicyVariant variant = core::PolicyVariant::kPpn;
+  double gamma = 1e-3;          ///< 0 for EIIE (it optimizes plain log-return).
+  double lambda = 1e-4;
+  double cost_rate = 0.0025;
+  uint64_t seed = 1;
+  int64_t base_steps = 400;
+  /// Train-time cost rate override; < 0 means "same as cost_rate".
+  double train_cost_rate = -1.0;
+};
+
+/// Trains `options.variant` on the dataset's training range and backtests
+/// on the test range. Deterministic in `options.seed`.
+NeuralRunResult RunNeural(const market::MarketDataset& dataset,
+                          const NeuralRunOptions& options, RunScale scale);
+
+/// Runs one classic baseline on the dataset's test range.
+NeuralRunResult RunClassic(const std::string& name,
+                           const market::MarketDataset& dataset,
+                           double cost_rate);
+
+/// Standard PPN policy config for a dataset (paper Table 2 sizes).
+core::PolicyConfig PaperPolicyConfig(core::PolicyVariant variant,
+                                     int64_t num_assets, uint64_t seed);
+
+/// Writes per-period wealth curves (one column per labelled series) to a
+/// CSV under the current directory; returns the path.
+std::string WriteWealthCurves(
+    const std::string& file_stem,
+    const std::vector<std::pair<std::string,
+                                std::vector<double>>>& curves);
+
+/// Prints a header naming the experiment and the active scale.
+void PrintBenchHeader(const std::string& title, RunScale scale);
+
+}  // namespace ppn::bench
+
+#endif  // PPN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,126 @@
+// Engineering microbenchmarks (google-benchmark): throughput of the hot
+// kernels underneath training — matmul, im2col/col2im, conv2d forward and
+// backward, LSTM steps, softmax, the transaction-cost fixed point, and a
+// full policy forward pass.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "backtest/costs.h"
+#include "common/random.h"
+#include "nn/conv.h"
+#include "nn/lstm.h"
+#include "tensor/ops.h"
+
+namespace ppn {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomNormal({n, n}, 0.0f, 1.0f, &rng);
+  Tensor b = RandomNormal({n, n}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransB(benchmark::State& state) {
+  const int64_t rows = 11520;
+  const int64_t patch = state.range(0);
+  Rng rng(1);
+  Tensor cols = RandomNormal({rows, patch}, 0.0f, 1.0f, &rng);
+  Tensor weights = RandomNormal({16, patch}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(cols, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * patch * 16);
+}
+BENCHMARK(BM_MatMulTransB)->Arg(48)->Arg(192);
+
+void BM_Im2Col(benchmark::State& state) {
+  Rng rng(1);
+  Tensor input = RandomNormal({16, 16, 12, 30}, 0.0f, 1.0f, &rng);
+  const Conv2dGeometry g = nn::CausalTimeConvGeometry(3, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Im2Col(input, g));
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+void BM_Col2Im(benchmark::State& state) {
+  Rng rng(1);
+  Tensor input = RandomNormal({16, 16, 12, 30}, 0.0f, 1.0f, &rng);
+  const Conv2dGeometry g = nn::CausalTimeConvGeometry(3, 2);
+  Tensor cols = Im2Col(input, g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Col2Im(cols, input.shape(), g));
+  }
+}
+BENCHMARK(BM_Col2Im);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2dLayer layer(16, 16, nn::CorrelationalConvGeometry(12), &rng);
+  Tensor input = RandomNormal({16, 16, 12, 30}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    ag::Var out = layer.Forward(ag::Constant(input));
+    benchmark::DoNotOptimize(out->value().Data());
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dForwardBackward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Conv2dLayer layer(16, 16, nn::CorrelationalConvGeometry(12), &rng);
+  Tensor input = RandomNormal({16, 16, 12, 30}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    layer.ZeroGrad();
+    ag::Var in = ag::Parameter(input);
+    ag::Var out = layer.Forward(in);
+    ag::Backward(ag::SumAll(ag::Mul(out, out)));
+    benchmark::DoNotOptimize(in->grad().Data());
+  }
+}
+BENCHMARK(BM_Conv2dForwardBackward);
+
+void BM_LstmForward(benchmark::State& state) {
+  Rng rng(1);
+  nn::Lstm lstm(4, 16, &rng);
+  Tensor sequence = RandomNormal({192, 30, 4}, 0.0f, 0.1f, &rng);
+  for (auto _ : state) {
+    ag::Var out = lstm.ForwardLastHidden(ag::Constant(sequence));
+    benchmark::DoNotOptimize(out->value().Data());
+  }
+}
+BENCHMARK(BM_LstmForward);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  Rng rng(1);
+  Tensor logits = RandomNormal({128, 45}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    ag::Var out = ag::SoftmaxRows(ag::Constant(logits));
+    benchmark::DoNotOptimize(out->value().Data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+void BM_CostFixedPoint(benchmark::State& state) {
+  Rng rng(1);
+  const int m = static_cast<int>(state.range(0));
+  std::vector<double> prev = rng.Dirichlet(m + 1, 1.0);
+  std::vector<double> target = rng.Dirichlet(m + 1, 1.0);
+  const backtest::CostModel model = backtest::CostModel::Uniform(0.0025);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        backtest::SolveNetWealthFactor(prev, target, model));
+  }
+}
+BENCHMARK(BM_CostFixedPoint)->Arg(12)->Arg(44);
+
+}  // namespace
+}  // namespace ppn
+
+BENCHMARK_MAIN();

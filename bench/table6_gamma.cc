@@ -1,0 +1,41 @@
+// Reproduces Table 6 (+ Sup.4): PPN under γ ∈ {1e-4, 1e-3, 1e-2, 1e-1} on
+// all four crypto datasets (APV and TO).
+//
+// Expected shape (paper): TO decreases monotonically in γ; APV peaks at an
+// interior γ (too small → cost bleed, too large → no trading).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ppn;
+  const RunScale scale = GetRunScale();
+  bench::PrintBenchHeader("Table 6: cost-sensitivity to gamma", scale);
+  const double gammas[] = {1e-4, 1e-3, 1e-2, 1e-1};
+
+  // The full 4-dataset sweep is reserved for PPN_SCALE=full; quick scale
+  // covers the smallest and a mid-size market to bound wall-clock.
+  std::vector<market::DatasetId> datasets = market::CryptoDatasets();
+  if (scale != RunScale::kFull) {
+    datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  }
+  for (const market::DatasetId id : datasets) {
+    const market::MarketDataset dataset = market::MakeDataset(id, scale);
+    std::printf("--- %s ---\n", dataset.name.c_str());
+    TablePrinter printer({"gamma", "APV", "SR(%)", "CR", "TO"});
+    for (const double gamma : gammas) {
+      bench::NeuralRunOptions options;
+      options.base_steps = 200;
+      options.variant = core::PolicyVariant::kPpn;
+      options.gamma = gamma;
+      const backtest::Metrics metrics =
+          bench::RunNeural(dataset, options, scale).metrics;
+      printer.AddRow(TablePrinter::FormatCell(gamma, 4),
+                     {metrics.apv, metrics.sr_pct, metrics.cr,
+                      metrics.turnover}, 3);
+    }
+    std::printf("%s\n", printer.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Reproduces Table 7 (+ Sup.5): PPN under λ ∈ {1e-4, 1e-3, 1e-2, 1e-1} on
+// all four crypto datasets (APV, STD, MDD).
+//
+// Expected shape (paper): STD decreases monotonically with λ and MDD
+// mostly decreases (the risk penalty suppresses return volatility at some
+// cost in APV).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace ppn;
+  const RunScale scale = GetRunScale();
+  bench::PrintBenchHeader("Table 7: cost-sensitivity to lambda", scale);
+  const double lambdas[] = {1e-4, 1e-3, 1e-2, 1e-1};
+
+  // The full 4-dataset sweep is reserved for PPN_SCALE=full; quick scale
+  // covers the smallest and a mid-size market to bound wall-clock.
+  std::vector<market::DatasetId> datasets = market::CryptoDatasets();
+  if (scale != RunScale::kFull) {
+    datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  }
+  for (const market::DatasetId id : datasets) {
+    const market::MarketDataset dataset = market::MakeDataset(id, scale);
+    std::printf("--- %s ---\n", dataset.name.c_str());
+    TablePrinter printer({"lambda", "APV", "STD(%)", "MDD(%)", "TO"});
+    for (const double lambda : lambdas) {
+      bench::NeuralRunOptions options;
+      options.base_steps = 200;
+      options.variant = core::PolicyVariant::kPpn;
+      options.lambda = lambda;
+      const backtest::Metrics metrics =
+          bench::RunNeural(dataset, options, scale).metrics;
+      printer.AddRow(TablePrinter::FormatCell(lambda, 4),
+                     {metrics.apv, metrics.std_pct, metrics.mdd_pct,
+                      metrics.turnover}, 3);
+    }
+    std::printf("%s\n", printer.ToString().c_str());
+  }
+  return 0;
+}

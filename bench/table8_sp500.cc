@@ -1,0 +1,47 @@
+// Reproduces Table 8: all fifteen algorithms on the S&P500 stock dataset
+// (daily bars, 94-period test window) — APV, SR(%), CR, TO.
+//
+// Expected shape (paper): the same ordering as the crypto datasets
+// (PPN > PPN-I > EIIE > classic baselines), demonstrating that the method
+// generalizes beyond crypto-currencies.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "strategies/registry.h"
+
+int main() {
+  using namespace ppn;
+  const RunScale scale = GetRunScale();
+  bench::PrintBenchHeader("Table 8: S&P500 stock dataset", scale);
+  const market::MarketDataset dataset =
+      market::MakeDataset(market::DatasetId::kSp500, scale);
+  constexpr double kCostRate = 0.0025;
+
+  TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "TO"});
+  auto add_row = [&printer](const std::string& name,
+                            const backtest::Metrics& metrics) {
+    printer.AddRow(name, {metrics.apv, metrics.sr_pct, metrics.cr,
+                          metrics.turnover}, 3);
+  };
+  for (const std::string& name : strategies::ClassicBaselineNames()) {
+    add_row(name, bench::RunClassic(name, dataset, kCostRate).metrics);
+  }
+  bench::NeuralRunOptions eiie;
+  eiie.variant = core::PolicyVariant::kEiie;
+  eiie.gamma = 0.0;
+  eiie.lambda = 0.0;
+  eiie.base_steps = 600;  // Counteract the asset-count step scaling.
+  add_row("EIIE", bench::RunNeural(dataset, eiie, scale).metrics);
+  bench::NeuralRunOptions ppn_i;
+  ppn_i.variant = core::PolicyVariant::kPpnI;
+  ppn_i.base_steps = 600;
+  add_row("PPN-I", bench::RunNeural(dataset, ppn_i, scale).metrics);
+  bench::NeuralRunOptions ppn;
+  ppn.variant = core::PolicyVariant::kPpn;
+  ppn.base_steps = 600;
+  add_row("PPN", bench::RunNeural(dataset, ppn, scale).metrics);
+
+  std::printf("%s\n", printer.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Reproduces Table 9: reinforcement-learning algorithm choice on Crypto-A —
+// PPN trained by direct policy gradient vs PPN-AC (the same actor trained
+// with DDPG + dueling-style critic).
+//
+// Expected shape (paper): PPN-AC clearly worse than PPN on APV/SR/CR but
+// still better than most classic baselines (the actor's representation
+// carries it); the critic's value-function approximation is the bottleneck.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "ppn/ddpg.h"
+
+int main() {
+  using namespace ppn;
+  const RunScale scale = GetRunScale();
+  bench::PrintBenchHeader("Table 9: direct policy gradient vs actor-critic",
+                          scale);
+  const market::MarketDataset dataset =
+      market::MakeDataset(market::DatasetId::kCryptoA, scale);
+  constexpr double kCostRate = 0.0025;
+  TablePrinter printer({"Algos", "APV", "STD(%)", "SR(%)", "MDD(%)", "CR"});
+
+  // --- PPN-AC: DDPG-trained actor. -------------------------------------
+  {
+    const int64_t m = dataset.panel.num_assets();
+    Rng init(1021);
+    Rng dropout(1022);
+    auto actor = core::MakePolicy(
+        bench::PaperPolicyConfig(core::PolicyVariant::kPpn, m, 77), &init,
+        &dropout);
+    core::DdpgConfig config;
+    config.steps = bench::BudgetFor(scale, m, 250).steps;
+    config.batch_size = 16;
+    config.cost_rate = kCostRate;
+    config.seed = 5;
+    core::DdpgTrainer trainer(actor.get(), dataset, config);
+    trainer.Train();
+    core::PolicyStrategy strategy(actor.get(), "PPN-AC");
+    const backtest::Metrics metrics = backtest::ComputeMetrics(
+        backtest::RunOnTestRange(&strategy, dataset, kCostRate));
+    printer.AddRow("PPN-AC", {metrics.apv, metrics.std_pct, metrics.sr_pct,
+                              metrics.mdd_pct, metrics.cr}, 3);
+  }
+
+  // --- PPN: direct policy gradient. -------------------------------------
+  {
+    bench::NeuralRunOptions options;
+    options.variant = core::PolicyVariant::kPpn;
+    options.cost_rate = kCostRate;
+    const backtest::Metrics metrics =
+        bench::RunNeural(dataset, options, scale).metrics;
+    printer.AddRow("PPN", {metrics.apv, metrics.std_pct, metrics.sr_pct,
+                           metrics.mdd_pct, metrics.cr}, 3);
+  }
+
+  std::printf("%s\n", printer.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Correlation study: demonstrates WHY the correlational convolution
+// matters. Two markets are generated that differ in exactly one respect —
+// whether follower assets echo their leader's lagged returns (cross-asset
+// structure). PPN (correlation-aware) and PPN-I (independent evaluation)
+// are trained on both.
+//
+// Expected outcome: PPN beats PPN-I clearly on the lead-lag market; on the
+// structure-free market the two are close.
+//
+// Build & run:  ./build/examples/correlation_study
+
+#include <cstdio>
+
+#include "backtest/backtester.h"
+#include "common/table_printer.h"
+#include "market/generator.h"
+#include "ppn/strategy_adapter.h"
+#include "ppn/trainer.h"
+
+namespace {
+
+ppn::backtest::Metrics TrainVariantOn(
+    const ppn::market::MarketDataset& dataset,
+    ppn::core::PolicyVariant variant) {
+  using namespace ppn;
+  core::PolicyConfig policy_config;
+  policy_config.variant = variant;
+  policy_config.num_assets = dataset.panel.num_assets();
+  policy_config.window = 30;
+  Rng init_rng(21);
+  Rng dropout_rng(22);
+  auto policy = core::MakePolicy(policy_config, &init_rng, &dropout_rng);
+  core::TrainerConfig trainer_config;
+  trainer_config.steps = 300;
+  trainer_config.batch_size = 16;
+  trainer_config.learning_rate = 3e-3f;
+  trainer_config.reward.cost_rate = 0.0025;
+  core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
+  trainer.Train();
+  core::PolicyStrategy strategy(policy.get(), core::VariantName(variant));
+  return backtest::ComputeMetrics(
+      backtest::RunOnTestRange(&strategy, dataset, 0.0025));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ppn;
+
+  market::SyntheticMarketConfig base;
+  base.num_assets = 8;
+  base.num_periods = 1800;
+  base.seed = 99;
+  base.late_listing_fraction = 0.0;
+
+  market::SyntheticMarketConfig with_structure = base;
+  with_structure.lead_lag_strength = 0.7;  // Followers echo leaders.
+  market::SyntheticMarketConfig without_structure = base;
+  without_structure.lead_lag_strength = 0.0;  // No cross-asset signal.
+
+  TablePrinter printer(
+      {"Market", "PPN APV", "PPN-I APV", "PPN advantage"});
+  for (const auto& [label, config] :
+       {std::pair{"with lead-lag", with_structure},
+        std::pair{"without lead-lag", without_structure}}) {
+    market::SyntheticMarketGenerator generator(config);
+    const market::MarketDataset dataset =
+        generator.GenerateDataset(label, 0.85);
+    const backtest::Metrics ppn =
+        TrainVariantOn(dataset, core::PolicyVariant::kPpn);
+    const backtest::Metrics ppn_i =
+        TrainVariantOn(dataset, core::PolicyVariant::kPpnI);
+    printer.AddRow(label, {ppn.apv, ppn_i.apv, ppn.apv - ppn_i.apv}, 3);
+  }
+  std::printf("%s\n", printer.ToString().c_str());
+  std::printf(
+      "The PPN advantage should be clearly positive only when the market\n"
+      "has cross-asset (lead-lag) structure for the CCONV to extract.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: the complete PPN pipeline in ~40 lines.
+//
+//  1. Generate a synthetic crypto-like market (the library's substitute for
+//     a Poloniex feed).
+//  2. Build the two-stream portfolio policy network.
+//  3. Train it by direct policy gradient on the cost-sensitive reward.
+//  4. Backtest on the held-out range and print the paper's metrics.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "backtest/backtester.h"
+#include "market/generator.h"
+#include "ppn/strategy_adapter.h"
+#include "ppn/trainer.h"
+
+int main() {
+  using namespace ppn;
+
+  // 1. A 12-asset market with momentum and lead-lag structure.
+  market::SyntheticMarketConfig market_config;
+  market_config.num_assets = 12;
+  market_config.num_periods = 2000;
+  market_config.seed = 42;
+  market::SyntheticMarketGenerator generator(market_config);
+  market::MarketDataset dataset =
+      generator.GenerateDataset("quickstart", /*train_fraction=*/0.9);
+
+  // 2. The PPN from the paper: LSTM stream + correlational conv stream.
+  core::PolicyConfig policy_config;
+  policy_config.variant = core::PolicyVariant::kPpn;
+  policy_config.num_assets = market_config.num_assets;
+  policy_config.window = 30;
+  Rng init_rng(1);
+  Rng dropout_rng(2);
+  auto policy = core::MakePolicy(policy_config, &init_rng, &dropout_rng);
+  std::printf("PPN built: %lld trainable parameters\n",
+              static_cast<long long>(policy->ParameterCount()));
+
+  // 3. Direct policy gradient on the cost-sensitive reward (Eq. 1).
+  core::TrainerConfig trainer_config;
+  trainer_config.steps = 300;
+  trainer_config.batch_size = 16;
+  trainer_config.learning_rate = 3e-3f;
+  trainer_config.reward.gamma = 1e-3;    // Transaction-cost constraint.
+  trainer_config.reward.lambda = 1e-4;   // Risk penalty.
+  trainer_config.reward.cost_rate = 0.0025;
+  core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
+  const double tail_reward = trainer.Train();
+  std::printf("training done; tail mean reward per period = %.5f\n",
+              tail_reward);
+
+  // 4. Backtest on the test range with 0.25% proportional costs.
+  core::PolicyStrategy strategy(policy.get(), "PPN");
+  const backtest::BacktestRecord record =
+      backtest::RunOnTestRange(&strategy, dataset, 0.0025);
+  const backtest::Metrics metrics = backtest::ComputeMetrics(record);
+  std::printf(
+      "test range: APV=%.3f  SR=%.2f%%  CR=%.2f  MDD=%.1f%%  TO=%.3f\n",
+      metrics.apv, metrics.sr_pct, metrics.cr, metrics.mdd_pct,
+      metrics.turnover);
+  return 0;
+}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Runs every bench binary sequentially and records the combined output.
+cd /root/repo
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== RUNNING $(basename "$b") ====="
+      "$b"
+      echo ""
+    fi
+  done
+  echo "ALL_BENCHES_DONE"
+} > /root/repo/bench_output.txt 2>&1

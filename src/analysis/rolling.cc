@@ -1,0 +1,101 @@
+#include "analysis/rolling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppn::analysis {
+
+std::vector<double> DrawdownSeries(const std::vector<double>& wealth_curve) {
+  std::vector<double> drawdowns;
+  drawdowns.reserve(wealth_curve.size());
+  double peak = 1.0;
+  for (const double wealth : wealth_curve) {
+    peak = std::max(peak, wealth);
+    drawdowns.push_back((peak - wealth) / peak);
+  }
+  return drawdowns;
+}
+
+std::vector<double> RollingSharpe(const std::vector<double>& log_returns,
+                                  int window) {
+  PPN_CHECK_GE(window, 2);
+  std::vector<double> sharpe(log_returns.size(), 0.0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t t = 0; t < log_returns.size(); ++t) {
+    sum += log_returns[t];
+    sum_sq += log_returns[t] * log_returns[t];
+    if (t >= static_cast<size_t>(window)) {
+      sum -= log_returns[t - window];
+      sum_sq -= log_returns[t - window] * log_returns[t - window];
+    }
+    if (t + 1 >= static_cast<size_t>(window)) {
+      const double mean = sum / window;
+      double variance = sum_sq / window - mean * mean;
+      // Guard against catastrophic cancellation for near-constant series.
+      if (variance < 1e-18 + 1e-12 * mean * mean) variance = 0.0;
+      const double stddev = std::sqrt(variance);
+      sharpe[t] = stddev > 0.0 ? mean / stddev : 0.0;
+    }
+  }
+  return sharpe;
+}
+
+std::vector<double> RollingVolatility(const std::vector<double>& log_returns,
+                                      int window) {
+  PPN_CHECK_GE(window, 2);
+  std::vector<double> volatility(log_returns.size(), 0.0);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (size_t t = 0; t < log_returns.size(); ++t) {
+    sum += log_returns[t];
+    sum_sq += log_returns[t] * log_returns[t];
+    if (t >= static_cast<size_t>(window)) {
+      sum -= log_returns[t - window];
+      sum_sq -= log_returns[t - window] * log_returns[t - window];
+    }
+    if (t + 1 >= static_cast<size_t>(window)) {
+      const double mean = sum / window;
+      double variance = sum_sq / window - mean * mean;
+      if (variance < 1e-18 + 1e-12 * mean * mean) variance = 0.0;
+      volatility[t] = std::sqrt(variance);
+    }
+  }
+  return volatility;
+}
+
+std::vector<int64_t> NoTradeSpans(const std::vector<double>& turnover_terms,
+                                  double threshold) {
+  std::vector<int64_t> spans;
+  int64_t current = 0;
+  for (const double term : turnover_terms) {
+    if (term < threshold) {
+      ++current;
+    } else if (current > 0) {
+      spans.push_back(current);
+      current = 0;
+    }
+  }
+  if (current > 0) spans.push_back(current);
+  return spans;
+}
+
+int64_t LongestUnderwaterSpell(const std::vector<double>& wealth_curve) {
+  double peak = 1.0;
+  int64_t longest = 0;
+  int64_t current = 0;
+  for (const double wealth : wealth_curve) {
+    if (wealth < peak - 1e-15) {
+      ++current;
+      longest = std::max(longest, current);
+    } else {
+      current = 0;
+      peak = std::max(peak, wealth);
+    }
+  }
+  return longest;
+}
+
+}  // namespace ppn::analysis

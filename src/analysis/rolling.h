@@ -1,0 +1,40 @@
+#ifndef PPN_ANALYSIS_ROLLING_H_
+#define PPN_ANALYSIS_ROLLING_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Rolling/series diagnostics over a backtest record: per-period drawdown,
+/// rolling Sharpe, rolling volatility, and no-trade span statistics. Used
+/// to inspect *when* a policy makes or loses money (Fig-5/6 style
+/// analyses) rather than only end-of-run aggregates.
+
+namespace ppn::analysis {
+
+/// Drawdown series: dd_t = (peak_t - S_t) / peak_t with peak including the
+/// implicit S_0 = 1.
+std::vector<double> DrawdownSeries(const std::vector<double>& wealth_curve);
+
+/// Rolling mean/std Sharpe (not annualized) over a trailing window; the
+/// first window-1 entries are 0. Requires window >= 2.
+std::vector<double> RollingSharpe(const std::vector<double>& log_returns,
+                                  int window);
+
+/// Rolling standard deviation of log-returns over a trailing window; the
+/// first window-1 entries are 0. Requires window >= 2.
+std::vector<double> RollingVolatility(const std::vector<double>& log_returns,
+                                      int window);
+
+/// Lengths of maximal consecutive no-trade runs (turnover term below
+/// `threshold`), in chronological order.
+std::vector<int64_t> NoTradeSpans(const std::vector<double>& turnover_terms,
+                                  double threshold = 1e-3);
+
+/// Longest drawdown spell: number of consecutive periods spent below the
+/// previous wealth peak.
+int64_t LongestUnderwaterSpell(const std::vector<double>& wealth_curve);
+
+}  // namespace ppn::analysis
+
+#endif  // PPN_ANALYSIS_ROLLING_H_

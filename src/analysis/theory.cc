@@ -1,0 +1,73 @@
+#include "analysis/theory.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::analysis {
+
+double Theorem1Gap(double lambda) {
+  PPN_CHECK_GE(lambda, 0.0);
+  return 2.25 * lambda;
+}
+
+double Theorem2Gap(double lambda, double gamma, double psi) {
+  PPN_CHECK_GE(lambda, 0.0);
+  PPN_CHECK_GE(gamma, 0.0);
+  PPN_CHECK(psi >= 0.0 && psi <= 1.0);
+  return 2.25 * lambda + 2.0 * gamma * (1.0 - psi) / (1.0 + psi);
+}
+
+double GrowthRate(const std::vector<double>& wealth_curve) {
+  PPN_CHECK(!wealth_curve.empty());
+  PPN_CHECK_GT(wealth_curve.back(), 0.0);
+  return std::log(wealth_curve.back()) /
+         static_cast<double>(wealth_curve.size());
+}
+
+std::vector<double> HindsightLogOptimalCrp(const market::OhlcPanel& panel,
+                                           int64_t start_period,
+                                           int64_t end_period,
+                                           int iterations) {
+  PPN_CHECK_GE(start_period, 1);
+  PPN_CHECK_LE(end_period, panel.num_periods());
+  PPN_CHECK_LT(start_period, end_period);
+  const int64_t m = panel.num_assets();
+  std::vector<std::vector<double>> relatives;
+  relatives.reserve(end_period - start_period);
+  for (int64_t t = start_period; t < end_period; ++t) {
+    relatives.push_back(market::PriceRelativesWithCash(panel, t));
+  }
+  std::vector<double> portfolio(m + 1, 1.0 / static_cast<double>(m + 1));
+  const double step = 0.1;
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    std::vector<double> gradient(m + 1, 0.0);
+    for (const auto& x : relatives) {
+      const double r = Dot(portfolio, x);
+      for (int64_t i = 0; i <= m; ++i) gradient[i] += x[i] / r;
+    }
+    for (int64_t i = 0; i <= m; ++i) {
+      portfolio[i] += step * gradient[i] /
+                      static_cast<double>(relatives.size());
+    }
+    portfolio = ProjectToSimplex(portfolio);
+  }
+  return portfolio;
+}
+
+double FixedPortfolioGrowthRate(const market::OhlcPanel& panel,
+                                const std::vector<double>& portfolio,
+                                int64_t start_period, int64_t end_period) {
+  PPN_CHECK_LT(start_period, end_period);
+  double log_wealth = 0.0;
+  for (int64_t t = start_period; t < end_period; ++t) {
+    const std::vector<double> x = market::PriceRelativesWithCash(panel, t);
+    const double r = Dot(portfolio, x);
+    PPN_CHECK_GT(r, 0.0);
+    log_wealth += std::log(r);
+  }
+  return log_wealth / static_cast<double>(end_period - start_period);
+}
+
+}  // namespace ppn::analysis

@@ -1,0 +1,43 @@
+#ifndef PPN_ANALYSIS_THEORY_H_
+#define PPN_ANALYSIS_THEORY_H_
+
+#include <vector>
+
+#include "market/dataset.h"
+
+/// \file
+/// Utilities around the paper's theoretical results: the growth-rate gap
+/// bounds of Theorems 1 and 2, and a hindsight log-optimal CRP oracle used
+/// to measure how close a learned policy's growth rate is to the optimum.
+
+namespace ppn::analysis {
+
+/// Theorem 1 gap: the growth rate of the risk-sensitive-optimal policy is
+/// within 9/4·λ of the log-optimal growth rate.
+double Theorem1Gap(double lambda);
+
+/// Theorem 2 gap: within 9/4·λ + 2γ(1-ψ)/(1+ψ) of the rebalanced
+/// log-optimal growth rate.
+double Theorem2Gap(double lambda, double gamma, double psi);
+
+/// Empirical growth rate (1/t)·log S_t of a wealth curve starting at 1.
+double GrowthRate(const std::vector<double>& wealth_curve);
+
+/// Best constant-rebalanced portfolio in hindsight over a period range,
+/// found by projected gradient ascent on the sum of log-returns. Returns
+/// the (m+1)-dim portfolio (cash at 0). This is the classic log-optimal
+/// CRP oracle used as the reference strategy of Prop. 2.
+std::vector<double> HindsightLogOptimalCrp(const market::OhlcPanel& panel,
+                                           int64_t start_period,
+                                           int64_t end_period,
+                                           int iterations = 500);
+
+/// Growth rate achieved by holding a fixed portfolio (rebalanced each
+/// period, no transaction costs) over a range.
+double FixedPortfolioGrowthRate(const market::OhlcPanel& panel,
+                                const std::vector<double>& portfolio,
+                                int64_t start_period, int64_t end_period);
+
+}  // namespace ppn::analysis
+
+#endif  // PPN_ANALYSIS_THEORY_H_

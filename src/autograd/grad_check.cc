@@ -1,0 +1,57 @@
+#include "autograd/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppn::ag {
+
+namespace {
+
+double EvalAt(const ScalarGraphFn& fn, const std::vector<Tensor>& inputs) {
+  std::vector<Var> leaves;
+  leaves.reserve(inputs.size());
+  for (const Tensor& t : inputs) leaves.push_back(Constant(t.Clone()));
+  const Var out = fn(leaves);
+  return ScalarValue(out);
+}
+
+}  // namespace
+
+GradCheckResult CheckGradients(const ScalarGraphFn& fn,
+                               const std::vector<Tensor>& inputs, float eps) {
+  PPN_CHECK(!inputs.empty());
+  // Analytic pass.
+  std::vector<Var> leaves;
+  leaves.reserve(inputs.size());
+  for (const Tensor& t : inputs) leaves.push_back(Parameter(t.Clone()));
+  const Var out = fn(leaves);
+  Backward(out);
+
+  GradCheckResult result;
+  for (size_t input_index = 0; input_index < inputs.size(); ++input_index) {
+    const Tensor& base = inputs[input_index];
+    const Var& leaf = leaves[input_index];
+    for (int64_t i = 0; i < base.numel(); ++i) {
+      std::vector<Tensor> perturbed;
+      perturbed.reserve(inputs.size());
+      for (const Tensor& t : inputs) perturbed.push_back(t.Clone());
+      perturbed[input_index].MutableData()[i] = base[i] + eps;
+      const double f_plus = EvalAt(fn, perturbed);
+      perturbed[input_index].MutableData()[i] = base[i] - eps;
+      const double f_minus = EvalAt(fn, perturbed);
+      const double numeric = (f_plus - f_minus) / (2.0 * eps);
+      const double analytic =
+          leaf->has_grad() ? static_cast<double>(leaf->grad()[i]) : 0.0;
+      const double abs_error = std::fabs(analytic - numeric);
+      const double denom =
+          std::max(1e-3, std::fabs(analytic) + std::fabs(numeric));
+      result.max_abs_error = std::max(result.max_abs_error, abs_error);
+      result.max_rel_error = std::max(result.max_rel_error, abs_error / denom);
+    }
+  }
+  return result;
+}
+
+}  // namespace ppn::ag

@@ -1,0 +1,38 @@
+#ifndef PPN_AUTOGRAD_GRAD_CHECK_H_
+#define PPN_AUTOGRAD_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "autograd/variable.h"
+
+/// \file
+/// Numerical gradient verification used by the test suite: compares the
+/// analytic gradients produced by `Backward` against central finite
+/// differences for an arbitrary scalar-valued graph function.
+
+namespace ppn::ag {
+
+/// A scalar-valued differentiable function of several tensor inputs. The
+/// function must be deterministic (re-running it on the same inputs must
+/// produce the same scalar).
+using ScalarGraphFn = std::function<Var(const std::vector<Var>&)>;
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  /// Largest |analytic - numeric| over all input elements.
+  double max_abs_error = 0.0;
+  /// Largest relative error max(|a-n| / max(1e-3, |a|+|n|)).
+  double max_rel_error = 0.0;
+};
+
+/// Runs `fn` on `Parameter` leaves built from `inputs`, backpropagates, and
+/// compares each element's analytic gradient with the central finite
+/// difference (f(x+eps) - f(x-eps)) / (2 eps).
+GradCheckResult CheckGradients(const ScalarGraphFn& fn,
+                               const std::vector<Tensor>& inputs,
+                               float eps = 1e-2f);
+
+}  // namespace ppn::ag
+
+#endif  // PPN_AUTOGRAD_GRAD_CHECK_H_

@@ -1,0 +1,92 @@
+#include "backtest/backtester.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::backtest {
+
+void Strategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
+  (void)panel;
+  (void)first_period;
+}
+
+BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
+                           const BacktestConfig& config) {
+  PPN_CHECK(strategy != nullptr);
+  PPN_CHECK_GE(config.start_period, 1);
+  PPN_CHECK_LE(config.end_period, panel.num_periods());
+  PPN_CHECK_LT(config.start_period, config.end_period);
+
+  const int64_t num_assets = panel.num_assets();
+  strategy->Reset(panel, config.start_period);
+
+  BacktestRecord record;
+  const int64_t steps = config.end_period - config.start_period;
+  record.wealth_curve.reserve(steps);
+  record.log_returns.reserve(steps);
+  record.cost_fractions.reserve(steps);
+  record.turnover_terms.reserve(steps);
+  record.actions.reserve(steps);
+
+  // Start fully in cash.
+  std::vector<double> previous_action(num_assets + 1, 0.0);
+  previous_action[0] = 1.0;
+  double wealth = 1.0;
+
+  for (int64_t t = config.start_period; t < config.end_period; ++t) {
+    // Drift the previous portfolio by the last observed price relative.
+    std::vector<double> prev_hat = previous_action;
+    if (t >= 2) {
+      prev_hat = DriftPortfolio(previous_action,
+                                market::PriceRelativesWithCash(panel, t - 1));
+    }
+
+    std::vector<double> action = strategy->Decide(panel, t, prev_hat);
+    PPN_CHECK_EQ(action.size(), static_cast<size_t>(num_assets + 1));
+    PPN_CHECK(IsOnSimplex(action, 1e-4))
+        << strategy->name() << " produced a non-simplex portfolio at t=" << t;
+    // Exact renormalization to keep the accounting identity tight.
+    double total = 0.0;
+    for (double& v : action) {
+      v = std::max(v, 0.0);
+      total += v;
+    }
+    for (double& v : action) v /= total;
+
+    const double omega = SolveNetWealthFactor(prev_hat, action, config.costs);
+    const std::vector<double> relative =
+        market::PriceRelativesWithCash(panel, t);
+    const double gross_return = Dot(action, relative);
+    PPN_CHECK_GT(gross_return, 0.0);
+    const double net_return = gross_return * omega;
+    wealth *= net_return;
+
+    double turnover_term = 0.0;
+    for (size_t i = 0; i < action.size(); ++i) {
+      turnover_term += std::fabs(prev_hat[i] - action[i] * omega);
+    }
+
+    record.wealth_curve.push_back(wealth);
+    record.log_returns.push_back(std::log(net_return));
+    record.cost_fractions.push_back(1.0 - omega);
+    record.turnover_terms.push_back(turnover_term);
+    record.actions.push_back(action);
+
+    previous_action = std::move(action);
+  }
+  return record;
+}
+
+BacktestRecord RunOnTestRange(Strategy* strategy,
+                              const market::MarketDataset& dataset,
+                              double cost_rate) {
+  BacktestConfig config;
+  config.costs = CostModel::Uniform(cost_rate);
+  config.start_period = dataset.train_end;
+  config.end_period = dataset.panel.num_periods();
+  return RunBacktest(strategy, dataset.panel, config);
+}
+
+}  // namespace ppn::backtest

@@ -1,0 +1,38 @@
+#ifndef PPN_BACKTEST_BACKTESTER_H_
+#define PPN_BACKTEST_BACKTESTER_H_
+
+#include "backtest/costs.h"
+#include "backtest/metrics.h"
+#include "backtest/strategy.h"
+#include "market/dataset.h"
+
+/// \file
+/// Sequential backtester: runs a `Strategy` over a period range of an OHLC
+/// panel, applying the proportional-transaction-cost accounting of the
+/// paper, and records everything the metrics need.
+
+namespace ppn::backtest {
+
+/// Run parameters.
+struct BacktestConfig {
+  CostModel costs = CostModel::Uniform(0.0025);
+  /// First decision period (inclusive). Must leave enough history for the
+  /// strategy's window (PPN needs start_period >= k).
+  int64_t start_period = 1;
+  /// One past the last decision period.
+  int64_t end_period = 0;
+};
+
+/// Runs `strategy` on `panel` under `config` and returns the full record.
+/// Wealth starts at S_0 = 1 in cash (a_0 = [1, 0, ..., 0]).
+BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
+                           const BacktestConfig& config);
+
+/// Convenience: runs on a dataset's test range with a uniform cost rate.
+BacktestRecord RunOnTestRange(Strategy* strategy,
+                              const market::MarketDataset& dataset,
+                              double cost_rate);
+
+}  // namespace ppn::backtest
+
+#endif  // PPN_BACKTEST_BACKTESTER_H_

@@ -1,0 +1,77 @@
+#include "backtest/costs.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::backtest {
+
+double CostFractionAt(const std::vector<double>& prev_hat,
+                      const std::vector<double>& target, double omega,
+                      const CostModel& model) {
+  PPN_CHECK_EQ(prev_hat.size(), target.size());
+  PPN_CHECK_GE(prev_hat.size(), 2u);
+  double sales = 0.0;
+  double purchases = 0.0;
+  // Risk assets only (index 0 is cash), as in the paper's definition.
+  for (size_t i = 1; i < target.size(); ++i) {
+    const double delta = prev_hat[i] - target[i] * omega;
+    if (delta > 0.0) {
+      sales += delta;
+    } else {
+      purchases -= delta;
+    }
+  }
+  return model.sale_rate * sales + model.purchase_rate * purchases;
+}
+
+double SolveNetWealthFactor(const std::vector<double>& prev_hat,
+                            const std::vector<double>& target,
+                            const CostModel& model) {
+  PPN_CHECK(model.purchase_rate >= 0.0 && model.purchase_rate < 1.0);
+  PPN_CHECK(model.sale_rate >= 0.0 && model.sale_rate < 1.0);
+  PPN_CHECK(IsOnSimplex(prev_hat, 1e-6)) << "prev_hat not a portfolio";
+  PPN_CHECK(IsOnSimplex(target, 1e-6)) << "target not a portfolio";
+  double omega = 1.0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const double next =
+        1.0 - CostFractionAt(prev_hat, target, omega, model);
+    if (std::fabs(next - omega) < 1e-14) return next;
+    omega = next;
+  }
+  return omega;
+}
+
+std::vector<double> DriftPortfolio(const std::vector<double>& previous_action,
+                                   const std::vector<double>& price_relative) {
+  PPN_CHECK_EQ(previous_action.size(), price_relative.size());
+  std::vector<double> drifted(previous_action.size());
+  double total = 0.0;
+  for (size_t i = 0; i < previous_action.size(); ++i) {
+    PPN_CHECK_GT(price_relative[i], 0.0);
+    drifted[i] = previous_action[i] * price_relative[i];
+    total += drifted[i];
+  }
+  PPN_CHECK_GT(total, 0.0);
+  for (double& v : drifted) v /= total;
+  return drifted;
+}
+
+CostBounds Proposition4Bounds(const std::vector<double>& prev_hat,
+                              const std::vector<double>& target, double psi) {
+  PPN_CHECK(psi >= 0.0 && psi < 1.0);
+  PPN_CHECK_EQ(prev_hat.size(), target.size());
+  // The bound is in terms of the L1 distance over risk assets, matching the
+  // uniform-rate identity c = ψ ‖a ω − â‖₁ (risk assets).
+  double distance = 0.0;
+  for (size_t i = 1; i < target.size(); ++i) {
+    distance += std::fabs(target[i] - prev_hat[i]);
+  }
+  CostBounds bounds;
+  bounds.lower = psi / (1.0 + psi) * distance;
+  bounds.upper = psi < 1.0 ? psi / (1.0 - psi) * distance : 0.0;
+  return bounds;
+}
+
+}  // namespace ppn::backtest

@@ -1,0 +1,63 @@
+#ifndef PPN_BACKTEST_COSTS_H_
+#define PPN_BACKTEST_COSTS_H_
+
+#include <vector>
+
+/// \file
+/// Proportional transaction-cost model (paper Section 5.2.2). Rebalancing
+/// from the drifted portfolio â_{t-1} to the target a_t incurs a cost
+/// fraction c_t defined implicitly through the net-wealth factor
+/// ω_t = 1 - c_t:
+///
+///   c_t = ψ_s Σ_i (â_{t-1,i} - a_{t,i} ω_t)^+  +
+///         ψ_p Σ_i (a_{t,i} ω_t - â_{t-1,i})^+ ,   i over risk assets.
+///
+/// Portfolio vectors here include the cash asset at index 0; sums run over
+/// indices 1..m as in the paper.
+
+namespace ppn::backtest {
+
+/// Transaction cost rates for purchases and sales. The paper sets both to
+/// the same ψ (Poloniex max commission 0.25%).
+struct CostModel {
+  double purchase_rate = 0.0025;  ///< ψ_p
+  double sale_rate = 0.0025;      ///< ψ_s
+
+  /// Uniform-rate convenience constructor value.
+  static CostModel Uniform(double psi) { return CostModel{psi, psi}; }
+};
+
+/// Evaluates the cost fraction for a *given* ω (helper; the self-consistent
+/// value comes from `SolveNetWealthFactor`).
+double CostFractionAt(const std::vector<double>& prev_hat,
+                      const std::vector<double>& target, double omega,
+                      const CostModel& model);
+
+/// Solves the fixed point ω = 1 - c(ω) by damped iteration; returns ω_t in
+/// (0, 1]. `prev_hat` and `target` are (m+1)-dim simplex vectors with cash
+/// at index 0. Converges in a handful of iterations for ψ < 1.
+double SolveNetWealthFactor(const std::vector<double>& prev_hat,
+                            const std::vector<double>& target,
+                            const CostModel& model);
+
+/// The drifted ("current") portfolio before rebalancing:
+/// â_{t-1} = (a_{t-1} ⊙ x_{t-1}) / (a_{t-1}ᵀ x_{t-1}).
+std::vector<double> DriftPortfolio(const std::vector<double>& previous_action,
+                                   const std::vector<double>& price_relative);
+
+/// Proposition 4 bounds on c_t given the L1 distance between target and
+/// drifted portfolios (uniform rate ψ):
+///   ψ/(1+ψ) · d ≤ c ≤ ψ/(1-ψ) · d,  d = ‖a_t - â_{t-1}‖₁ (risk assets
+///   and cash all included, as the bound is stated on full vectors).
+struct CostBounds {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Evaluates the Prop-4 bounds for a uniform cost rate ψ.
+CostBounds Proposition4Bounds(const std::vector<double>& prev_hat,
+                              const std::vector<double>& target, double psi);
+
+}  // namespace ppn::backtest
+
+#endif  // PPN_BACKTEST_COSTS_H_

@@ -1,0 +1,45 @@
+#include "backtest/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::backtest {
+
+double MaxDrawdown(const std::vector<double>& wealth_curve) {
+  double peak = 1.0;  // S_0 = 1.
+  double max_drawdown = 0.0;
+  for (const double wealth : wealth_curve) {
+    peak = std::max(peak, wealth);
+    const double drawdown = (peak - wealth) / peak;
+    max_drawdown = std::max(max_drawdown, drawdown);
+  }
+  return max_drawdown;
+}
+
+Metrics ComputeMetrics(const BacktestRecord& record) {
+  Metrics metrics;
+  PPN_CHECK(!record.wealth_curve.empty());
+  PPN_CHECK_EQ(record.wealth_curve.size(), record.log_returns.size());
+  metrics.apv = record.wealth_curve.back();
+  const double mean_return = Mean(record.log_returns);
+  const double std_return = StdDev(record.log_returns);
+  metrics.std_pct = std_return * 100.0;
+  metrics.sr_pct = std_return > 0.0 ? mean_return / std_return * 100.0 : 0.0;
+  const double mdd = MaxDrawdown(record.wealth_curve);
+  metrics.mdd_pct = mdd * 100.0;
+  // Calmar ratio as profit over maximum drawdown; with no drawdown the
+  // ratio is unbounded — report profit scaled by a 1e-6 floor instead.
+  metrics.cr = (metrics.apv - 1.0) / std::max(mdd, 1e-6);
+  if (!record.turnover_terms.empty()) {
+    double total = 0.0;
+    for (const double term : record.turnover_terms) total += term;
+    metrics.turnover =
+        total / (2.0 * static_cast<double>(record.turnover_terms.size()));
+  }
+  return metrics;
+}
+
+}  // namespace ppn::backtest

@@ -1,0 +1,48 @@
+#ifndef PPN_BACKTEST_METRICS_H_
+#define PPN_BACKTEST_METRICS_H_
+
+#include <vector>
+
+/// \file
+/// Performance metrics from Section 6.1.2: APV, Sharpe ratio, return
+/// standard deviation, maximum drawdown, Calmar ratio, and turnover.
+
+namespace ppn::backtest {
+
+/// Per-period records of one backtest run.
+struct BacktestRecord {
+  /// Gross wealth S_t after each trading period, starting after the first
+  /// decision (wealth_curve[0] is the wealth after period 1; S_0 = 1 is
+  /// implicit).
+  std::vector<double> wealth_curve;
+  /// Rebalanced log-returns log(a_tᵀ x_t (1 - c_t)) per period.
+  std::vector<double> log_returns;
+  /// Transaction-cost fraction c_t per period.
+  std::vector<double> cost_fractions;
+  /// Turnover terms ‖â_{t-1} - a_t ω_t‖₁ per period (full vectors).
+  std::vector<double> turnover_terms;
+  /// Chosen portfolios a_t per period (m+1 with cash at index 0).
+  std::vector<std::vector<double>> actions;
+};
+
+/// Aggregated metrics (percent-valued fields carry "pct" suffixes to match
+/// the paper's SR(%) / STD(%) / MDD(%)).
+struct Metrics {
+  double apv = 1.0;      ///< Final wealth S_n (S_0 = 1).
+  double sr_pct = 0.0;   ///< mean(r_t^c) / std(r_t^c) * 100 on log-returns.
+  double std_pct = 0.0;  ///< std(r_t^c) * 100.
+  double mdd_pct = 0.0;  ///< max drawdown * 100.
+  double cr = 0.0;       ///< Calmar ratio: (S_n - 1) / MDD.
+  double turnover = 0.0; ///< TO = 1/(2n) Σ ‖â_{t-1} - a_t ω_t‖₁.
+};
+
+/// Maximum drawdown (fraction in [0, 1]) of a wealth curve that implicitly
+/// starts at 1.
+double MaxDrawdown(const std::vector<double>& wealth_curve);
+
+/// Computes all metrics from a run record.
+Metrics ComputeMetrics(const BacktestRecord& record);
+
+}  // namespace ppn::backtest
+
+#endif  // PPN_BACKTEST_METRICS_H_

@@ -1,0 +1,43 @@
+#ifndef PPN_BACKTEST_STRATEGY_H_
+#define PPN_BACKTEST_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+#include "market/dataset.h"
+
+/// \file
+/// The strategy interface shared by the classic OLPS baselines and the
+/// neural policies: a sequential decision maker producing a portfolio
+/// vector per trading period.
+
+namespace ppn::backtest {
+
+/// A sequential portfolio-selection policy.
+///
+/// Timing contract: `Decide(panel, t, prev_hat)` chooses the portfolio a_t
+/// that will be exposed to the price relative of period `t`. The strategy
+/// may only read panel data from periods strictly BEFORE `t` (closing
+/// prices up to t-1); reading period t or later is lookahead and is checked
+/// by the test suite.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Display name used in bench tables.
+  virtual std::string name() const = 0;
+
+  /// Called once before a run; `first_period` is the first `t` that will be
+  /// passed to `Decide`. Strategies with warm-up state reset it here.
+  virtual void Reset(const market::OhlcPanel& panel, int64_t first_period);
+
+  /// Returns a_t: an (m+1)-dim vector on the probability simplex with the
+  /// cash asset at index 0. `prev_hat` is the drifted portfolio â_{t-1}.
+  virtual std::vector<double> Decide(const market::OhlcPanel& panel,
+                                     int64_t period,
+                                     const std::vector<double>& prev_hat) = 0;
+};
+
+}  // namespace ppn::backtest
+
+#endif  // PPN_BACKTEST_STRATEGY_H_

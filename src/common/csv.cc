@@ -1,0 +1,69 @@
+#include "common/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ppn {
+
+bool WriteCsv(const std::string& path, const CsvTable& table) {
+  for (const auto& row : table.rows) {
+    if (row.size() != table.header.size()) return false;
+  }
+  std::ofstream out(path);
+  if (!out) return false;
+  for (size_t i = 0; i < table.header.size(); ++i) {
+    if (i > 0) out << ",";
+    out << table.header[i];
+  }
+  out << "\n";
+  out.precision(12);
+  for (const auto& row : table.rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ",";
+      out << row[i];
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool ReadCsv(const std::string& path, CsvTable* table) {
+  table->header.clear();
+  table->rows.clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  {
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) table->header.push_back(cell);
+  }
+  if (table->header.empty()) return false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      char* end = nullptr;
+      const double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str()) {
+        table->header.clear();
+        table->rows.clear();
+        return false;
+      }
+      row.push_back(value);
+    }
+    if (row.size() != table->header.size()) {
+      table->header.clear();
+      table->rows.clear();
+      return false;
+    }
+    table->rows.push_back(std::move(row));
+  }
+  return true;
+}
+
+}  // namespace ppn

@@ -1,0 +1,32 @@
+#ifndef PPN_COMMON_CSV_H_
+#define PPN_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// Minimal CSV reading/writing for numeric tables. Used to persist generated
+/// market datasets and bench results so experiments can be replayed and
+/// plotted externally.
+
+namespace ppn {
+
+/// A numeric table: a header row plus rows of doubles (all rows the same
+/// width as the header).
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<double>> rows;
+};
+
+/// Writes `table` to `path`. Returns false on IO failure or if any row's
+/// width differs from the header's.
+bool WriteCsv(const std::string& path, const CsvTable& table);
+
+/// Reads a numeric CSV written by `WriteCsv` (first line header, remaining
+/// lines doubles). Returns false on IO/parse failure; on failure `*table`
+/// is left empty.
+bool ReadCsv(const std::string& path, CsvTable* table);
+
+}  // namespace ppn
+
+#endif  // PPN_COMMON_CSV_H_

@@ -1,0 +1,40 @@
+#include "common/run_scale.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ppn {
+
+RunScale GetRunScale() {
+  const char* value = std::getenv("PPN_SCALE");
+  if (value == nullptr) return RunScale::kQuick;
+  if (std::strcmp(value, "full") == 0) return RunScale::kFull;
+  if (std::strcmp(value, "smoke") == 0) return RunScale::kSmoke;
+  return RunScale::kQuick;
+}
+
+int ScaledSteps(int base, RunScale scale, int full_multiplier) {
+  switch (scale) {
+    case RunScale::kSmoke:
+      return base / 8 > 0 ? base / 8 : 1;
+    case RunScale::kQuick:
+      return base;
+    case RunScale::kFull:
+      return base * full_multiplier;
+  }
+  return base;
+}
+
+const char* RunScaleName(RunScale scale) {
+  switch (scale) {
+    case RunScale::kSmoke:
+      return "smoke";
+    case RunScale::kQuick:
+      return "quick";
+    case RunScale::kFull:
+      return "full";
+  }
+  return "quick";
+}
+
+}  // namespace ppn

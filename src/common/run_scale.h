@@ -1,0 +1,30 @@
+#ifndef PPN_COMMON_RUN_SCALE_H_
+#define PPN_COMMON_RUN_SCALE_H_
+
+/// \file
+/// Global run-scale switch for the bench harness. The paper trained for 1e5
+/// steps on a TITAN X; the default bench scale keeps every experiment within
+/// a laptop-CPU time budget while exercising exactly the same code paths.
+/// Set the environment variable `PPN_SCALE=full` to run at paper scale, or
+/// `PPN_SCALE=smoke` for CI-sized runs.
+
+namespace ppn {
+
+/// Run-scale tiers. `kQuick` is the default for benches; `kSmoke` is used by
+/// integration tests; `kFull` approximates the paper's settings.
+enum class RunScale { kSmoke, kQuick, kFull };
+
+/// Reads `PPN_SCALE` from the environment ("smoke" | "quick" | "full");
+/// defaults to kQuick when unset or unrecognized.
+RunScale GetRunScale();
+
+/// Scales a step/size budget by tier: smoke -> max(1, base/8),
+/// quick -> base, full -> base * full_multiplier.
+int ScaledSteps(int base, RunScale scale, int full_multiplier = 10);
+
+/// Human-readable name of the tier.
+const char* RunScaleName(RunScale scale);
+
+}  // namespace ppn
+
+#endif  // PPN_COMMON_RUN_SCALE_H_

@@ -1,0 +1,68 @@
+#include "common/table_printer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppn {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  PPN_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  PPN_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (const double v : values) row.push_back(FormatCell(v, precision));
+  AddRow(std::move(row));
+}
+
+std::string TablePrinter::FormatCell(double value, int precision) {
+  char buffer[64];
+  if (value != 0.0 && std::fabs(value) < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0e", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  }
+  return buffer;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  out << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) out << '-';
+    out << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+}  // namespace ppn

@@ -1,0 +1,41 @@
+#ifndef PPN_COMMON_TABLE_PRINTER_H_
+#define PPN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+/// \file
+/// ASCII table formatting used by the bench harness to print rows in the
+/// same layout as the paper's tables.
+
+namespace ppn {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds a row; must have the same number of cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: first cell is a label, the rest are numbers formatted with
+  /// `precision` significant digits (or scientific for tiny magnitudes).
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 2);
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// Formats a double the way the paper does: fixed with `precision`
+  /// decimals, switching to scientific for |x| < 1e-3 and x != 0.
+  static std::string FormatCell(double value, int precision);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ppn
+
+#endif  // PPN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,75 @@
+#include "market/io.h"
+
+#include "common/check.h"
+#include "common/csv.h"
+
+namespace ppn::market {
+
+bool SaveDataset(const MarketDataset& dataset,
+                 const std::string& path_prefix) {
+  PPN_CHECK(dataset.panel.IsComplete()) << "cannot save incomplete panel";
+  CsvTable meta;
+  meta.header = {"num_periods", "num_assets", "train_end"};
+  meta.rows = {{static_cast<double>(dataset.panel.num_periods()),
+                static_cast<double>(dataset.panel.num_assets()),
+                static_cast<double>(dataset.train_end)}};
+  if (!WriteCsv(path_prefix + ".meta.csv", meta)) return false;
+
+  CsvTable prices;
+  prices.header = {"period", "asset", "open", "high", "low", "close"};
+  prices.rows.reserve(dataset.panel.num_periods() *
+                      dataset.panel.num_assets());
+  for (int64_t t = 0; t < dataset.panel.num_periods(); ++t) {
+    for (int64_t a = 0; a < dataset.panel.num_assets(); ++a) {
+      prices.rows.push_back({static_cast<double>(t), static_cast<double>(a),
+                             dataset.panel.Price(t, a, kOpen),
+                             dataset.panel.Price(t, a, kHigh),
+                             dataset.panel.Price(t, a, kLow),
+                             dataset.panel.Price(t, a, kClose)});
+    }
+  }
+  return WriteCsv(path_prefix + ".prices.csv", prices);
+}
+
+bool LoadDataset(const std::string& path_prefix, MarketDataset* dataset) {
+  PPN_CHECK(dataset != nullptr);
+  CsvTable meta;
+  if (!ReadCsv(path_prefix + ".meta.csv", &meta)) return false;
+  if (meta.rows.size() != 1 || meta.header.size() != 3) return false;
+  const int64_t num_periods = static_cast<int64_t>(meta.rows[0][0]);
+  const int64_t num_assets = static_cast<int64_t>(meta.rows[0][1]);
+  const int64_t train_end = static_cast<int64_t>(meta.rows[0][2]);
+  if (num_periods <= 0 || num_assets <= 0 || train_end < 0 ||
+      train_end > num_periods) {
+    return false;
+  }
+
+  CsvTable prices;
+  if (!ReadCsv(path_prefix + ".prices.csv", &prices)) return false;
+  if (prices.header.size() != 6 ||
+      static_cast<int64_t>(prices.rows.size()) != num_periods * num_assets) {
+    return false;
+  }
+  MarketDataset loaded;
+  loaded.name = path_prefix;
+  loaded.panel = OhlcPanel(num_periods, num_assets);
+  loaded.train_end = train_end;
+  for (const auto& row : prices.rows) {
+    const int64_t t = static_cast<int64_t>(row[0]);
+    const int64_t a = static_cast<int64_t>(row[1]);
+    if (t < 0 || t >= num_periods || a < 0 || a >= num_assets) return false;
+    loaded.panel.SetPrice(t, a, kOpen, row[2]);
+    loaded.panel.SetPrice(t, a, kHigh, row[3]);
+    loaded.panel.SetPrice(t, a, kLow, row[4]);
+    loaded.panel.SetPrice(t, a, kClose, row[5]);
+  }
+  if (!loaded.panel.IsComplete()) return false;
+  loaded.asset_names.reserve(num_assets);
+  for (int64_t a = 0; a < num_assets; ++a) {
+    loaded.asset_names.push_back("ASSET" + std::to_string(a));
+  }
+  *dataset = std::move(loaded);
+  return true;
+}
+
+}  // namespace ppn::market

@@ -1,0 +1,38 @@
+#ifndef PPN_MARKET_PRESETS_H_
+#define PPN_MARKET_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/run_scale.h"
+#include "market/generator.h"
+
+/// \file
+/// Dataset presets mirroring the paper's Table 1 (Crypto-A/B/C/D, Poloniex
+/// 30-minute bars) and Table 10 (S&P500, daily bars). Asset counts match the
+/// paper; period counts and market character are scaled by `RunScale`
+/// (quick/smoke shrink the series, `full` approximates the paper's sizes).
+/// Each preset gets its own seed and regime mix so the four crypto markets
+/// have distinct personalities, echoing the paper (B strongly bullish, D
+/// bearish with UBAH < 1, C sideways).
+
+namespace ppn::market {
+
+/// Identifiers of the paper's datasets.
+enum class DatasetId { kCryptoA, kCryptoB, kCryptoC, kCryptoD, kSp500 };
+
+/// All crypto presets (Table 1 order).
+std::vector<DatasetId> CryptoDatasets();
+
+/// Printable name ("Crypto-A", ..., "S&P500").
+std::string DatasetName(DatasetId id);
+
+/// Generator configuration for a preset at the given scale.
+SyntheticMarketConfig PresetConfig(DatasetId id, RunScale scale);
+
+/// Generates the preset dataset (panel + split) at the given scale.
+MarketDataset MakeDataset(DatasetId id, RunScale scale);
+
+}  // namespace ppn::market
+
+#endif  // PPN_MARKET_PRESETS_H_

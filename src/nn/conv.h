@@ -1,0 +1,57 @@
+#ifndef PPN_NN_CONV_H_
+#define PPN_NN_CONV_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+/// \file
+/// Convolution layers used by the correlation information net (paper
+/// Table 2): dilated causal convolutions along the time axis (DCONV),
+/// correlational convolutions across the asset axis (CCONV), and the
+/// time-collapsing valid convolution (Conv4).
+///
+/// Feature maps are laid out [batch, channels, assets(H), time(W)].
+
+namespace ppn::nn {
+
+/// Generic stride-1 2-D convolution with explicit geometry.
+class Conv2dLayer : public Module {
+ public:
+  /// Creates a layer with Kaiming-uniform weights, zero bias, and the given
+  /// lowering geometry (kernel sizes in `geometry` define the weight shape).
+  Conv2dLayer(int64_t in_channels, int64_t out_channels,
+              const Conv2dGeometry& geometry, Rng* rng);
+
+  /// Applies the convolution to a [N, C_in, H, W] input.
+  ag::Var Forward(const ag::Var& input) const;
+
+  const Conv2dGeometry& geometry() const { return geometry_; }
+  const ag::Var& weight() const { return weight_; }
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  Conv2dGeometry geometry_;
+  ag::Var weight_;
+  ag::Var bias_;
+};
+
+/// Geometry of a *causal* dilated convolution along time (kernel [1 x kw]):
+/// all padding goes on the left so output at time t never sees inputs at
+/// t' > t, and the time length is preserved.
+Conv2dGeometry CausalTimeConvGeometry(int64_t kernel_w, int64_t dilation);
+
+/// Geometry of the correlational convolution (kernel [kh x 1], SAME padding
+/// along the asset axis so the asset count is preserved). `kh` is typically
+/// the asset count m, letting every asset see every other asset.
+Conv2dGeometry CorrelationalConvGeometry(int64_t kernel_h);
+
+/// Geometry of a VALID convolution collapsing the full time axis
+/// (kernel [1 x k], no padding): output width 1.
+Conv2dGeometry TimeCollapseConvGeometry(int64_t time_length);
+
+/// Geometry of a 1x1 convolution (the decision-making "voting" layer).
+Conv2dGeometry PointwiseConvGeometry();
+
+}  // namespace ppn::nn
+
+#endif  // PPN_NN_CONV_H_

@@ -1,0 +1,26 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace ppn::nn {
+
+Tensor XavierUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng* rng) {
+  PPN_CHECK_GT(fan_in + fan_out, 0);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return RandomUniform(std::move(shape), -bound, bound, rng);
+}
+
+Tensor KaimingUniform(std::vector<int64_t> shape, int64_t fan_in, Rng* rng) {
+  PPN_CHECK_GT(fan_in, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  return RandomUniform(std::move(shape), -bound, bound, rng);
+}
+
+Tensor ZeroInit(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+}  // namespace ppn::nn

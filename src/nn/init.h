@@ -1,0 +1,26 @@
+#ifndef PPN_NN_INIT_H_
+#define PPN_NN_INIT_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Weight initializers.
+
+namespace ppn::nn {
+
+/// Xavier/Glorot uniform: U(-b, b) with b = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(std::vector<int64_t> shape, int64_t fan_in,
+                     int64_t fan_out, Rng* rng);
+
+/// Kaiming/He uniform for ReLU layers: U(-b, b), b = sqrt(6 / fan_in).
+Tensor KaimingUniform(std::vector<int64_t> shape, int64_t fan_in, Rng* rng);
+
+/// Zero tensor (biases).
+Tensor ZeroInit(std::vector<int64_t> shape);
+
+}  // namespace ppn::nn
+
+#endif  // PPN_NN_INIT_H_

@@ -1,0 +1,29 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace ppn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
+               bool use_bias)
+    : in_features_(in_features), out_features_(out_features) {
+  PPN_CHECK_GT(in_features, 0);
+  PPN_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({in_features, out_features}, in_features,
+                              out_features, rng));
+  if (use_bias) {
+    bias_ = RegisterParameter("bias", ZeroInit({out_features}));
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& input) const {
+  PPN_CHECK_EQ(input->value().ndim(), 2);
+  PPN_CHECK_EQ(input->value().dim(1), in_features_);
+  ag::Var product = ag::MatMul(input, weight_);
+  if (bias_ == nullptr) return product;
+  return ag::AddRowVector(product, bias_);
+}
+
+}  // namespace ppn::nn

@@ -1,0 +1,41 @@
+#ifndef PPN_NN_LINEAR_H_
+#define PPN_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+/// \file
+/// Fully connected layer.
+
+namespace ppn::nn {
+
+/// y = x W + b for x of shape [batch, in_features].
+class Linear : public Module {
+ public:
+  /// Creates a layer with Xavier-uniform weights and zero bias. Pass
+  /// `use_bias = false` for layers whose bias would be a structural no-op
+  /// (e.g. a shared scalar bias ahead of a softmax).
+  Linear(int64_t in_features, int64_t out_features, Rng* rng,
+         bool use_bias = true);
+
+  /// Applies the layer to a [batch, in_features] input.
+  ag::Var Forward(const ag::Var& input) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  /// Weight parameter [in_features, out_features].
+  const ag::Var& weight() const { return weight_; }
+  /// Bias parameter [out_features]; null when constructed bias-free.
+  const ag::Var& bias() const { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  ag::Var weight_;
+  ag::Var bias_;  // Null if use_bias was false.
+};
+
+}  // namespace ppn::nn
+
+#endif  // PPN_NN_LINEAR_H_

@@ -1,0 +1,118 @@
+#include "nn/module.h"
+
+#include <fstream>
+
+#include "common/check.h"
+
+namespace ppn::nn {
+
+std::vector<ag::Var> Module::Parameters() const {
+  std::vector<ag::Var> params;
+  for (const auto& [name, var] : NamedParameters()) params.push_back(var);
+  return params;
+}
+
+std::vector<std::pair<std::string, ag::Var>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, ag::Var>> named;
+  CollectNamed("", &named);
+  return named;
+}
+
+void Module::CollectNamed(
+    const std::string& prefix,
+    std::vector<std::pair<std::string, ag::Var>>* out) const {
+  for (const auto& [name, var] : parameters_) {
+    out->emplace_back(prefix + name, var);
+  }
+  for (const auto& [name, submodule] : submodules_) {
+    submodule->CollectNamed(prefix + name + "/", out);
+  }
+}
+
+void Module::ZeroGrad() {
+  for (const ag::Var& p : Parameters()) p->ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, submodule] : submodules_) {
+    submodule->SetTraining(training);
+  }
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const ag::Var& p : Parameters()) count += p->numel();
+  return count;
+}
+
+bool Module::SaveParameters(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out.precision(9);
+  for (const auto& [name, var] : NamedParameters()) {
+    out << name << " " << var->numel() << "\n";
+    const float* data = var->value().Data();
+    for (int64_t i = 0; i < var->numel(); ++i) {
+      if (i > 0) out << " ";
+      out << data[i];
+    }
+    out << "\n";
+  }
+  return static_cast<bool>(out);
+}
+
+bool Module::LoadParameters(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return false;
+  for (const auto& [name, var] : NamedParameters()) {
+    std::string file_name;
+    int64_t numel = 0;
+    if (!(in >> file_name >> numel)) return false;
+    if (file_name != name || numel != var->numel()) return false;
+    float* data = var->mutable_value()->MutableData();
+    for (int64_t i = 0; i < numel; ++i) {
+      if (!(in >> data[i])) return false;
+    }
+  }
+  return true;
+}
+
+void Module::CopyParametersFrom(const Module& source) {
+  const auto mine = Parameters();
+  const auto theirs = source.Parameters();
+  PPN_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    PPN_CHECK_EQ(mine[i]->numel(), theirs[i]->numel());
+    float* dst = mine[i]->mutable_value()->MutableData();
+    const float* src = theirs[i]->value().Data();
+    for (int64_t j = 0; j < mine[i]->numel(); ++j) dst[j] = src[j];
+  }
+}
+
+void Module::PolyakUpdateFrom(const Module& source, float tau) {
+  const auto mine = Parameters();
+  const auto theirs = source.Parameters();
+  PPN_CHECK_EQ(mine.size(), theirs.size());
+  for (size_t i = 0; i < mine.size(); ++i) {
+    PPN_CHECK_EQ(mine[i]->numel(), theirs[i]->numel());
+    float* dst = mine[i]->mutable_value()->MutableData();
+    const float* src = theirs[i]->value().Data();
+    for (int64_t j = 0; j < mine[i]->numel(); ++j) {
+      dst[j] = (1.0f - tau) * dst[j] + tau * src[j];
+    }
+  }
+}
+
+ag::Var Module::RegisterParameter(const std::string& name, Tensor init) {
+  ag::Var param = ag::Parameter(std::move(init));
+  parameters_.emplace_back(name, param);
+  return param;
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* submodule) {
+  PPN_CHECK(submodule != nullptr);
+  submodules_.emplace_back(name, submodule);
+}
+
+}  // namespace ppn::nn

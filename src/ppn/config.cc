@@ -1,0 +1,60 @@
+#include "ppn/config.h"
+
+namespace ppn::core {
+
+std::vector<PolicyVariant> Table4Variants() {
+  return {PolicyVariant::kPpnLstm,     PolicyVariant::kPpnTcb,
+          PolicyVariant::kPpnTccb,     PolicyVariant::kPpnTcbLstm,
+          PolicyVariant::kPpnTccbLstm, PolicyVariant::kPpnI,
+          PolicyVariant::kPpn};
+}
+
+std::string VariantName(PolicyVariant variant) {
+  switch (variant) {
+    case PolicyVariant::kPpn:
+      return "PPN";
+    case PolicyVariant::kPpnI:
+      return "PPN-I";
+    case PolicyVariant::kPpnLstm:
+      return "PPN-LSTM";
+    case PolicyVariant::kPpnTcb:
+      return "PPN-TCB";
+    case PolicyVariant::kPpnTccb:
+      return "PPN-TCCB";
+    case PolicyVariant::kPpnTcbLstm:
+      return "PPN-TCB-LSTM";
+    case PolicyVariant::kPpnTccbLstm:
+      return "PPN-TCCB-LSTM";
+    case PolicyVariant::kEiie:
+      return "EIIE";
+  }
+  return "Unknown";
+}
+
+bool VariantFromName(const std::string& name, PolicyVariant* variant) {
+  static const PolicyVariant kAll[] = {
+      PolicyVariant::kPpn,         PolicyVariant::kPpnI,
+      PolicyVariant::kPpnLstm,     PolicyVariant::kPpnTcb,
+      PolicyVariant::kPpnTccb,     PolicyVariant::kPpnTcbLstm,
+      PolicyVariant::kPpnTccbLstm, PolicyVariant::kEiie};
+  for (const PolicyVariant candidate : kAll) {
+    if (VariantName(candidate) == name) {
+      *variant = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool UsesAssetCorrelation(PolicyVariant variant) {
+  switch (variant) {
+    case PolicyVariant::kPpn:
+    case PolicyVariant::kPpnTccb:
+    case PolicyVariant::kPpnTccbLstm:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ppn::core

@@ -1,0 +1,61 @@
+#ifndef PPN_PPN_CONFIG_H_
+#define PPN_PPN_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file
+/// Configuration of the portfolio policy network and its variants
+/// (paper Table 2 and Section 6.3).
+
+namespace ppn::core {
+
+/// Feature-extraction variants of the policy (paper Table 4).
+enum class PolicyVariant {
+  kPpn,          ///< Two streams: LSTM + TCCB correlation net (the paper).
+  kPpnI,         ///< Two streams: LSTM + TCB (no correlational convs).
+  kPpnLstm,      ///< Sequential information net only.
+  kPpnTcb,       ///< TCB correlation-free conv net only.
+  kPpnTccb,      ///< TCCB correlation net only.
+  kPpnTcbLstm,   ///< Cascade: TCB features fed through an LSTM.
+  kPpnTccbLstm,  ///< Cascade: TCCB features fed through an LSTM.
+  kEiie,         ///< The EIIE baseline topology (Jiang et al. 2017).
+};
+
+/// All seven PPN-family variants in the paper's Table-4 row order.
+std::vector<PolicyVariant> Table4Variants();
+
+/// Display name ("PPN", "PPN-I", "PPN-LSTM", ...).
+std::string VariantName(PolicyVariant variant);
+
+/// Inverse of `VariantName` (case-sensitive). Returns false for unknown
+/// names; `*variant` is untouched on failure.
+bool VariantFromName(const std::string& name, PolicyVariant* variant);
+
+/// True when the variant mixes information across assets (uses CCONV).
+bool UsesAssetCorrelation(PolicyVariant variant);
+
+/// Network hyperparameters (defaults are the paper's).
+struct PolicyConfig {
+  PolicyVariant variant = PolicyVariant::kPpn;
+  int64_t num_assets = 12;       ///< m (risk assets).
+  int64_t window = 30;           ///< k: periods in the input window.
+  int64_t lstm_hidden = 16;      ///< Sequential net hidden size.
+  int64_t block1_channels = 8;   ///< TCCB1 channels.
+  int64_t block2_channels = 16;  ///< TCCB2/TCCB3 channels.
+  float dropout = 0.2f;          ///< Dropout rate in conv blocks.
+  float cash_bias = 0.0f;        ///< Fixed cash-row bias value.
+  /// Input preprocessing applied by every policy: windows enter as prices
+  /// normalized by the last period (values near 1); the nets consume
+  /// (x - 1) * input_scale so the planted ±1% movements produce O(0.1)
+  /// activations. Pure re-parameterization of the paper's input (the first
+  /// conv/LSTM layer could absorb it); it buys faster convergence at the
+  /// reduced CPU training budgets.
+  float input_scale = 10.0f;
+  uint64_t seed = 1;             ///< Weight-init seed.
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_CONFIG_H_

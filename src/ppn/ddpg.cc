@@ -1,0 +1,306 @@
+#include "ppn/ddpg.h"
+
+#include <cmath>
+
+#include "backtest/costs.h"
+#include "common/check.h"
+
+namespace ppn::core {
+
+namespace {
+
+Conv2dGeometry Valid1x3Geometry() {
+  Conv2dGeometry g;
+  g.kernel_h = 1;
+  g.kernel_w = 3;
+  return g;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ CriticNetwork ----
+
+CriticNetwork::CriticNetwork(const PolicyConfig& config, Rng* init_rng)
+    : config_(config) {
+  const int64_t m = config.num_assets;
+  conv1_ = std::make_unique<nn::Conv2dLayer>(
+      market::kNumPriceFields, config.block1_channels, Valid1x3Geometry(),
+      init_rng);
+  conv2_ = std::make_unique<nn::Conv2dLayer>(
+      config.block1_channels, config.block2_channels,
+      nn::TimeCollapseConvGeometry(config.window - 2), init_rng);
+  state_features_ = config.block2_channels * m;
+  const int64_t hidden = 64;
+  value_hidden_ = std::make_unique<nn::Linear>(state_features_, hidden,
+                                               init_rng);
+  value_head_ = std::make_unique<nn::Linear>(hidden, 1, init_rng);
+  advantage_hidden_ = std::make_unique<nn::Linear>(
+      state_features_ + m + (m + 1), hidden, init_rng);
+  advantage_head_ = std::make_unique<nn::Linear>(hidden, 1, init_rng);
+  RegisterSubmodule("conv1", conv1_.get());
+  RegisterSubmodule("conv2", conv2_.get());
+  RegisterSubmodule("value_hidden", value_hidden_.get());
+  RegisterSubmodule("value_head", value_head_.get());
+  RegisterSubmodule("advantage_hidden", advantage_hidden_.get());
+  RegisterSubmodule("advantage_head", advantage_head_.get());
+}
+
+ag::Var CriticNetwork::Forward(const ag::Var& windows,
+                               const ag::Var& prev_actions,
+                               const ag::Var& actions) const {
+  const int64_t batch = windows->value().dim(0);
+  ag::Var conv_input = ag::Permute4(windows, {0, 3, 1, 2});
+  ag::Var h = ag::Relu(conv1_->Forward(conv_input));
+  h = ag::Relu(conv2_->Forward(h));  // [B, C2, m, 1].
+  ag::Var state = ag::Reshape(h, {batch, state_features_});
+  // Dueling-style split: V(s) + A(s, a_{t-1}, a).
+  ag::Var value =
+      value_head_->Forward(ag::Relu(value_hidden_->Forward(state)));
+  ag::Var advantage_input =
+      ag::ConcatVars({state, prev_actions, actions}, 1);
+  ag::Var advantage = advantage_head_->Forward(
+      ag::Relu(advantage_hidden_->Forward(advantage_input)));
+  return ag::Add(value, advantage);
+}
+
+// -------------------------------------------------------- DdpgTrainer ----
+
+DdpgTrainer::DdpgTrainer(PolicyModule* actor,
+                         const market::MarketDataset& dataset,
+                         DdpgConfig config)
+    : actor_(actor),
+      config_(std::move(config)),
+      num_assets_(actor->config().num_assets),
+      window_(actor->config().window),
+      first_period_(actor->config().window),
+      last_period_(dataset.train_end),
+      rng_(config_.seed),
+      dropout_rng_(config_.seed ^ 0xD00DULL) {
+  PPN_CHECK(actor != nullptr);
+  PPN_CHECK_EQ(dataset.panel.num_assets(), num_assets_);
+  PPN_CHECK_GT(last_period_ - first_period_, 2);
+
+  Rng init_rng(config_.seed ^ 0xC417ULL);
+  critic_ = std::make_unique<CriticNetwork>(actor->config(), &init_rng);
+  target_actor_ = MakePolicy(actor->config(), &init_rng, &dropout_rng_);
+  target_critic_ = std::make_unique<CriticNetwork>(actor->config(), &init_rng);
+  target_actor_->CopyParametersFrom(*actor_);
+  target_critic_->CopyParametersFrom(*critic_);
+  target_actor_->SetTraining(false);
+  target_critic_->SetTraining(false);
+
+  actor_optimizer_ =
+      std::make_unique<nn::Adam>(actor_->Parameters(), config_.actor_lr);
+  critic_optimizer_ =
+      std::make_unique<nn::Adam>(critic_->Parameters(), config_.critic_lr);
+
+  windows_.reserve(last_period_ - first_period_);
+  for (int64_t t = first_period_; t < last_period_; ++t) {
+    windows_.push_back(market::NormalizedWindow(dataset.panel, t - 1, window_));
+  }
+  relatives_.resize(last_period_);
+  for (int64_t t = 1; t < last_period_; ++t) {
+    relatives_[t] = market::PriceRelativesWithCash(dataset.panel, t);
+  }
+}
+
+DdpgTrainer::~DdpgTrainer() = default;
+
+Tensor DdpgTrainer::WindowsFor(const std::vector<int64_t>& periods) const {
+  const int64_t batch = static_cast<int64_t>(periods.size());
+  Tensor out({batch, num_assets_, window_, market::kNumPriceFields});
+  const int64_t per_window = num_assets_ * window_ * market::kNumPriceFields;
+  float* po = out.MutableData();
+  for (int64_t b = 0; b < batch; ++b) {
+    const Tensor& w = windows_[periods[b] - first_period_];
+    for (int64_t i = 0; i < per_window; ++i) po[b * per_window + i] = w[i];
+  }
+  return out;
+}
+
+Tensor DdpgTrainer::PrevRiskFor(
+    const std::vector<const Transition*>& batch) const {
+  Tensor out({static_cast<int64_t>(batch.size()), num_assets_});
+  float* po = out.MutableData();
+  for (size_t b = 0; b < batch.size(); ++b) {
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      po[b * num_assets_ + i] = static_cast<float>(batch[b]->prev[i + 1]);
+    }
+  }
+  return out;
+}
+
+void DdpgTrainer::LearnStep() {
+  const int64_t available = static_cast<int64_t>(buffer_.size());
+  const int64_t batch_size = std::min(config_.batch_size, available);
+  std::vector<const Transition*> batch;
+  batch.reserve(batch_size);
+  for (int64_t i = 0; i < batch_size; ++i) {
+    batch.push_back(&buffer_[rng_.UniformInt(available)]);
+  }
+
+  std::vector<int64_t> periods(batch_size);
+  for (int64_t b = 0; b < batch_size; ++b) periods[b] = batch[b]->period;
+  Tensor state_windows = WindowsFor(periods);
+  Tensor prev_risk = PrevRiskFor(batch);
+  Tensor actions({batch_size, num_assets_ + 1});
+  for (int64_t b = 0; b < batch_size; ++b) {
+    for (int64_t i = 0; i <= num_assets_; ++i) {
+      actions.MutableData()[b * (num_assets_ + 1) + i] =
+          static_cast<float>(batch[b]->action[i]);
+    }
+  }
+
+  // --- Targets y = r + γ Q'(s', μ'(s')). --------------------------------
+  Tensor targets({batch_size, 1});
+  {
+    std::vector<int64_t> next_periods;
+    std::vector<int64_t> next_rows;
+    for (int64_t b = 0; b < batch_size; ++b) {
+      if (batch[b]->has_next) {
+        next_periods.push_back(batch[b]->period + 1);
+        next_rows.push_back(b);
+      }
+    }
+    std::vector<double> bootstrap(batch_size, 0.0);
+    if (!next_periods.empty()) {
+      Tensor next_windows = WindowsFor(next_periods);
+      Tensor next_prev(
+          {static_cast<int64_t>(next_periods.size()), num_assets_});
+      for (size_t r = 0; r < next_rows.size(); ++r) {
+        const Transition* tr = batch[next_rows[r]];
+        for (int64_t i = 0; i < num_assets_; ++i) {
+          next_prev.MutableData()[r * num_assets_ + i] =
+              static_cast<float>(tr->action[i + 1]);
+        }
+      }
+      ag::Var next_w = ag::Constant(next_windows);
+      ag::Var next_p = ag::Constant(next_prev);
+      ag::Var next_actions = target_actor_->Forward(next_w, next_p);
+      ag::Var next_q = target_critic_->Forward(next_w, next_p,
+                                               ag::Detach(next_actions));
+      for (size_t r = 0; r < next_rows.size(); ++r) {
+        bootstrap[next_rows[r]] = next_q->value()[r];
+      }
+    }
+    for (int64_t b = 0; b < batch_size; ++b) {
+      targets.MutableData()[b] = static_cast<float>(
+          batch[b]->reward + config_.discount * bootstrap[b]);
+    }
+  }
+
+  // --- Critic regression. ----------------------------------------------
+  critic_->SetTraining(true);
+  critic_->ZeroGrad();
+  {
+    ag::Var q = critic_->Forward(ag::Constant(state_windows),
+                                 ag::Constant(prev_risk),
+                                 ag::Constant(actions));
+    ag::Var error = ag::Sub(q, ag::Constant(targets));
+    ag::Var loss = ag::MeanAll(ag::Mul(error, error));
+    ag::Backward(loss);
+    critic_optimizer_->ClipGradNorm(5.0);
+    critic_optimizer_->Step();
+  }
+
+  // --- Actor ascent on Q. ----------------------------------------------
+  actor_->SetTraining(true);
+  actor_->ZeroGrad();
+  critic_->ZeroGrad();
+  {
+    ag::Var w = ag::Constant(state_windows);
+    ag::Var p = ag::Constant(prev_risk);
+    ag::Var a = actor_->Forward(w, p);
+    ag::Var q = critic_->Forward(w, p, a);
+    ag::Var loss = ag::Neg(ag::MeanAll(q));
+    ag::Backward(loss);
+    actor_optimizer_->ClipGradNorm(5.0);
+    actor_optimizer_->Step();
+  }
+
+  target_actor_->PolyakUpdateFrom(*actor_, config_.tau);
+  target_critic_->PolyakUpdateFrom(*critic_, config_.tau);
+}
+
+double DdpgTrainer::Train() {
+  const backtest::CostModel costs =
+      backtest::CostModel::Uniform(config_.cost_rate);
+  std::vector<double> previous_action(num_assets_ + 1,
+                                      1.0 / (num_assets_ + 1));
+  int64_t t = first_period_;
+  double tail_sum = 0.0;
+  int64_t tail_count = 0;
+  const int64_t tail_start =
+      config_.steps - std::max<int64_t>(config_.steps / 10, 1);
+
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    // --- Environment step with exploration. ----------------------------
+    actor_->SetTraining(false);
+    Tensor w = WindowsFor({t});
+    Tensor prev({1, num_assets_});
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      prev.MutableData()[i] = static_cast<float>(previous_action[i + 1]);
+    }
+    ag::Var policy_action =
+        actor_->Forward(ag::Constant(w), ag::Constant(prev));
+    const double progress =
+        static_cast<double>(step) / std::max<int64_t>(config_.steps - 1, 1);
+    const double epsilon = config_.explore_start +
+                           (config_.explore_end - config_.explore_start) *
+                               progress;
+    const std::vector<double> noise =
+        rng_.Dirichlet(static_cast<int>(num_assets_) + 1, 0.5);
+    std::vector<double> action(num_assets_ + 1);
+    double total = 0.0;
+    for (int64_t i = 0; i <= num_assets_; ++i) {
+      action[i] = (1.0 - epsilon) * policy_action->value()[i] +
+                  epsilon * noise[i];
+      total += action[i];
+    }
+    for (double& v : action) v /= total;
+
+    std::vector<double> prev_hat = previous_action;
+    if (t >= 2) {
+      prev_hat = backtest::DriftPortfolio(previous_action, relatives_[t - 1]);
+    }
+    const double omega =
+        backtest::SolveNetWealthFactor(prev_hat, action, costs);
+    double gross = 0.0;
+    for (int64_t i = 0; i <= num_assets_; ++i) {
+      gross += action[i] * relatives_[t][i];
+    }
+    const double reward = std::log(gross * omega);
+    if (step >= tail_start) {
+      tail_sum += reward;
+      ++tail_count;
+    }
+
+    Transition transition;
+    transition.period = t;
+    transition.prev = previous_action;
+    transition.action = action;
+    transition.reward = reward;
+    transition.has_next = (t + 1) < last_period_;
+    if (static_cast<int64_t>(buffer_.size()) < config_.buffer_capacity) {
+      buffer_.push_back(std::move(transition));
+    } else {
+      buffer_[buffer_next_ % config_.buffer_capacity] = std::move(transition);
+    }
+    ++buffer_next_;
+
+    previous_action = action;
+    ++t;
+    if (t >= last_period_) {
+      t = first_period_;
+      previous_action.assign(num_assets_ + 1, 1.0 / (num_assets_ + 1));
+    }
+
+    // --- Learning. ------------------------------------------------------
+    if (static_cast<int64_t>(buffer_.size()) >= config_.warmup) {
+      LearnStep();
+    }
+  }
+  return tail_count > 0 ? tail_sum / tail_count : 0.0;
+}
+
+}  // namespace ppn::core

@@ -1,0 +1,112 @@
+#ifndef PPN_PPN_DDPG_H_
+#define PPN_PPN_DDPG_H_
+
+#include <memory>
+#include <vector>
+
+#include "market/dataset.h"
+#include "nn/conv.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "ppn/policy_module.h"
+#include "ppn/reward.h"
+
+/// \file
+/// PPN-AC (paper Section 7.2 / Table 9): the actor–critic ablation. The
+/// actor is a PPN; the critic approximates Q(s, a_{t-1}, a) with a small
+/// convolutional state encoder and a dueling-style split Q = V(s) + A(s,a).
+/// Trained with DDPG (Lillicrap et al. 2016): replay buffer, target
+/// networks with Polyak averaging, and exploration by Dirichlet mixing.
+///
+/// The per-period reward is the rebalanced log-return log(aᵀx·ω); the
+/// batch-statistic terms of Eq. 1 (variance, turnover) have no per-period
+/// analogue, which is part of why the paper finds AC inferior here.
+
+namespace ppn::core {
+
+/// Critic network: state encoder (per-asset convs) + dueling heads.
+class CriticNetwork : public nn::Module {
+ public:
+  CriticNetwork(const PolicyConfig& config, Rng* init_rng);
+
+  /// windows [B, m, k, 4], prev_actions [B, m], actions [B, m+1]
+  /// -> Q values [B, 1].
+  ag::Var Forward(const ag::Var& windows, const ag::Var& prev_actions,
+                  const ag::Var& actions) const;
+
+ private:
+  PolicyConfig config_;
+  int64_t state_features_;
+  std::unique_ptr<nn::Conv2dLayer> conv1_;
+  std::unique_ptr<nn::Conv2dLayer> conv2_;
+  std::unique_ptr<nn::Linear> value_hidden_;
+  std::unique_ptr<nn::Linear> value_head_;
+  std::unique_ptr<nn::Linear> advantage_hidden_;
+  std::unique_ptr<nn::Linear> advantage_head_;
+};
+
+/// DDPG hyperparameters.
+struct DdpgConfig {
+  int64_t steps = 1200;        ///< Environment/learning steps.
+  int64_t batch_size = 32;     ///< Replay minibatch.
+  int64_t warmup = 64;         ///< Steps before learning starts.
+  int64_t buffer_capacity = 4096;
+  float actor_lr = 1e-3f;
+  float critic_lr = 1e-3f;
+  float tau = 0.01f;           ///< Target soft-update rate.
+  float discount = 0.95f;
+  double explore_start = 0.4;  ///< Initial Dirichlet mixing weight.
+  double explore_end = 0.02;
+  double cost_rate = 0.0025;   ///< ψ for the per-period reward.
+  uint64_t seed = 3;
+};
+
+/// Trains a PPN actor with DDPG on a dataset's training range.
+class DdpgTrainer {
+ public:
+  /// `actor` must outlive the trainer and match the dataset's asset count.
+  DdpgTrainer(PolicyModule* actor, const market::MarketDataset& dataset,
+              DdpgConfig config);
+  ~DdpgTrainer();
+
+  /// Runs the full training loop. Returns the mean reward of the last 10%
+  /// of environment steps.
+  double Train();
+
+ private:
+  struct Transition {
+    int64_t period;            ///< Decision period t.
+    std::vector<double> prev;  ///< a_{t-1} (m+1).
+    std::vector<double> action;
+    double reward;
+    bool has_next;             ///< Next period still inside the range.
+  };
+
+  Tensor WindowsFor(const std::vector<int64_t>& periods) const;
+  Tensor PrevRiskFor(const std::vector<const Transition*>& batch) const;
+  void LearnStep();
+
+  PolicyModule* actor_;
+  DdpgConfig config_;
+  int64_t num_assets_;
+  int64_t window_;
+  int64_t first_period_;
+  int64_t last_period_;
+  Rng rng_;
+  Rng dropout_rng_;
+
+  std::unique_ptr<CriticNetwork> critic_;
+  std::unique_ptr<PolicyModule> target_actor_;
+  std::unique_ptr<CriticNetwork> target_critic_;
+  std::unique_ptr<nn::Adam> actor_optimizer_;
+  std::unique_ptr<nn::Adam> critic_optimizer_;
+
+  std::vector<Tensor> windows_;  ///< Indexed by t - first_period_.
+  std::vector<std::vector<double>> relatives_;
+  std::vector<Transition> buffer_;
+  int64_t buffer_next_ = 0;
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_DDPG_H_

@@ -1,0 +1,39 @@
+#ifndef PPN_PPN_POLICY_MODULE_H_
+#define PPN_PPN_POLICY_MODULE_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "nn/module.h"
+#include "ppn/config.h"
+
+/// \file
+/// The interface shared by all trainable portfolio policies (PPN variants
+/// and the EIIE baseline): map a batch of normalized price windows plus the
+/// previous portfolio to a batch of new portfolios.
+
+namespace ppn::core {
+
+/// A differentiable portfolio policy π(s_t, a_{t-1}).
+class PolicyModule : public nn::Module {
+ public:
+  /// Forward pass.
+  /// \param windows [B, m, k, 4] normalized price windows.
+  /// \param prev_actions [B, m] risk-asset slice of a_{t-1}.
+  /// \return [B, m+1] portfolios on the simplex (cash at column 0).
+  virtual ag::Var Forward(const ag::Var& windows,
+                          const ag::Var& prev_actions) = 0;
+
+  /// The configuration the policy was built with.
+  virtual const PolicyConfig& config() const = 0;
+};
+
+/// Builds the policy for `config.variant` (a PPN variant or EIIE).
+/// `init_rng` seeds the weights; `dropout_rng` must outlive the policy and
+/// drives dropout masks during training.
+std::unique_ptr<PolicyModule> MakePolicy(const PolicyConfig& config,
+                                         Rng* init_rng, Rng* dropout_rng);
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_POLICY_MODULE_H_

@@ -1,0 +1,30 @@
+#include "ppn/pvm.h"
+
+#include "common/check.h"
+
+namespace ppn::core {
+
+PortfolioVectorMemory::PortfolioVectorMemory(int64_t num_periods,
+                                             int64_t num_assets)
+    : num_assets_(num_assets) {
+  PPN_CHECK_GT(num_periods, 0);
+  PPN_CHECK_GT(num_assets, 0);
+  std::vector<double> uniform(num_assets + 1, 0.0);
+  for (int64_t i = 1; i <= num_assets; ++i) {
+    uniform[i] = 1.0 / static_cast<double>(num_assets);
+  }
+  actions_.assign(num_periods, uniform);
+}
+
+const std::vector<double>& PortfolioVectorMemory::Get(int64_t t) const {
+  PPN_CHECK(t >= 0 && t < num_periods());
+  return actions_[t];
+}
+
+void PortfolioVectorMemory::Set(int64_t t, std::vector<double> action) {
+  PPN_CHECK(t >= 0 && t < num_periods());
+  PPN_CHECK_EQ(action.size(), static_cast<size_t>(num_assets_ + 1));
+  actions_[t] = std::move(action);
+}
+
+}  // namespace ppn::core

@@ -1,0 +1,41 @@
+#ifndef PPN_PPN_PVM_H_
+#define PPN_PPN_PVM_H_
+
+#include <cstdint>
+#include <vector>
+
+/// \file
+/// Portfolio vector memory (Jiang et al. 2017, adopted by the paper's
+/// online stochastic batch training, Remark 3): a per-period store of the
+/// most recent action taken at that period, so randomly sampled batches
+/// can feed the recursive a_{t-1} input without replaying the whole
+/// history.
+
+namespace ppn::core {
+
+/// Stores one (m+1)-dim portfolio per trading period.
+class PortfolioVectorMemory {
+ public:
+  /// Creates memory for `num_periods` periods, initialized to the uniform
+  /// portfolio over the m risk assets (cash weight 0).
+  PortfolioVectorMemory(int64_t num_periods, int64_t num_assets);
+
+  /// Action recorded for period `t`.
+  const std::vector<double>& Get(int64_t t) const;
+
+  /// Overwrites the action for period `t`; must be (m+1)-dim.
+  void Set(int64_t t, std::vector<double> action);
+
+  int64_t num_periods() const {
+    return static_cast<int64_t>(actions_.size());
+  }
+  int64_t num_assets() const { return num_assets_; }
+
+ private:
+  int64_t num_assets_;
+  std::vector<std::vector<double>> actions_;
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_PVM_H_

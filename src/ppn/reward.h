@@ -1,0 +1,61 @@
+#ifndef PPN_PPN_REWARD_H_
+#define PPN_PPN_REWARD_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "backtest/costs.h"
+
+/// \file
+/// The cost-sensitive reward (paper Eq. 1):
+///
+///   R = 1/T Σ r̂ᶜ_t  -  λ σ²(r̂ᶜ_t)  -  γ/T Σ ‖a_t - â_{t-1}‖₁
+///
+/// with r̂ᶜ_t = log(a_tᵀ x_t · ω_t). The net-wealth factor ω_t is solved
+/// exactly from the transaction-cost fixed point; the cost then enters the
+/// graph as the differentiable c_t(a) = ψ‖a_t ω̄_t − â_{t-1}‖₁ (risk
+/// assets) with ω̄_t held constant — value-identical to ω_t at the fixed
+/// point, and its gradient carries ψ-scaled trading pressure in addition
+/// to the explicit γ‖a_t - â_{t-1}‖₁ constraint term.
+
+namespace ppn::core {
+
+/// Trade-off hyperparameters and the cost rate ψ.
+struct RewardConfig {
+  double lambda = 1e-4;      ///< Risk-penalty weight λ.
+  double gamma = 1e-3;       ///< Transaction-cost-constraint weight γ.
+  double cost_rate = 0.0025; ///< Proportional cost rate ψ (both sides).
+  /// When true (the cost-sensitive design), c_t enters the graph as the
+  /// differentiable ψ‖a_t ω̄_t − â_{t-1}‖₁; when false the cost is a
+  /// stop-gradient log ω_t factor — the plain rebalanced-log-return
+  /// objective the EIIE baseline optimizes.
+  bool differentiable_cost = true;
+};
+
+/// Constant (non-differentiated) per-period context of a reward evaluation.
+struct RewardInputs {
+  /// [T, m+1] price relatives x_t with cash at column 0.
+  Tensor relatives;
+  /// [T, m+1] drifted previous portfolios â_{t-1}.
+  Tensor prev_hat;
+};
+
+/// Detailed reward decomposition (values only, for logging/tests).
+struct RewardBreakdown {
+  double mean_log_return = 0.0;
+  double variance = 0.0;
+  double mean_turnover = 0.0;
+  double total = 0.0;
+};
+
+/// Builds the scalar reward node from the policy's batched actions
+/// [T, m+1]. If `breakdown` / `omegas` are non-null they receive the value
+/// decomposition and the solved ω_t per period.
+ag::Var CostSensitiveReward(const ag::Var& actions, const RewardInputs& inputs,
+                            const RewardConfig& config,
+                            RewardBreakdown* breakdown = nullptr,
+                            std::vector<double>* omegas = nullptr);
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_REWARD_H_

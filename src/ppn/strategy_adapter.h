@@ -1,0 +1,35 @@
+#ifndef PPN_PPN_STRATEGY_ADAPTER_H_
+#define PPN_PPN_STRATEGY_ADAPTER_H_
+
+#include <string>
+#include <vector>
+
+#include "backtest/strategy.h"
+#include "ppn/policy_module.h"
+
+/// \file
+/// Adapter exposing a trained `PolicyModule` to the backtester: sequential
+/// evaluation with the network's own previous action fed back recursively.
+
+namespace ppn::core {
+
+/// Runs a trained policy as a backtest strategy (dropout disabled).
+class PolicyStrategy : public backtest::Strategy {
+ public:
+  /// `policy` must outlive the strategy; `display_name` is used in tables.
+  PolicyStrategy(PolicyModule* policy, std::string display_name);
+
+  std::string name() const override { return display_name_; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  PolicyModule* policy_;
+  std::string display_name_;
+  std::vector<double> last_action_;
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_STRATEGY_ADAPTER_H_

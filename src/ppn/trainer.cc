@@ -1,0 +1,138 @@
+#include "ppn/trainer.h"
+
+#include <cmath>
+
+#include "backtest/costs.h"
+#include "common/check.h"
+
+namespace ppn::core {
+
+PolicyGradientTrainer::PolicyGradientTrainer(
+    PolicyModule* policy, const market::MarketDataset& dataset,
+    TrainerConfig config)
+    : policy_(policy),
+      config_(std::move(config)),
+      num_assets_(policy->config().num_assets),
+      window_(policy->config().window),
+      first_period_(policy->config().window),
+      last_period_(dataset.train_end),
+      pvm_(dataset.panel.num_periods(), policy->config().num_assets),
+      rng_(config_.seed) {
+  PPN_CHECK(policy != nullptr);
+  PPN_CHECK_EQ(dataset.panel.num_assets(), num_assets_);
+  PPN_CHECK_GT(last_period_ - first_period_, config_.batch_size)
+      << "training range too short for the batch size";
+  // Precompute decision windows (data through t-1 for a decision at t) and
+  // price relatives over the training range.
+  windows_.reserve(last_period_ - first_period_);
+  for (int64_t t = first_period_; t < last_period_; ++t) {
+    windows_.push_back(market::NormalizedWindow(dataset.panel, t - 1, window_));
+  }
+  relatives_.resize(last_period_);
+  for (int64_t t = 1; t < last_period_; ++t) {
+    relatives_[t] = market::PriceRelativesWithCash(dataset.panel, t);
+  }
+  optimizer_ = std::make_unique<nn::Adam>(
+      policy_->Parameters(), config_.learning_rate, 0.9f, 0.999f, 1e-8f,
+      config_.weight_decay);
+}
+
+Tensor PolicyGradientTrainer::BatchWindows(int64_t t0) const {
+  const int64_t batch = config_.batch_size;
+  Tensor out({batch, num_assets_, window_, market::kNumPriceFields});
+  float* po = out.MutableData();
+  const int64_t per_window =
+      num_assets_ * window_ * market::kNumPriceFields;
+  for (int64_t b = 0; b < batch; ++b) {
+    const Tensor& w = windows_[t0 - first_period_ + b];
+    const float* pw = w.Data();
+    for (int64_t i = 0; i < per_window; ++i) po[b * per_window + i] = pw[i];
+  }
+  return out;
+}
+
+double PolicyGradientTrainer::TrainStep() {
+  const int64_t batch = config_.batch_size;
+  const int64_t min_start = first_period_;
+  const int64_t max_start = last_period_ - batch;  // Inclusive.
+  PPN_CHECK_GE(max_start, min_start);
+
+  // Sample the batch start, optionally geometrically biased toward the end
+  // of the training range (EIIE's online stochastic batch scheme).
+  int64_t t0;
+  if (config_.geometric_p > 0.0) {
+    const double u = rng_.Uniform();
+    const int64_t offset = static_cast<int64_t>(
+        std::log(u > 1e-12 ? u : 1e-12) / std::log1p(-config_.geometric_p));
+    t0 = max_start - std::min(offset, max_start - min_start);
+  } else {
+    t0 = min_start + rng_.UniformInt(max_start - min_start + 1);
+  }
+
+  // Assemble batch inputs.
+  Tensor windows = BatchWindows(t0);
+  Tensor prev_actions({batch, num_assets_});
+  RewardInputs inputs;
+  inputs.relatives = Tensor({batch, num_assets_ + 1});
+  inputs.prev_hat = Tensor({batch, num_assets_ + 1});
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t t = t0 + b;
+    const std::vector<double>& previous = pvm_.Get(t - 1);
+    for (int64_t i = 0; i < num_assets_; ++i) {
+      prev_actions.MutableData()[b * num_assets_ + i] =
+          static_cast<float>(previous[i + 1]);
+    }
+    const std::vector<double>& x_t = relatives_[t];
+    // Drift the PVM action through the previous period's relative.
+    std::vector<double> prev_hat = previous;
+    if (t >= 2) {
+      prev_hat = backtest::DriftPortfolio(previous, relatives_[t - 1]);
+    }
+    for (int64_t i = 0; i <= num_assets_; ++i) {
+      inputs.relatives.MutableData()[b * (num_assets_ + 1) + i] =
+          static_cast<float>(x_t[i]);
+      inputs.prev_hat.MutableData()[b * (num_assets_ + 1) + i] =
+          static_cast<float>(prev_hat[i]);
+    }
+  }
+
+  // Forward + reward + backward + step.
+  policy_->SetTraining(true);
+  policy_->ZeroGrad();
+  ag::Var actions = policy_->Forward(ag::Constant(windows),
+                                     ag::Constant(prev_actions));
+  RewardBreakdown breakdown;
+  ag::Var reward = CostSensitiveReward(actions, inputs, config_.reward,
+                                       &breakdown);
+  ag::Var loss = ag::Neg(reward);
+  ag::Backward(loss);
+  optimizer_->ClipGradNorm(config_.grad_clip);
+  optimizer_->Step();
+
+  // Refresh the portfolio vector memory with the new actions.
+  for (int64_t b = 0; b < batch; ++b) {
+    std::vector<double> action(num_assets_ + 1);
+    for (int64_t i = 0; i <= num_assets_; ++i) {
+      action[i] = actions->value()[b * (num_assets_ + 1) + i];
+    }
+    pvm_.Set(t0 + b, std::move(action));
+  }
+  return breakdown.total;
+}
+
+double PolicyGradientTrainer::Train() {
+  const int64_t tail_start = config_.steps - std::max<int64_t>(
+      config_.steps / 10, 1);
+  double tail_sum = 0.0;
+  int64_t tail_count = 0;
+  for (int64_t step = 0; step < config_.steps; ++step) {
+    const double reward = TrainStep();
+    if (step >= tail_start) {
+      tail_sum += reward;
+      ++tail_count;
+    }
+  }
+  return tail_count > 0 ? tail_sum / tail_count : 0.0;
+}
+
+}  // namespace ppn::core

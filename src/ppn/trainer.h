@@ -1,0 +1,83 @@
+#ifndef PPN_PPN_TRAINER_H_
+#define PPN_PPN_TRAINER_H_
+
+#include <memory>
+#include <vector>
+
+#include "market/dataset.h"
+#include "nn/optimizer.h"
+#include "ppn/policy_module.h"
+#include "ppn/pvm.h"
+#include "ppn/reward.h"
+
+/// \file
+/// Direct policy gradient training (paper Section 5.1 + Remark 3): the
+/// reward of portfolio selection is immediate and differentiable in the
+/// actions, so the policy is trained by gradient ascent on the
+/// cost-sensitive reward over randomly sampled contiguous batches, with a
+/// portfolio vector memory supplying the recursive a_{t-1} inputs.
+
+namespace ppn::core {
+
+/// Trainer hyperparameters (defaults follow the paper where stated).
+struct TrainerConfig {
+  int64_t batch_size = 32;     ///< T: periods per sampled batch.
+  int64_t steps = 800;         ///< Gradient steps.
+  float learning_rate = 1e-3f; ///< Adam learning rate (paper: 0.001).
+  float weight_decay = 0.0f;   ///< Decoupled L2 decay (AdamW style).
+  double grad_clip = 5.0;      ///< Global-norm gradient clip.
+  /// Geometric bias toward recent batch starts (0 = uniform sampling;
+  /// p > 0 samples start t0 with weight (1-p)^(latest - t0), as in EIIE).
+  double geometric_p = 0.0;
+  RewardConfig reward;
+  uint64_t seed = 1;
+};
+
+/// Trains a policy on a dataset's training range by direct policy gradient.
+class PolicyGradientTrainer {
+ public:
+  /// `policy` must outlive the trainer. Windows and relatives for the whole
+  /// training range are precomputed here.
+  PolicyGradientTrainer(PolicyModule* policy,
+                        const market::MarketDataset& dataset,
+                        TrainerConfig config);
+
+  /// Runs one gradient step on a sampled batch; returns the reward value.
+  double TrainStep();
+
+  /// Runs `config.steps` steps; returns the mean reward of the last 10% of
+  /// steps (a convergence indicator).
+  double Train();
+
+  /// Portfolio vector memory (exposed for tests).
+  const PortfolioVectorMemory& pvm() const { return pvm_; }
+
+  /// First decision period of the training range (k).
+  int64_t first_period() const { return first_period_; }
+
+  /// One past the last training decision period.
+  int64_t last_period() const { return last_period_; }
+
+ private:
+  /// Builds the [T, m, k, 4] window tensor for decisions t0 .. t0+T-1.
+  Tensor BatchWindows(int64_t t0) const;
+
+  PolicyModule* policy_;
+  TrainerConfig config_;
+  int64_t num_assets_;
+  int64_t window_;
+  int64_t first_period_;
+  int64_t last_period_;
+  PortfolioVectorMemory pvm_;
+  Rng rng_;
+  std::unique_ptr<nn::Adam> optimizer_;
+  /// windows_[t - first_period_] is the normalized window for a decision at
+  /// period t (data through t-1).
+  std::vector<Tensor> windows_;
+  /// relatives_[t] is x_t with cash (defined for t >= 1).
+  std::vector<std::vector<double>> relatives_;
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_TRAINER_H_

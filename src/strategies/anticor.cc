@@ -1,0 +1,110 @@
+#include "strategies/anticor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::strategies {
+
+AnticorStrategy::AnticorStrategy(int window) : window_(window) {
+  PPN_CHECK_GE(window, 2);
+}
+
+void AnticorStrategy::Reset(const market::OhlcPanel& panel,
+                            int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+  folded_through_ = 0;
+}
+
+std::vector<double> AnticorStrategy::Decide(
+    const market::OhlcPanel& panel, int64_t period,
+    const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  const int64_t m = num_assets();
+  const int w = window_;
+
+  // Process each newly available period; an update fires whenever two full
+  // consecutive windows of log relatives are available.
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    const int64_t t = folded_through_ + 1;  // Period index of history entry.
+    if (t < 2 * w) continue;
+    // Window 1: periods (t-2w, t-w]; window 2: (t-w, t].
+    // history[s-1] is x_s, so window 2 rows are history[t-w .. t-1].
+    std::vector<std::vector<double>> y1(w, std::vector<double>(m));
+    std::vector<std::vector<double>> y2(w, std::vector<double>(m));
+    for (int r = 0; r < w; ++r) {
+      for (int64_t a = 0; a < m; ++a) {
+        y1[r][a] = std::log(history[t - 2 * w + r][a]);
+        y2[r][a] = std::log(history[t - w + r][a]);
+      }
+    }
+    std::vector<double> mu1(m, 0.0);
+    std::vector<double> mu2(m, 0.0);
+    std::vector<double> sigma1(m, 0.0);
+    std::vector<double> sigma2(m, 0.0);
+    for (int64_t a = 0; a < m; ++a) {
+      for (int r = 0; r < w; ++r) {
+        mu1[a] += y1[r][a];
+        mu2[a] += y2[r][a];
+      }
+      mu1[a] /= w;
+      mu2[a] /= w;
+      for (int r = 0; r < w; ++r) {
+        sigma1[a] += (y1[r][a] - mu1[a]) * (y1[r][a] - mu1[a]);
+        sigma2[a] += (y2[r][a] - mu2[a]) * (y2[r][a] - mu2[a]);
+      }
+      sigma1[a] = std::sqrt(sigma1[a] / (w - 1));
+      sigma2[a] = std::sqrt(sigma2[a] / (w - 1));
+    }
+    // Cross-correlation between asset i in window 1 and asset j in window 2.
+    auto correlation = [&](int64_t i, int64_t j) {
+      if (sigma1[i] <= 1e-12 || sigma2[j] <= 1e-12) return 0.0;
+      double covariance = 0.0;
+      for (int r = 0; r < w; ++r) {
+        covariance += (y1[r][i] - mu1[i]) * (y2[r][j] - mu2[j]);
+      }
+      covariance /= (w - 1);
+      return covariance / (sigma1[i] * sigma2[j]);
+    };
+    // Claims: move weight i -> j when asset i outperformed j in window 2
+    // and their cross-correlation is positive.
+    std::vector<std::vector<double>> claim(m, std::vector<double>(m, 0.0));
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        if (i == j || mu2[i] <= mu2[j]) continue;
+        const double m_cor = correlation(i, j);
+        if (m_cor <= 0.0) continue;
+        double c = m_cor;
+        const double self_i = correlation(i, i);
+        const double self_j = correlation(j, j);
+        if (self_i < 0.0) c -= self_i;
+        if (self_j < 0.0) c -= self_j;
+        claim[i][j] = c;
+      }
+    }
+    for (int64_t i = 0; i < m; ++i) {
+      double claim_sum = 0.0;
+      for (int64_t j = 0; j < m; ++j) claim_sum += claim[i][j];
+      if (claim_sum <= 0.0) continue;
+      for (int64_t j = 0; j < m; ++j) {
+        claim[i][j] = weights_[i] * claim[i][j] / claim_sum;
+      }
+    }
+    std::vector<double> next = weights_;
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < m; ++j) {
+        next[i] -= claim[i][j];
+        next[j] += claim[i][j];
+      }
+    }
+    weights_ = ProjectToSimplex(next);
+  }
+  return WithCash(weights_);
+}
+
+}  // namespace ppn::strategies

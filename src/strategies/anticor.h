@@ -1,0 +1,33 @@
+#ifndef PPN_STRATEGIES_ANTICOR_H_
+#define PPN_STRATEGIES_ANTICOR_H_
+
+#include "strategies/common.h"
+
+/// \file
+/// Anticor (Borodin, El-Yaniv & Gogan 2004): exploits anti-correlation by
+/// transferring wealth from recent winners to assets whose returns lag the
+/// winners' with positive cross-correlation.
+
+namespace ppn::strategies {
+
+/// Anticor with a single window size w: compares the log-relative matrices
+/// of two consecutive windows of length w and moves weight along positive
+/// cross-correlations from outperforming to underperforming assets.
+class AnticorStrategy : public RelativeTrackingStrategy {
+ public:
+  explicit AnticorStrategy(int window = 5);
+
+  std::string name() const override { return "Anticor"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int window_;
+  std::vector<double> weights_;
+  int64_t folded_through_ = 0;
+};
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_ANTICOR_H_

@@ -1,0 +1,92 @@
+#include "strategies/common.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::strategies {
+
+void RelativeTrackingStrategy::Reset(const market::OhlcPanel& panel,
+                                     int64_t first_period) {
+  (void)first_period;
+  history_.clear();
+  next_period_ = 1;
+  num_assets_ = panel.num_assets();
+}
+
+const std::vector<std::vector<double>>& RelativeTrackingStrategy::HistoryUpTo(
+    const market::OhlcPanel& panel, int64_t t) {
+  PPN_CHECK_GE(t, 1);
+  for (; next_period_ < t; ++next_period_) {
+    history_.push_back(market::PriceRelatives(panel, next_period_));
+  }
+  return history_;
+}
+
+std::vector<double> UniformRiskPortfolio(int64_t num_assets) {
+  PPN_CHECK_GT(num_assets, 0);
+  std::vector<double> portfolio(num_assets + 1, 0.0);
+  for (int64_t i = 1; i <= num_assets; ++i) {
+    portfolio[i] = 1.0 / static_cast<double>(num_assets);
+  }
+  return portfolio;
+}
+
+std::vector<double> WithCash(const std::vector<double>& risk_weights) {
+  PPN_CHECK(!risk_weights.empty());
+  std::vector<double> portfolio(risk_weights.size() + 1, 0.0);
+  double total = 0.0;
+  for (size_t i = 0; i < risk_weights.size(); ++i) {
+    const double w = risk_weights[i] > 0.0 ? risk_weights[i] : 0.0;
+    portfolio[i + 1] = w;
+    total += w;
+  }
+  if (total <= 0.0) {
+    return UniformRiskPortfolio(static_cast<int64_t>(risk_weights.size()));
+  }
+  for (size_t i = 1; i < portfolio.size(); ++i) portfolio[i] /= total;
+  return portfolio;
+}
+
+std::vector<double> L1Median(const std::vector<std::vector<double>>& points,
+                             int max_iterations, double tolerance) {
+  PPN_CHECK(!points.empty());
+  const size_t dim = points[0].size();
+  std::vector<double> median(dim, 0.0);
+  for (const auto& point : points) {
+    PPN_CHECK_EQ(point.size(), dim);
+    for (size_t d = 0; d < dim; ++d) median[d] += point[d];
+  }
+  for (double& v : median) v /= static_cast<double>(points.size());
+
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    std::vector<double> next(dim, 0.0);
+    double weight_sum = 0.0;
+    for (const auto& point : points) {
+      double distance_sq = 0.0;
+      for (size_t d = 0; d < dim; ++d) {
+        const double delta = point[d] - median[d];
+        distance_sq += delta * delta;
+      }
+      const double distance = std::sqrt(distance_sq);
+      if (distance < 1e-12) {
+        // Median coincides with a data point; Weiszfeld is stationary here.
+        return median;
+      }
+      const double weight = 1.0 / distance;
+      weight_sum += weight;
+      for (size_t d = 0; d < dim; ++d) next[d] += weight * point[d];
+    }
+    double shift = 0.0;
+    for (size_t d = 0; d < dim; ++d) {
+      next[d] /= weight_sum;
+      shift += std::fabs(next[d] - median[d]);
+    }
+    median = std::move(next);
+    if (shift < tolerance) break;
+  }
+  return median;
+}
+
+}  // namespace ppn::strategies

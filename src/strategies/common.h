@@ -1,0 +1,54 @@
+#ifndef PPN_STRATEGIES_COMMON_H_
+#define PPN_STRATEGIES_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "backtest/strategy.h"
+
+/// \file
+/// Shared machinery for the classic online-portfolio-selection baselines:
+/// lazy price-relative tracking (no lookahead), portfolio helpers, and the
+/// L1-median used by RMR.
+
+namespace ppn::strategies {
+
+/// Base class that incrementally materializes the history of risk-asset
+/// price relatives x_1 .. x_{t-1} as decisions are requested, guaranteeing
+/// by construction that a strategy never reads period >= t.
+class RelativeTrackingStrategy : public backtest::Strategy {
+ public:
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+
+ protected:
+  /// Ensures relatives for periods 1..t-1 are cached and returns the cache;
+  /// entry [s-1] holds x_s (risk assets only, size m).
+  const std::vector<std::vector<double>>& HistoryUpTo(
+      const market::OhlcPanel& panel, int64_t t);
+
+  /// Number of risk assets (valid after Reset).
+  int64_t num_assets() const { return num_assets_; }
+
+ private:
+  std::vector<std::vector<double>> history_;
+  int64_t next_period_ = 1;
+  int64_t num_assets_ = 0;
+};
+
+/// Uniform portfolio over the m risk assets, expressed in the (m+1)-dim
+/// cash-first layout (cash weight 0).
+std::vector<double> UniformRiskPortfolio(int64_t num_assets);
+
+/// Wraps an m-dim risk-asset weight vector into the (m+1)-dim cash-first
+/// layout. Negative entries are clipped and the result renormalized; if all
+/// mass is clipped the uniform risk portfolio is returned.
+std::vector<double> WithCash(const std::vector<double>& risk_weights);
+
+/// Geometric L1-median (Weiszfeld algorithm) of a set of equally sized
+/// points; used by Robust Median Reversion.
+std::vector<double> L1Median(const std::vector<std::vector<double>>& points,
+                             int max_iterations = 200, double tolerance = 1e-9);
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_COMMON_H_

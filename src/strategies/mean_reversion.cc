@@ -1,0 +1,313 @@
+#include "strategies/mean_reversion.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::strategies {
+
+namespace {
+
+// Passive-aggressive step: move `weights` by tau * (signal - mean(signal))
+// and project back onto the simplex.
+std::vector<double> PassiveAggressiveStep(const std::vector<double>& weights,
+                                          const std::vector<double>& signal,
+                                          double tau) {
+  const size_t m = weights.size();
+  const double signal_mean = Mean(signal);
+  std::vector<double> next(m);
+  for (size_t i = 0; i < m; ++i) {
+    next[i] = weights[i] + tau * (signal[i] - signal_mean);
+  }
+  return ProjectToSimplex(next);
+}
+
+// Squared norm of the mean-centered signal (the PA step denominator).
+double CenteredSquaredNorm(const std::vector<double>& signal) {
+  const double signal_mean = Mean(signal);
+  double total = 0.0;
+  for (const double s : signal) total += (s - signal_mean) * (s - signal_mean);
+  return total;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- PAMR ----
+
+PamrStrategy::PamrStrategy(double epsilon) : epsilon_(epsilon) {
+  PPN_CHECK_GE(epsilon, 0.0);
+}
+
+void PamrStrategy::Reset(const market::OhlcPanel& panel,
+                         int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+  folded_through_ = 0;
+}
+
+std::vector<double> PamrStrategy::Decide(const market::OhlcPanel& panel,
+                                         int64_t period,
+                                         const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    const auto& x = history[folded_through_];
+    const double loss = std::max(0.0, Dot(weights_, x) - epsilon_);
+    if (loss > 0.0) {
+      const double denominator = CenteredSquaredNorm(x);
+      if (denominator > 1e-12) {
+        const double tau = loss / denominator;
+        weights_ = PassiveAggressiveStep(weights_, x, -tau);
+      }
+    }
+  }
+  return WithCash(weights_);
+}
+
+// -------------------------------------------------------------- CWMR ----
+
+CwmrStrategy::CwmrStrategy(double epsilon, double phi)
+    : epsilon_(epsilon), phi_(phi) {
+  PPN_CHECK_GE(phi, 0.0);
+}
+
+void CwmrStrategy::Reset(const market::OhlcPanel& panel,
+                         int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  const int64_t m = panel.num_assets();
+  mu_.assign(m, 1.0 / static_cast<double>(m));
+  sigma_.assign(m, std::vector<double>(m, 0.0));
+  for (int64_t i = 0; i < m; ++i) {
+    sigma_[i][i] = 1.0 / static_cast<double>(m * m);
+  }
+  folded_through_ = 0;
+}
+
+void CwmrStrategy::Update(const std::vector<double>& x) {
+  const size_t m = mu_.size();
+  // Current confidence bound: want μᵀx + φ sqrt(xᵀΣx) <= ε.
+  std::vector<double> sigma_x(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) sigma_x[i] += sigma_[i][j] * x[j];
+  }
+  const double v = Dot(x, sigma_x);  // xᵀΣx.
+  const double mean_return = Dot(mu_, x);
+  if (mean_return + phi_ * std::sqrt(std::max(v, 0.0)) <= epsilon_) {
+    return;  // Constraint already satisfied: passive.
+  }
+  // Mean-reversion update family, parameterized by λ >= 0:
+  //   μ(λ)  = μ - λ Σ (x - x̄ 1)      (x̄ keeps μ on the simplex hyperplane)
+  //   Σ(λ)⁻¹ = Σ⁻¹ + 2 λ φ x xᵀ  →  Σ(λ) = Σ - (2λφ / (1 + 2λφ v)) Σx xᵀΣ.
+  // Find the smallest λ activating the constraint by bisection.
+  double ones_sigma_ones = 0.0;
+  double ones_sigma_x = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    ones_sigma_x += sigma_x[i];
+    for (size_t j = 0; j < m; ++j) ones_sigma_ones += sigma_[i][j];
+  }
+  const double x_bar =
+      ones_sigma_ones > 1e-18 ? ones_sigma_x / ones_sigma_ones : Mean(x);
+
+  auto constraint_value = [&](double lambda) {
+    // μ(λ)ᵀx.
+    double mu_term = mean_return;
+    for (size_t i = 0; i < m; ++i) {
+      // (Σ(x - x̄1))_i = sigma_x[i] - x̄ * (Σ1)_i.
+      double sigma_ones_i = 0.0;
+      for (size_t j = 0; j < m; ++j) sigma_ones_i += sigma_[i][j];
+      mu_term -= lambda * (sigma_x[i] - x_bar * sigma_ones_i) * x[i];
+    }
+    const double shrink = 1.0 + 2.0 * lambda * phi_ * v;
+    const double v_new = v / shrink;
+    return mu_term + phi_ * std::sqrt(std::max(v_new, 0.0)) - epsilon_;
+  };
+
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int expand = 0; expand < 60 && constraint_value(hi) > 0.0; ++expand) {
+    hi *= 2.0;
+  }
+  for (int iteration = 0; iteration < 80; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (constraint_value(mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const double lambda = hi;
+
+  // Apply the update at λ.
+  std::vector<double> sigma_ones(m, 0.0);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) sigma_ones[i] += sigma_[i][j];
+  }
+  for (size_t i = 0; i < m; ++i) {
+    mu_[i] -= lambda * (sigma_x[i] - x_bar * sigma_ones[i]);
+  }
+  const double factor = 2.0 * lambda * phi_ / (1.0 + 2.0 * lambda * phi_ * v);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < m; ++j) {
+      sigma_[i][j] -= factor * sigma_x[i] * sigma_x[j];
+    }
+  }
+  mu_ = ProjectToSimplex(mu_);
+}
+
+std::vector<double> CwmrStrategy::Decide(const market::OhlcPanel& panel,
+                                         int64_t period,
+                                         const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    Update(history[folded_through_]);
+  }
+  return WithCash(mu_);
+}
+
+// ------------------------------------------------------------- OLMAR ----
+
+OlmarStrategy::OlmarStrategy(int window, double epsilon)
+    : window_(window), epsilon_(epsilon) {
+  PPN_CHECK_GE(window, 2);
+  PPN_CHECK_GE(epsilon, 1.0);
+}
+
+void OlmarStrategy::Reset(const market::OhlcPanel& panel,
+                          int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+}
+
+std::vector<double> OlmarStrategy::Decide(const market::OhlcPanel& panel,
+                                          int64_t period,
+                                          const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  HistoryUpTo(panel, period);  // Keeps the no-lookahead contract explicit.
+  const int64_t m = num_assets();
+  const int64_t latest = period - 1;  // Last observable period.
+  if (latest >= window_) {
+    // Predicted relative: MA(window) of close prices divided by the latest
+    // close.
+    std::vector<double> predicted(m);
+    for (int64_t a = 0; a < m; ++a) {
+      double moving_average = 0.0;
+      for (int w = 0; w < window_; ++w) {
+        moving_average += panel.Close(latest - w, a);
+      }
+      moving_average /= window_;
+      predicted[a] = moving_average / panel.Close(latest, a);
+    }
+    const double loss = std::max(0.0, epsilon_ - Dot(weights_, predicted));
+    if (loss > 0.0) {
+      const double denominator = CenteredSquaredNorm(predicted);
+      if (denominator > 1e-12) {
+        weights_ = PassiveAggressiveStep(weights_, predicted,
+                                         loss / denominator);
+      }
+    }
+  }
+  return WithCash(weights_);
+}
+
+// --------------------------------------------------------------- RMR ----
+
+RmrStrategy::RmrStrategy(int window, double epsilon)
+    : window_(window), epsilon_(epsilon) {
+  PPN_CHECK_GE(window, 2);
+  PPN_CHECK_GE(epsilon, 1.0);
+}
+
+void RmrStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+}
+
+std::vector<double> RmrStrategy::Decide(const market::OhlcPanel& panel,
+                                        int64_t period,
+                                        const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  HistoryUpTo(panel, period);
+  const int64_t m = num_assets();
+  const int64_t latest = period - 1;
+  if (latest >= window_) {
+    std::vector<std::vector<double>> recent_prices;
+    recent_prices.reserve(window_);
+    for (int w = window_ - 1; w >= 0; --w) {
+      std::vector<double> prices(m);
+      for (int64_t a = 0; a < m; ++a) prices[a] = panel.Close(latest - w, a);
+      recent_prices.push_back(std::move(prices));
+    }
+    const std::vector<double> median = L1Median(recent_prices);
+    std::vector<double> predicted(m);
+    for (int64_t a = 0; a < m; ++a) {
+      predicted[a] = median[a] / panel.Close(latest, a);
+    }
+    const double loss = std::max(0.0, epsilon_ - Dot(weights_, predicted));
+    if (loss > 0.0) {
+      const double denominator = CenteredSquaredNorm(predicted);
+      if (denominator > 1e-12) {
+        weights_ = PassiveAggressiveStep(weights_, predicted,
+                                         loss / denominator);
+      }
+    }
+  }
+  return WithCash(weights_);
+}
+
+// ------------------------------------------------------------- WMAMR ----
+
+WmamrStrategy::WmamrStrategy(int window, double epsilon)
+    : window_(window), epsilon_(epsilon) {
+  PPN_CHECK_GE(window, 1);
+  PPN_CHECK_GE(epsilon, 0.0);
+}
+
+void WmamrStrategy::Reset(const market::OhlcPanel& panel,
+                          int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+  folded_through_ = 0;
+}
+
+std::vector<double> WmamrStrategy::Decide(const market::OhlcPanel& panel,
+                                          int64_t period,
+                                          const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  const int64_t m = num_assets();
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    const int64_t upto = folded_through_;  // History index of the newest x.
+    if (upto + 1 < window_) continue;
+    // Linearly weighted moving average of the last `window_` relatives
+    // (most recent weighted highest).
+    std::vector<double> smoothed(m, 0.0);
+    double weight_total = 0.0;
+    for (int w = 0; w < window_; ++w) {
+      const double weight = window_ - w;
+      weight_total += weight;
+      const auto& x = history[upto - w];
+      for (int64_t a = 0; a < m; ++a) smoothed[a] += weight * x[a];
+    }
+    for (double& s : smoothed) s /= weight_total;
+    const double loss = std::max(0.0, Dot(weights_, smoothed) - epsilon_);
+    if (loss > 0.0) {
+      const double denominator = CenteredSquaredNorm(smoothed);
+      if (denominator > 1e-12) {
+        weights_ = PassiveAggressiveStep(weights_, smoothed,
+                                         -loss / denominator);
+      }
+    }
+  }
+  return WithCash(weights_);
+}
+
+}  // namespace ppn::strategies

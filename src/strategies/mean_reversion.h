@@ -1,0 +1,109 @@
+#ifndef PPN_STRATEGIES_MEAN_REVERSION_H_
+#define PPN_STRATEGIES_MEAN_REVERSION_H_
+
+#include "strategies/common.h"
+
+/// \file
+/// Mean-reversion baselines: PAMR, CWMR, OLMAR, RMR and WMAMR. All maintain
+/// a risk-asset portfolio updated from the latest price relatives under the
+/// assumption that prices revert.
+
+namespace ppn::strategies {
+
+/// PAMR (Li et al. 2012): passive-aggressive update against the last
+/// relative; shifts weight toward losers when the portfolio return exceeds
+/// the sensitivity threshold ε.
+class PamrStrategy : public RelativeTrackingStrategy {
+ public:
+  explicit PamrStrategy(double epsilon = 0.5);
+
+  std::string name() const override { return "PAMR"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  double epsilon_;
+  std::vector<double> weights_;
+  int64_t folded_through_ = 0;
+};
+
+/// CWMR (Li et al. 2011, deterministic/variance variant): maintains a
+/// Gaussian belief (μ, Σ) over portfolios and enforces
+/// μᵀx + φ·sqrt(xᵀΣx) <= ε after each observation, tightening λ by
+/// bisection on the KKT condition.
+class CwmrStrategy : public RelativeTrackingStrategy {
+ public:
+  CwmrStrategy(double epsilon = 0.5, double phi = 2.0);
+
+  std::string name() const override { return "CWMR"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  void Update(const std::vector<double>& x);
+
+  double epsilon_;
+  double phi_;
+  std::vector<double> mu_;
+  std::vector<std::vector<double>> sigma_;
+  int64_t folded_through_ = 0;
+};
+
+/// OLMAR (Li & Hoi 2012): predicts next relatives from a moving average of
+/// prices and takes a passive-aggressive step toward portfolios whose
+/// predicted return is at least ε.
+class OlmarStrategy : public RelativeTrackingStrategy {
+ public:
+  OlmarStrategy(int window = 5, double epsilon = 10.0);
+
+  std::string name() const override { return "OLMAR"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int window_;
+  double epsilon_;
+  std::vector<double> weights_;
+};
+
+/// RMR (Huang et al. 2013): OLMAR with the moving average replaced by the
+/// outlier-robust L1-median of recent prices.
+class RmrStrategy : public RelativeTrackingStrategy {
+ public:
+  RmrStrategy(int window = 5, double epsilon = 5.0);
+
+  std::string name() const override { return "RMR"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int window_;
+  double epsilon_;
+  std::vector<double> weights_;
+};
+
+/// WMAMR (Gao & Zhang 2013): PAMR driven by a weighted moving average of
+/// the recent price relatives instead of only the latest one.
+class WmamrStrategy : public RelativeTrackingStrategy {
+ public:
+  WmamrStrategy(int window = 5, double epsilon = 0.5);
+
+  std::string name() const override { return "WMAMR"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int window_;
+  double epsilon_;
+  std::vector<double> weights_;
+  int64_t folded_through_ = 0;
+};
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_MEAN_REVERSION_H_

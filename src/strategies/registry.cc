@@ -1,0 +1,34 @@
+#include "strategies/registry.h"
+
+#include "common/check.h"
+#include "strategies/anticor.h"
+#include "strategies/mean_reversion.h"
+#include "strategies/simple.h"
+#include "strategies/universal.h"
+
+namespace ppn::strategies {
+
+std::vector<std::string> ClassicBaselineNames() {
+  return {"UBAH", "Best", "CRP",  "UP",   "EG",    "Anticor",
+          "ONS",  "CWMR", "PAMR", "OLMAR", "RMR",  "WMAMR"};
+}
+
+std::unique_ptr<backtest::Strategy> MakeClassicBaseline(
+    const std::string& name) {
+  if (name == "UBAH") return std::make_unique<UbahStrategy>();
+  if (name == "Best") return std::make_unique<BestStrategy>();
+  if (name == "CRP") return std::make_unique<CrpStrategy>();
+  if (name == "UP") return std::make_unique<UpStrategy>();
+  if (name == "EG") return std::make_unique<EgStrategy>();
+  if (name == "Anticor") return std::make_unique<AnticorStrategy>();
+  if (name == "ONS") return std::make_unique<OnsStrategy>();
+  if (name == "CWMR") return std::make_unique<CwmrStrategy>();
+  if (name == "PAMR") return std::make_unique<PamrStrategy>();
+  if (name == "OLMAR") return std::make_unique<OlmarStrategy>();
+  if (name == "RMR") return std::make_unique<RmrStrategy>();
+  if (name == "WMAMR") return std::make_unique<WmamrStrategy>();
+  PPN_CHECK(false) << "unknown baseline: " << name;
+  return nullptr;
+}
+
+}  // namespace ppn::strategies

@@ -1,0 +1,26 @@
+#ifndef PPN_STRATEGIES_REGISTRY_H_
+#define PPN_STRATEGIES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backtest/strategy.h"
+
+/// \file
+/// Factory for the classic baselines compared in the paper's Tables 3 and 8.
+
+namespace ppn::strategies {
+
+/// Names of the twelve classic baselines in the paper's table order:
+/// UBAH, Best, CRP, UP, EG, Anticor, ONS, CWMR, PAMR, OLMAR, RMR, WMAMR.
+std::vector<std::string> ClassicBaselineNames();
+
+/// Creates a baseline by name (one of `ClassicBaselineNames`); checks the
+/// name is known.
+std::unique_ptr<backtest::Strategy> MakeClassicBaseline(
+    const std::string& name);
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_REGISTRY_H_

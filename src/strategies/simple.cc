@@ -1,0 +1,68 @@
+#include "strategies/simple.h"
+
+#include "common/check.h"
+
+namespace ppn::strategies {
+
+void UbahStrategy::Reset(const market::OhlcPanel& panel,
+                         int64_t first_period) {
+  (void)first_period;
+  first_decision_ = true;
+  num_assets_ = panel.num_assets();
+}
+
+std::vector<double> UbahStrategy::Decide(const market::OhlcPanel& panel,
+                                         int64_t period,
+                                         const std::vector<double>& prev_hat) {
+  (void)panel;
+  (void)period;
+  if (first_decision_) {
+    first_decision_ = false;
+    return UniformRiskPortfolio(num_assets_);
+  }
+  return prev_hat;  // Hold: no rebalancing, ever.
+}
+
+void BestStrategy::Reset(const market::OhlcPanel& panel,
+                         int64_t first_period) {
+  first_decision_ = true;
+  num_assets_ = panel.num_assets();
+  PPN_CHECK_GE(first_period, 1);
+  // Hindsight scan over the evaluated range (oracle by definition).
+  best_asset_ = 0;
+  double best_return = -1.0;
+  for (int64_t a = 0; a < num_assets_; ++a) {
+    const double start = panel.Close(first_period - 1, a);
+    const double end = panel.Close(panel.num_periods() - 1, a);
+    PPN_CHECK_GT(start, 0.0);
+    const double total_return = end / start;
+    if (total_return > best_return) {
+      best_return = total_return;
+      best_asset_ = a;
+    }
+  }
+}
+
+std::vector<double> BestStrategy::Decide(const market::OhlcPanel& panel,
+                                         int64_t period,
+                                         const std::vector<double>& prev_hat) {
+  (void)panel;
+  (void)period;
+  if (first_decision_) {
+    first_decision_ = false;
+    std::vector<double> portfolio(num_assets_ + 1, 0.0);
+    portfolio[best_asset_ + 1] = 1.0;
+    return portfolio;
+  }
+  return prev_hat;  // Buy and hold the hindsight winner.
+}
+
+std::vector<double> CrpStrategy::Decide(const market::OhlcPanel& panel,
+                                        int64_t period,
+                                        const std::vector<double>& prev_hat) {
+  (void)period;
+  (void)prev_hat;
+  return UniformRiskPortfolio(panel.num_assets());
+}
+
+}  // namespace ppn::strategies

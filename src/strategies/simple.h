@@ -1,0 +1,54 @@
+#ifndef PPN_STRATEGIES_SIMPLE_H_
+#define PPN_STRATEGIES_SIMPLE_H_
+
+#include "strategies/common.h"
+
+/// \file
+/// Benchmark strategies that need no learning: uniform buy-and-hold, the
+/// best single asset in hindsight, and the uniform constant-rebalanced
+/// portfolio.
+
+namespace ppn::strategies {
+
+/// UBAH: buys the uniform risk portfolio once and never trades again (the
+/// chosen portfolio is always the drifted previous one).
+class UbahStrategy : public backtest::Strategy {
+ public:
+  std::string name() const override { return "UBAH"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  bool first_decision_ = true;
+  int64_t num_assets_ = 0;
+};
+
+/// Best: all-in on the single asset with the highest cumulative return over
+/// the evaluated range. This is a HINDSIGHT ORACLE — it reads future prices
+/// at Reset time by design (the paper's "best strategy in hindsight").
+class BestStrategy : public backtest::Strategy {
+ public:
+  std::string name() const override { return "Best"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int64_t best_asset_ = 0;  // Risk-asset index.
+  bool first_decision_ = true;
+  int64_t num_assets_ = 0;
+};
+
+/// CRP: rebalances to the uniform risk portfolio every period
+/// (Cover's 1/m constant-rebalanced portfolio).
+class CrpStrategy : public backtest::Strategy {
+ public:
+  std::string name() const override { return "CRP"; }
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+};
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_SIMPLE_H_

@@ -1,0 +1,173 @@
+#include "strategies/universal.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_utils.h"
+
+namespace ppn::strategies {
+
+// ---------------------------------------------------------------- UP ----
+
+UpStrategy::UpStrategy(int num_samples, uint64_t seed)
+    : num_samples_(num_samples), seed_(seed) {
+  PPN_CHECK_GT(num_samples, 0);
+}
+
+void UpStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  Rng rng(seed_);
+  samples_.assign(num_samples_, {});
+  for (auto& sample : samples_) {
+    sample = rng.Dirichlet(static_cast<int>(num_assets()), 1.0);
+  }
+  sample_wealth_.assign(num_samples_, 1.0);
+  wealth_updated_through_ = 0;
+}
+
+std::vector<double> UpStrategy::Decide(const market::OhlcPanel& panel,
+                                       int64_t period,
+                                       const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  // Fold newly observed relatives into each sample's running wealth.
+  for (; wealth_updated_through_ < static_cast<int64_t>(history.size());
+       ++wealth_updated_through_) {
+    const auto& x = history[wealth_updated_through_];
+    for (int s = 0; s < num_samples_; ++s) {
+      sample_wealth_[s] *= Dot(samples_[s], x);
+    }
+  }
+  std::vector<double> weights(num_assets(), 0.0);
+  double total_wealth = 0.0;
+  for (int s = 0; s < num_samples_; ++s) total_wealth += sample_wealth_[s];
+  PPN_CHECK_GT(total_wealth, 0.0);
+  for (int s = 0; s < num_samples_; ++s) {
+    const double w = sample_wealth_[s] / total_wealth;
+    for (int64_t i = 0; i < num_assets(); ++i) {
+      weights[i] += w * samples_[s][i];
+    }
+  }
+  return WithCash(weights);
+}
+
+// ---------------------------------------------------------------- EG ----
+
+EgStrategy::EgStrategy(double learning_rate) : learning_rate_(learning_rate) {
+  PPN_CHECK_GT(learning_rate, 0.0);
+}
+
+void EgStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  weights_.assign(panel.num_assets(),
+                  1.0 / static_cast<double>(panel.num_assets()));
+  folded_through_ = 0;
+}
+
+std::vector<double> EgStrategy::Decide(const market::OhlcPanel& panel,
+                                       int64_t period,
+                                       const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    const auto& x = history[folded_through_];
+    const double portfolio_return = Dot(weights_, x);
+    PPN_CHECK_GT(portfolio_return, 0.0);
+    double total = 0.0;
+    for (int64_t i = 0; i < num_assets(); ++i) {
+      weights_[i] *= std::exp(learning_rate_ * x[i] / portfolio_return);
+      total += weights_[i];
+    }
+    for (double& w : weights_) w /= total;
+  }
+  return WithCash(weights_);
+}
+
+// --------------------------------------------------------------- ONS ----
+
+OnsStrategy::OnsStrategy(double beta, double delta)
+    : beta_(beta), delta_(delta) {
+  PPN_CHECK_GT(beta, 0.0);
+  PPN_CHECK(delta >= 0.0 && delta < 1.0);
+}
+
+void OnsStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
+  RelativeTrackingStrategy::Reset(panel, first_period);
+  const int64_t m = panel.num_assets();
+  weights_.assign(m, 1.0 / static_cast<double>(m));
+  a_matrix_.assign(m, std::vector<double>(m, 0.0));
+  for (int64_t i = 0; i < m; ++i) a_matrix_[i][i] = 1.0;
+  b_vector_.assign(m, 0.0);
+  folded_through_ = 0;
+}
+
+std::vector<double> OnsStrategy::ProjectANorm(
+    const std::vector<double>& y) const {
+  // Projected gradient descent on f(q) = (q - y)ᵀ A (q - y).
+  const int64_t m = num_assets();
+  std::vector<double> q = ProjectToSimplex(y);
+  // Lipschitz step from the largest diagonal entry (A is PSD dominant).
+  double max_diag = 1.0;
+  for (int64_t i = 0; i < m; ++i) max_diag = std::max(max_diag, a_matrix_[i][i]);
+  const double step = 0.5 / max_diag;
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    std::vector<double> gradient(m, 0.0);
+    for (int64_t i = 0; i < m; ++i) {
+      double g = 0.0;
+      for (int64_t j = 0; j < m; ++j) g += a_matrix_[i][j] * (q[j] - y[j]);
+      gradient[i] = 2.0 * g;
+    }
+    std::vector<double> next(m);
+    double shift = 0.0;
+    for (int64_t i = 0; i < m; ++i) next[i] = q[i] - step * gradient[i];
+    next = ProjectToSimplex(next);
+    for (int64_t i = 0; i < m; ++i) shift += std::fabs(next[i] - q[i]);
+    q = std::move(next);
+    if (shift < 1e-10) break;
+  }
+  return q;
+}
+
+std::vector<double> OnsStrategy::Decide(const market::OhlcPanel& panel,
+                                        int64_t period,
+                                        const std::vector<double>& prev_hat) {
+  (void)prev_hat;
+  const auto& history = HistoryUpTo(panel, period);
+  const int64_t m = num_assets();
+  for (; folded_through_ < static_cast<int64_t>(history.size());
+       ++folded_through_) {
+    const auto& x = history[folded_through_];
+    const double portfolio_return = Dot(weights_, x);
+    PPN_CHECK_GT(portfolio_return, 0.0);
+    // Gradient of -log(wᵀx).
+    std::vector<double> gradient(m);
+    for (int64_t i = 0; i < m; ++i) gradient[i] = -x[i] / portfolio_return;
+    for (int64_t i = 0; i < m; ++i) {
+      b_vector_[i] += (1.0 + 1.0 / beta_) * gradient[i];
+      for (int64_t j = 0; j < m; ++j) {
+        a_matrix_[i][j] += gradient[i] * gradient[j];
+      }
+    }
+    // Newton target: y = -(1/β) A⁻¹ b, computed by solving A y = -(1/β) b
+    // with Gauss-Seidel (A is symmetric positive definite).
+    std::vector<double> y(m, 0.0);
+    for (int sweep = 0; sweep < 50; ++sweep) {
+      for (int64_t i = 0; i < m; ++i) {
+        double residual = -b_vector_[i] / beta_;
+        for (int64_t j = 0; j < m; ++j) {
+          if (j != i) residual -= a_matrix_[i][j] * y[j];
+        }
+        y[i] = residual / a_matrix_[i][i];
+      }
+    }
+    std::vector<double> projected = ProjectANorm(y);
+    for (int64_t i = 0; i < m; ++i) {
+      weights_[i] = (1.0 - delta_) * projected[i] +
+                    delta_ / static_cast<double>(m);
+    }
+  }
+  return WithCash(weights_);
+}
+
+}  // namespace ppn::strategies

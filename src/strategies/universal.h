@@ -1,0 +1,76 @@
+#ifndef PPN_STRATEGIES_UNIVERSAL_H_
+#define PPN_STRATEGIES_UNIVERSAL_H_
+
+#include "common/random.h"
+#include "strategies/common.h"
+
+/// \file
+/// Follow-the-winner / regret-minimizing baselines: Cover's Universal
+/// Portfolios (sampled approximation), Exponential Gradient, and the
+/// Online Newton Step.
+
+namespace ppn::strategies {
+
+/// UP (Cover 1991): performance-weighted average over CRPs, approximated by
+/// Monte-Carlo integration over Dirichlet(1)-sampled constant portfolios.
+class UpStrategy : public RelativeTrackingStrategy {
+ public:
+  explicit UpStrategy(int num_samples = 500, uint64_t seed = 42);
+
+  std::string name() const override { return "UP"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  int num_samples_;
+  uint64_t seed_;
+  std::vector<std::vector<double>> samples_;  // Constant portfolios (risk).
+  std::vector<double> sample_wealth_;         // Running wealth per sample.
+  int64_t wealth_updated_through_ = 0;        // Periods folded into wealth.
+};
+
+/// EG (Helmbold et al. 1998): multiplicative update
+/// a_{t,i} ∝ a_{t-1,i} exp(η x_{t-1,i} / (a_{t-1}ᵀ x_{t-1})).
+class EgStrategy : public RelativeTrackingStrategy {
+ public:
+  explicit EgStrategy(double learning_rate = 0.05);
+
+  std::string name() const override { return "EG"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  double learning_rate_;
+  std::vector<double> weights_;  // Risk-asset portfolio.
+  int64_t folded_through_ = 0;
+};
+
+/// ONS (Agarwal et al. 2006): online Newton step on the log-loss with a
+/// generalized (A-norm) projection onto the simplex.
+class OnsStrategy : public RelativeTrackingStrategy {
+ public:
+  /// `beta` is the inverse step parameter, `delta` mixes toward uniform.
+  OnsStrategy(double beta = 1.0, double delta = 0.125);
+
+  std::string name() const override { return "ONS"; }
+  void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
+                             const std::vector<double>& prev_hat) override;
+
+ private:
+  /// argmin_{q in simplex} (q - y)ᵀ A (q - y) via projected gradient.
+  std::vector<double> ProjectANorm(const std::vector<double>& y) const;
+
+  double beta_;
+  double delta_;
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> a_matrix_;  // A_t = I + Σ g gᵀ.
+  std::vector<double> b_vector_;               // Σ (1 + 1/β) g.
+  int64_t folded_through_ = 0;
+};
+
+}  // namespace ppn::strategies
+
+#endif  // PPN_STRATEGIES_UNIVERSAL_H_

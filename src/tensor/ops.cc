@@ -1,0 +1,424 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace ppn {
+
+namespace {
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  PPN_CHECK(SameShape(a, b)) << op << ": shape mismatch "
+                             << ShapeToString(a.shape()) << " vs "
+                             << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] - pb[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Div");
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] / pb[i];
+  return out;
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + s;
+  return out;
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * s;
+  return out;
+}
+
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+Tensor ZipMap(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& fn) {
+  CheckSameShape(a, b, "ZipMap");
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < a.numel(); ++i) po[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  PPN_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(1);
+  PPN_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims " << ShapeToString(a.shape())
+                            << " x " << ShapeToString(b.shape());
+  Tensor out({m, n});
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+#ifdef _OPENMP
+#pragma omp parallel for if (m * n * k > 65536) schedule(static)
+#endif
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_ip = pa[i * k + p];
+      if (a_ip == 0.0f) continue;
+      const float* b_row = pb + p * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  PPN_CHECK_EQ(b.ndim(), 2);
+  const int64_t k = a.dim(0);
+  const int64_t m = a.dim(1);
+  const int64_t n = b.dim(1);
+  PPN_CHECK_EQ(k, b.dim(0));
+  Tensor out({m, n});
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t p = 0; p < k; ++p) {
+    const float* a_row = pa + p * m;
+    const float* b_row = pb + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float a_pi = a_row[i];
+      if (a_pi == 0.0f) continue;
+      float* out_row = po + i * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
+    }
+  }
+  return out;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  PPN_CHECK_EQ(b.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t k = a.dim(1);
+  const int64_t n = b.dim(0);
+  PPN_CHECK_EQ(k, b.dim(1));
+  Tensor out({m, n});
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+#ifdef _OPENMP
+#pragma omp parallel for if (m * n * k > 65536) schedule(static)
+#endif
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = pa + i * k;
+    float* out_row = po + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* b_row = pb + j * k;
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += a_row[p] * b_row[p];
+      out_row[j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& a) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n, m});
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  }
+  return out;
+}
+
+double SumAll(const Tensor& a) {
+  double total = 0.0;
+  const float* pa = a.Data();
+  for (int64_t i = 0; i < a.numel(); ++i) total += pa[i];
+  return total;
+}
+
+double MeanAll(const Tensor& a) {
+  PPN_CHECK_GT(a.numel(), 0);
+  return SumAll(a) / static_cast<double>(a.numel());
+}
+
+Tensor SumRows(const Tensor& a) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out({n});
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = pa + i * n;
+    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+  return out;
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& b) {
+  PPN_CHECK_EQ(a.ndim(), 2);
+  PPN_CHECK_EQ(b.ndim(), 1);
+  PPN_CHECK_EQ(a.dim(1), b.dim(0));
+  const int64_t m = a.dim(0);
+  const int64_t n = a.dim(1);
+  Tensor out(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
+  }
+  return out;
+}
+
+namespace {
+
+// Computes the product of dims before `axis` (outer), the dim at `axis`,
+// and the product of dims after (inner).
+void AxisSplit(const std::vector<int64_t>& shape, int axis, int64_t* outer,
+               int64_t* axis_len, int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int i = 0; i < axis; ++i) *outer *= shape[i];
+  *axis_len = shape[axis];
+  for (size_t i = axis + 1; i < shape.size(); ++i) *inner *= shape[i];
+}
+
+int NormalizeAxis(int axis, int ndim) {
+  if (axis < 0) axis += ndim;
+  PPN_CHECK(axis >= 0 && axis < ndim) << "axis out of range";
+  return axis;
+}
+
+}  // namespace
+
+Tensor Concat(const std::vector<Tensor>& parts, int axis) {
+  PPN_CHECK(!parts.empty());
+  const int ndim = parts[0].ndim();
+  axis = NormalizeAxis(axis, ndim);
+  std::vector<int64_t> out_shape = parts[0].shape();
+  int64_t total_axis = 0;
+  for (const Tensor& part : parts) {
+    PPN_CHECK_EQ(part.ndim(), ndim);
+    for (int d = 0; d < ndim; ++d) {
+      if (d != axis) {
+        PPN_CHECK_EQ(part.shape()[d], out_shape[d])
+            << "Concat: incompatible shapes along non-concat axis " << d;
+      }
+    }
+    total_axis += part.shape()[axis];
+  }
+  out_shape[axis] = total_axis;
+  Tensor out(out_shape);
+  int64_t offset = 0;
+  for (const Tensor& part : parts) {
+    NarrowInto(&out, part, axis, offset);
+    offset += part.shape()[axis];
+  }
+  return out;
+}
+
+Tensor Narrow(const Tensor& a, int axis, int64_t start, int64_t length) {
+  axis = NormalizeAxis(axis, a.ndim());
+  PPN_CHECK(start >= 0 && length >= 0 && start + length <= a.shape()[axis])
+      << "Narrow out of range: start=" << start << " length=" << length
+      << " dim=" << a.shape()[axis];
+  std::vector<int64_t> out_shape = a.shape();
+  out_shape[axis] = length;
+  Tensor out(out_shape);
+  int64_t outer;
+  int64_t axis_len;
+  int64_t inner;
+  AxisSplit(a.shape(), axis, &outer, &axis_len, &inner);
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = pa + (o * axis_len + start) * inner;
+    float* dst = po + o * length * inner;
+    for (int64_t i = 0; i < length * inner; ++i) dst[i] = src[i];
+  }
+  return out;
+}
+
+void NarrowInto(Tensor* dst, const Tensor& src, int axis, int64_t start) {
+  axis = NormalizeAxis(axis, dst->ndim());
+  PPN_CHECK_EQ(src.ndim(), dst->ndim());
+  for (int d = 0; d < dst->ndim(); ++d) {
+    if (d != axis) {
+      PPN_CHECK_EQ(src.shape()[d], dst->shape()[d]);
+    }
+  }
+  const int64_t length = src.shape()[axis];
+  PPN_CHECK(start >= 0 && start + length <= dst->shape()[axis]);
+  int64_t outer;
+  int64_t axis_len;
+  int64_t inner;
+  AxisSplit(dst->shape(), axis, &outer, &axis_len, &inner);
+  const float* ps = src.Data();
+  float* pd = dst->MutableData();
+  for (int64_t o = 0; o < outer; ++o) {
+    float* out_ptr = pd + (o * axis_len + start) * inner;
+    const float* src_ptr = ps + o * length * inner;
+    for (int64_t i = 0; i < length * inner; ++i) out_ptr[i] = src_ptr[i];
+  }
+}
+
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
+                     Rng* rng) {
+  PPN_CHECK(rng != nullptr);
+  Tensor out(std::move(shape));
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    po[i] = static_cast<float>(rng->Uniform(lo, hi));
+  }
+  return out;
+}
+
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
+                    Rng* rng) {
+  PPN_CHECK(rng != nullptr);
+  Tensor out(std::move(shape));
+  float* po = out.MutableData();
+  for (int64_t i = 0; i < out.numel(); ++i) {
+    po[i] = static_cast<float>(rng->Normal(mean, stddev));
+  }
+  return out;
+}
+
+Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
+  PPN_CHECK_EQ(input.ndim(), 4);
+  const int64_t n = input.dim(0);
+  const int64_t c = input.dim(1);
+  const int64_t h = input.dim(2);
+  const int64_t w = input.dim(3);
+  const int64_t out_h = g.OutH(h);
+  const int64_t out_w = g.OutW(w);
+  PPN_CHECK(out_h > 0 && out_w > 0)
+      << "conv output is empty for input " << ShapeToString(input.shape());
+  const int64_t patch = c * g.kernel_h * g.kernel_w;
+  Tensor columns({n * out_h * out_w, patch});
+  const float* pi = input.Data();
+  float* pc = columns.MutableData();
+#ifdef _OPENMP
+#pragma omp parallel for if (n * out_h * out_w * patch > 65536) \
+    schedule(static)
+#endif
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        float* col =
+            pc + ((b * out_h + oy) * out_w + ox) * patch;
+        int64_t col_index = 0;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const int64_t in_y = oy - g.pad_top + ky * g.dilation_h;
+            for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const int64_t in_x = ox - g.pad_left + kx * g.dilation_w;
+              float value = 0.0f;
+              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+                value = pi[((b * c + ch) * h + in_y) * w + in_x];
+              }
+              col[col_index++] = value;
+            }
+          }
+        }
+      }
+    }
+  }
+  return columns;
+}
+
+Tensor Col2Im(const Tensor& columns, const std::vector<int64_t>& input_shape,
+              const Conv2dGeometry& g) {
+  PPN_CHECK_EQ(columns.ndim(), 2);
+  PPN_CHECK_EQ(static_cast<int>(input_shape.size()), 4);
+  const int64_t n = input_shape[0];
+  const int64_t c = input_shape[1];
+  const int64_t h = input_shape[2];
+  const int64_t w = input_shape[3];
+  const int64_t out_h = g.OutH(h);
+  const int64_t out_w = g.OutW(w);
+  const int64_t patch = c * g.kernel_h * g.kernel_w;
+  PPN_CHECK_EQ(columns.dim(0), n * out_h * out_w);
+  PPN_CHECK_EQ(columns.dim(1), patch);
+  Tensor image(input_shape);
+  const float* pc = columns.Data();
+  float* pi = image.MutableData();
+  for (int64_t b = 0; b < n; ++b) {
+    for (int64_t oy = 0; oy < out_h; ++oy) {
+      for (int64_t ox = 0; ox < out_w; ++ox) {
+        const float* col =
+            pc + ((b * out_h + oy) * out_w + ox) * patch;
+        int64_t col_index = 0;
+        for (int64_t ch = 0; ch < c; ++ch) {
+          for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
+            const int64_t in_y = oy - g.pad_top + ky * g.dilation_h;
+            for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
+              const int64_t in_x = ox - g.pad_left + kx * g.dilation_w;
+              const float value = col[col_index++];
+              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
+                pi[((b * c + ch) * h + in_y) * w + in_x] += value;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace ppn

@@ -1,0 +1,114 @@
+#ifndef PPN_TENSOR_OPS_H_
+#define PPN_TENSOR_OPS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/random.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// Raw (non-differentiable) tensor kernels. The autograd layer composes
+/// these into differentiable operations. All binary elementwise kernels
+/// require identical shapes; broadcasting is handled one level up.
+
+namespace ppn {
+
+/// c = a + b (same shape).
+Tensor Add(const Tensor& a, const Tensor& b);
+/// c = a - b (same shape).
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// c = a * b elementwise (same shape).
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// c = a / b elementwise (same shape).
+Tensor Div(const Tensor& a, const Tensor& b);
+
+/// c = a + s.
+Tensor AddScalar(const Tensor& a, float s);
+/// c = a * s.
+Tensor MulScalar(const Tensor& a, float s);
+
+/// Applies `fn` elementwise.
+Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
+
+/// Applies `fn(a_i, b_i)` elementwise (same shape).
+Tensor ZipMap(const Tensor& a, const Tensor& b,
+              const std::function<float(float, float)>& fn);
+
+/// Matrix product of a [m,k] and b [k,n] -> [m,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Matrix product a^T b of a [k,m] and b [k,n] -> [m,n].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+/// Matrix product a b^T of a [m,k] and b [n,k] -> [m,n].
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// Transpose of a 2-D tensor.
+Tensor Transpose2D(const Tensor& a);
+
+/// Sum of all elements.
+double SumAll(const Tensor& a);
+
+/// Mean of all elements (numel must be > 0).
+double MeanAll(const Tensor& a);
+
+/// Column sums of a [m,n] matrix -> [n].
+Tensor SumRows(const Tensor& a);
+
+/// Broadcast-add a row vector b [n] to every row of a [m,n].
+Tensor AddRowVector(const Tensor& a, const Tensor& b);
+
+/// Concatenation of tensors along `axis`. All inputs must agree on every
+/// other dimension.
+Tensor Concat(const std::vector<Tensor>& parts, int axis);
+
+/// Slice of length `length` starting at `start` along `axis` (copy).
+Tensor Narrow(const Tensor& a, int axis, int64_t start, int64_t length);
+
+/// Writes `src` into `dst` at offset `start` along `axis` (in place;
+/// dst and src must agree on every other dimension).
+void NarrowInto(Tensor* dst, const Tensor& src, int axis, int64_t start);
+
+/// Uniform random tensor in [lo, hi).
+Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi, Rng* rng);
+
+/// Normal random tensor.
+Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
+                    Rng* rng);
+
+/// Parameters of a 2-D convolution lowering. Stride is fixed at 1 (the only
+/// stride the paper's architecture uses).
+struct Conv2dGeometry {
+  int64_t kernel_h = 1;
+  int64_t kernel_w = 1;
+  int64_t dilation_h = 1;
+  int64_t dilation_w = 1;
+  int64_t pad_top = 0;
+  int64_t pad_bottom = 0;
+  int64_t pad_left = 0;
+  int64_t pad_right = 0;
+
+  /// Output height for input height `h` (stride 1).
+  int64_t OutH(int64_t h) const {
+    return h + pad_top + pad_bottom - dilation_h * (kernel_h - 1);
+  }
+  /// Output width for input width `w` (stride 1).
+  int64_t OutW(int64_t w) const {
+    return w + pad_left + pad_right - dilation_w * (kernel_w - 1);
+  }
+};
+
+/// Lowers input [N, C, H, W] to columns [N * OutH * OutW, C * kh * kw] so a
+/// convolution becomes a matrix product with the [C*kh*kw, C_out] filter.
+/// Out-of-bounds taps read zero (implicit zero padding).
+Tensor Im2Col(const Tensor& input, const Conv2dGeometry& geometry);
+
+/// Adjoint of `Im2Col`: scatters column gradients back to an input-shaped
+/// tensor [N, C, H, W].
+Tensor Col2Im(const Tensor& columns, const std::vector<int64_t>& input_shape,
+              const Conv2dGeometry& geometry);
+
+}  // namespace ppn
+
+#endif  // PPN_TENSOR_OPS_H_

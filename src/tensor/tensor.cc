@@ -1,0 +1,132 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace ppn {
+
+int64_t ShapeNumel(const std::vector<int64_t>& shape) {
+  int64_t numel = 1;
+  for (const int64_t d : shape) {
+    PPN_CHECK_GE(d, 0) << "negative dimension in shape";
+    numel *= d;
+  }
+  return numel;
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+std::string ShapeToString(const std::vector<int64_t>& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor() : Tensor(std::vector<int64_t>{0}) {}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
+    : shape_(std::move(shape)),
+      numel_(ShapeNumel(shape_)),
+      data_(std::make_shared<std::vector<float>>(std::move(values))) {
+  PPN_CHECK_EQ(numel_, static_cast<int64_t>(data_->size()))
+      << "value count does not match shape " << ShapeToString(shape_);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  return Tensor({static_cast<int64_t>(values.size())}, values);
+}
+
+int64_t Tensor::dim(int axis) const {
+  const int n = ndim();
+  if (axis < 0) axis += n;
+  PPN_CHECK(axis >= 0 && axis < n)
+      << "axis " << axis << " out of range for shape " << ShapeToString(shape_);
+  return shape_[axis];
+}
+
+float Tensor::operator[](int64_t flat_index) const {
+  PPN_DCHECK(flat_index >= 0 && flat_index < numel_);
+  return (*data_)[flat_index];
+}
+
+int64_t Tensor::Offset(std::initializer_list<int64_t> indices) const {
+  PPN_CHECK_EQ(static_cast<int>(indices.size()), ndim());
+  int64_t offset = 0;
+  int axis = 0;
+  for (const int64_t index : indices) {
+    PPN_DCHECK(index >= 0 && index < shape_[axis]);
+    offset = offset * shape_[axis] + index;
+    ++axis;
+  }
+  return offset;
+}
+
+float Tensor::At(std::initializer_list<int64_t> indices) const {
+  return (*data_)[Offset(indices)];
+}
+
+void Tensor::Set(std::initializer_list<int64_t> indices, float value) {
+  (*data_)[Offset(indices)] = value;
+}
+
+Tensor Tensor::Clone() const {
+  return Tensor(shape_, *data_);
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
+  PPN_CHECK_EQ(ShapeNumel(new_shape), numel_)
+      << "cannot reshape " << ShapeToString(shape_) << " to "
+      << ShapeToString(new_shape);
+  Tensor view = *this;
+  view.shape_ = std::move(new_shape);
+  return view;
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : *data_) x = value;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (int64_t i = 0; i < numel_; ++i) {
+    const float delta = (*data_)[i] - (*other.data_)[i];
+    if (std::fabs(delta) > atol || std::isnan(delta)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString() const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_);
+  if (numel_ <= 32) {
+    out << " {";
+    for (int64_t i = 0; i < numel_; ++i) {
+      if (i > 0) out << ", ";
+      out << (*data_)[i];
+    }
+    out << "}";
+  }
+  return out.str();
+}
+
+}  // namespace ppn

@@ -1,0 +1,77 @@
+#include "analysis/rolling.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ppn::analysis {
+namespace {
+
+TEST(DrawdownSeriesTest, TracksPeaks) {
+  const std::vector<double> dd = DrawdownSeries({1.5, 2.0, 1.0, 2.5});
+  EXPECT_DOUBLE_EQ(dd[0], 0.0);
+  EXPECT_DOUBLE_EQ(dd[1], 0.0);
+  EXPECT_DOUBLE_EQ(dd[2], 0.5);
+  EXPECT_DOUBLE_EQ(dd[3], 0.0);
+}
+
+TEST(DrawdownSeriesTest, ImplicitUnitStart) {
+  const std::vector<double> dd = DrawdownSeries({0.8});
+  EXPECT_NEAR(dd[0], 0.2, 1e-12);
+}
+
+TEST(RollingSharpeTest, ConstantReturnsGiveZero) {
+  // Zero variance -> defined as 0.
+  const std::vector<double> s = RollingSharpe({0.01, 0.01, 0.01, 0.01}, 2);
+  for (const double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RollingSharpeTest, WarmupIsZeroThenMatchesHandComputed) {
+  const std::vector<double> returns = {0.02, -0.01, 0.02, -0.01};
+  const std::vector<double> s = RollingSharpe(returns, 2);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);  // Warm-up.
+  // Window {0.02, -0.01}: mean 0.005, std 0.015 -> 1/3.
+  EXPECT_NEAR(s[1], 0.005 / 0.015, 1e-9);
+}
+
+TEST(RollingVolatilityTest, MatchesHandComputed) {
+  const std::vector<double> v = RollingVolatility({0.02, -0.01, 0.02}, 2);
+  EXPECT_DOUBLE_EQ(v[0], 0.0);
+  EXPECT_NEAR(v[1], 0.015, 1e-12);
+  EXPECT_NEAR(v[2], 0.015, 1e-12);
+}
+
+TEST(RollingTest, WindowLargerThanSeriesStaysZero) {
+  const std::vector<double> s = RollingSharpe({0.01, 0.02}, 5);
+  for (const double v : s) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(RollingDeathTest, WindowOneAborts) {
+  EXPECT_DEATH(RollingSharpe({0.1}, 1), "PPN_CHECK");
+  EXPECT_DEATH(RollingVolatility({0.1}, 1), "PPN_CHECK");
+}
+
+TEST(NoTradeSpansTest, FindsRuns) {
+  const std::vector<int64_t> spans =
+      NoTradeSpans({0.0, 0.0, 0.5, 0.0, 0.5, 0.0, 0.0, 0.0}, 1e-3);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0], 2);
+  EXPECT_EQ(spans[1], 1);
+  EXPECT_EQ(spans[2], 3);
+}
+
+TEST(NoTradeSpansTest, AllTradingGivesEmpty) {
+  EXPECT_TRUE(NoTradeSpans({0.5, 0.4}, 1e-3).empty());
+}
+
+TEST(LongestUnderwaterTest, CountsBelowPeakStretch) {
+  // Peak 2.0 at t=1; below it for 3 periods, recovers at t=5.
+  EXPECT_EQ(LongestUnderwaterSpell({1.5, 2.0, 1.8, 1.9, 1.99, 2.2, 2.1}), 3);
+}
+
+TEST(LongestUnderwaterTest, MonotoneCurveIsZero) {
+  EXPECT_EQ(LongestUnderwaterSpell({1.1, 1.2, 1.3}), 0);
+}
+
+}  // namespace
+}  // namespace ppn::analysis

@@ -1,0 +1,164 @@
+#include "backtest/backtester.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+
+namespace ppn::backtest {
+namespace {
+
+// Deterministic two-asset panel with known relatives.
+market::OhlcPanel MakePanel(int64_t periods, double growth0, double growth1) {
+  market::OhlcPanel panel(periods, 2);
+  double c0 = 10.0;
+  double c1 = 20.0;
+  for (int64_t t = 0; t < periods; ++t) {
+    for (int64_t a = 0; a < 2; ++a) {
+      const double close = a == 0 ? c0 : c1;
+      panel.SetPrice(t, a, market::kOpen, close);
+      panel.SetPrice(t, a, market::kHigh, close * 1.001);
+      panel.SetPrice(t, a, market::kLow, close * 0.999);
+      panel.SetPrice(t, a, market::kClose, close);
+    }
+    c0 *= growth0;
+    c1 *= growth1;
+  }
+  return panel;
+}
+
+// Always stays fully in cash.
+class CashStrategy : public Strategy {
+ public:
+  std::string name() const override { return "Cash"; }
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
+                             const std::vector<double>&) override {
+    std::vector<double> action(panel.num_assets() + 1, 0.0);
+    action[0] = 1.0;
+    return action;
+  }
+};
+
+// Always all-in on one risk asset.
+class SingleAssetStrategy : public Strategy {
+ public:
+  explicit SingleAssetStrategy(int64_t asset) : asset_(asset) {}
+  std::string name() const override { return "Single"; }
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
+                             const std::vector<double>&) override {
+    std::vector<double> action(panel.num_assets() + 1, 0.0);
+    action[asset_ + 1] = 1.0;
+    return action;
+  }
+
+ private:
+  int64_t asset_;
+};
+
+// Returns a non-simplex vector (for the contract death test).
+class BrokenStrategy : public Strategy {
+ public:
+  std::string name() const override { return "Broken"; }
+  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
+                             const std::vector<double>&) override {
+    return std::vector<double>(panel.num_assets() + 1, 0.9);
+  }
+};
+
+TEST(BacktesterTest, CashKeepsWealthAtOne) {
+  market::OhlcPanel panel = MakePanel(20, 1.02, 0.99);
+  CashStrategy strategy;
+  BacktestConfig config;
+  config.start_period = 5;
+  config.end_period = 20;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  ASSERT_EQ(record.wealth_curve.size(), 15u);
+  for (const double w : record.wealth_curve) EXPECT_NEAR(w, 1.0, 1e-12);
+  for (const double c : record.cost_fractions) EXPECT_NEAR(c, 0.0, 1e-12);
+}
+
+TEST(BacktesterTest, SingleAssetTracksGrowthWithoutCosts) {
+  market::OhlcPanel panel = MakePanel(20, 1.02, 0.99);
+  SingleAssetStrategy strategy(0);
+  BacktestConfig config;
+  config.costs = CostModel::Uniform(0.0);
+  config.start_period = 1;
+  config.end_period = 20;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  EXPECT_NEAR(record.wealth_curve.back(), std::pow(1.02, 19), 1e-6);
+}
+
+TEST(BacktesterTest, InitialBuyIncursCost) {
+  market::OhlcPanel panel = MakePanel(10, 1.0, 1.0);  // Flat market.
+  SingleAssetStrategy strategy(0);
+  BacktestConfig config;
+  config.costs = CostModel::Uniform(0.0025);
+  config.start_period = 1;
+  config.end_period = 10;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  // One initial purchase: wealth = 1/(1+ψ); then no further trades
+  // (portfolio already on target), so wealth stays there.
+  EXPECT_NEAR(record.wealth_curve.back(), 1.0 / 1.0025, 1e-9);
+  EXPECT_GT(record.cost_fractions[0], 0.0);
+  for (size_t t = 1; t < record.cost_fractions.size(); ++t) {
+    EXPECT_NEAR(record.cost_fractions[t], 0.0, 1e-12);
+  }
+}
+
+TEST(BacktesterTest, WealthIdentityHolds) {
+  // wealth_t = Π (a·x) ω — recompute independently from the record.
+  market::OhlcPanel panel = MakePanel(15, 1.01, 0.98);
+  SingleAssetStrategy strategy(1);
+  BacktestConfig config;
+  config.start_period = 2;
+  config.end_period = 15;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  double wealth = 1.0;
+  for (size_t i = 0; i < record.log_returns.size(); ++i) {
+    wealth *= std::exp(record.log_returns[i]);
+    EXPECT_NEAR(record.wealth_curve[i], wealth, 1e-9);
+  }
+}
+
+TEST(BacktesterTest, ActionsAreRecordedOnSimplex) {
+  market::OhlcPanel panel = MakePanel(10, 1.01, 1.0);
+  SingleAssetStrategy strategy(0);
+  BacktestConfig config;
+  config.start_period = 1;
+  config.end_period = 10;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  for (const auto& action : record.actions) {
+    EXPECT_TRUE(IsOnSimplex(action, 1e-9));
+  }
+}
+
+TEST(BacktesterTest, RunOnTestRangeUsesSplit) {
+  market::MarketDataset dataset;
+  dataset.panel = MakePanel(30, 1.01, 1.0);
+  dataset.train_end = 20;
+  CashStrategy strategy;
+  const BacktestRecord record = RunOnTestRange(&strategy, dataset, 0.0025);
+  EXPECT_EQ(record.wealth_curve.size(), 10u);
+}
+
+TEST(BacktesterDeathTest, NonSimplexActionAborts) {
+  market::OhlcPanel panel = MakePanel(10, 1.0, 1.0);
+  BrokenStrategy strategy;
+  BacktestConfig config;
+  config.start_period = 1;
+  config.end_period = 10;
+  EXPECT_DEATH(RunBacktest(&strategy, panel, config), "non-simplex");
+}
+
+TEST(BacktesterDeathTest, BadRangeAborts) {
+  market::OhlcPanel panel = MakePanel(10, 1.0, 1.0);
+  CashStrategy strategy;
+  BacktestConfig config;
+  config.start_period = 8;
+  config.end_period = 8;
+  EXPECT_DEATH(RunBacktest(&strategy, panel, config), "PPN_CHECK");
+}
+
+}  // namespace
+}  // namespace ppn::backtest

@@ -1,0 +1,147 @@
+#include "backtest/costs.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/math_utils.h"
+#include "common/random.h"
+
+namespace ppn::backtest {
+namespace {
+
+TEST(CostSolverTest, NoTradeNoCost) {
+  const std::vector<double> p = {0.2, 0.5, 0.3};
+  const double omega = SolveNetWealthFactor(p, p, CostModel::Uniform(0.0025));
+  EXPECT_DOUBLE_EQ(omega, 1.0);
+}
+
+TEST(CostSolverTest, ZeroRateNoCost) {
+  const std::vector<double> a = {1.0, 0.0, 0.0};
+  const std::vector<double> b = {0.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(SolveNetWealthFactor(a, b, CostModel::Uniform(0.0)), 1.0);
+}
+
+TEST(CostSolverTest, FullSwitchFromCashApproxRate) {
+  // Buying the full portfolio from cash costs about ψ (purchases only).
+  const std::vector<double> cash = {1.0, 0.0};
+  const std::vector<double> risk = {0.0, 1.0};
+  const double psi = 0.0025;
+  const double omega = SolveNetWealthFactor(cash, risk, CostModel::Uniform(psi));
+  // Fixed point: 1-ω = ψ·ω  →  ω = 1/(1+ψ).
+  EXPECT_NEAR(omega, 1.0 / (1.0 + psi), 1e-12);
+}
+
+TEST(CostSolverTest, SatisfiesFixedPointEquation) {
+  Rng rng(5);
+  const CostModel model = CostModel::Uniform(0.0025);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int m = 2 + static_cast<int>(rng.UniformInt(8));
+    const std::vector<double> prev = rng.Dirichlet(m + 1, 1.0);
+    const std::vector<double> target = rng.Dirichlet(m + 1, 1.0);
+    const double omega = SolveNetWealthFactor(prev, target, model);
+    const double c = CostFractionAt(prev, target, omega, model);
+    EXPECT_NEAR(omega, 1.0 - c, 1e-10);
+    EXPECT_GT(omega, 0.0);
+    EXPECT_LE(omega, 1.0);
+  }
+}
+
+TEST(CostSolverTest, UniformRateMatchesL1Identity) {
+  // With ψ_p = ψ_s = ψ, c = ψ ‖a ω - â‖₁ over risk assets.
+  Rng rng(6);
+  const double psi = 0.01;
+  const CostModel model = CostModel::Uniform(psi);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::vector<double> prev = rng.Dirichlet(5, 1.0);
+    const std::vector<double> target = rng.Dirichlet(5, 1.0);
+    const double omega = SolveNetWealthFactor(prev, target, model);
+    double l1 = 0.0;
+    for (size_t i = 1; i < prev.size(); ++i) {
+      l1 += std::fabs(target[i] * omega - prev[i]);
+    }
+    EXPECT_NEAR(1.0 - omega, psi * l1, 1e-10);
+  }
+}
+
+TEST(CostSolverTest, AsymmetricRates) {
+  const std::vector<double> prev = {0.0, 1.0, 0.0};
+  const std::vector<double> target = {0.0, 0.0, 1.0};
+  CostModel model;
+  model.sale_rate = 0.02;
+  model.purchase_rate = 0.01;
+  const double omega = SolveNetWealthFactor(prev, target, model);
+  // Sell everything (cost 0.02·1) and buy ω (cost 0.01·ω):
+  // 1-ω = 0.02 + 0.01ω → ω = 0.98/1.01.
+  EXPECT_NEAR(omega, 0.98 / 1.01, 1e-10);
+}
+
+// Property: Proposition 4 bounds hold for random rebalances at several ψ.
+class Prop4Property : public ::testing::TestWithParam<double> {};
+
+TEST_P(Prop4Property, BoundsHold) {
+  const double psi = GetParam();
+  Rng rng(static_cast<uint64_t>(psi * 1e6) + 1);
+  const CostModel model = CostModel::Uniform(psi);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = 2 + static_cast<int>(rng.UniformInt(10));
+    const std::vector<double> prev = rng.Dirichlet(m + 1, 0.7);
+    const std::vector<double> target = rng.Dirichlet(m + 1, 0.7);
+    const double omega = SolveNetWealthFactor(prev, target, model);
+    const double cost = 1.0 - omega;
+    const CostBounds bounds = Proposition4Bounds(prev, target, psi);
+    EXPECT_GE(cost, bounds.lower - 1e-9)
+        << "psi=" << psi << " trial=" << trial;
+    EXPECT_LE(cost, bounds.upper + 1e-9)
+        << "psi=" << psi << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CostRates, Prop4Property,
+                         ::testing::Values(0.0001, 0.001, 0.0025, 0.01, 0.05,
+                                           0.25));
+
+TEST(Prop4Test, L1DistanceWithinStatedRange) {
+  // Paper: ‖a - â‖₁ ∈ (0, 2(1-ψ)/(1+ψ)] — sanity-check the upper limit on
+  // the extreme all-in switch.
+  const std::vector<double> prev = {0.0, 1.0, 0.0};
+  const std::vector<double> target = {0.0, 0.0, 1.0};
+  double distance = 0.0;
+  for (size_t i = 1; i < prev.size(); ++i) {
+    distance += std::fabs(target[i] - prev[i]);
+  }
+  EXPECT_NEAR(distance, 2.0, 1e-12);
+  const double psi = 0.0025;
+  EXPECT_LE(2.0 * (1 - psi) / (1 + psi), 2.0);
+}
+
+TEST(DriftPortfolioTest, RenormalizesByReturn) {
+  const std::vector<double> action = {0.5, 0.5};
+  const std::vector<double> relative = {1.0, 2.0};
+  const std::vector<double> drifted = DriftPortfolio(action, relative);
+  EXPECT_NEAR(drifted[0], 0.5 / 1.5, 1e-12);
+  EXPECT_NEAR(drifted[1], 1.0 / 1.5, 1e-12);
+  EXPECT_TRUE(IsOnSimplex(drifted, 1e-12));
+}
+
+TEST(DriftPortfolioTest, NoChangeWhenRelativesEqual) {
+  const std::vector<double> action = {0.3, 0.4, 0.3};
+  const std::vector<double> drifted = DriftPortfolio(action, {1.5, 1.5, 1.5});
+  for (size_t i = 0; i < action.size(); ++i) {
+    EXPECT_NEAR(drifted[i], action[i], 1e-12);
+  }
+}
+
+TEST(DriftPortfolioDeathTest, NonPositiveRelativeAborts) {
+  EXPECT_DEATH(DriftPortfolio({1.0, 0.0}, {0.0, 1.0}), "PPN_CHECK");
+}
+
+TEST(CostSolverDeathTest, NonSimplexInputsAbort) {
+  const std::vector<double> bad = {0.9, 0.9};
+  const std::vector<double> good = {0.5, 0.5};
+  EXPECT_DEATH(SolveNetWealthFactor(bad, good, CostModel::Uniform(0.01)),
+               "not a portfolio");
+}
+
+}  // namespace
+}  // namespace ppn::backtest

@@ -1,0 +1,92 @@
+#include "backtest/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ppn::backtest {
+namespace {
+
+TEST(MaxDrawdownTest, MonotoneCurveHasNone) {
+  EXPECT_DOUBLE_EQ(MaxDrawdown({1.1, 1.2, 1.5, 2.0}), 0.0);
+}
+
+TEST(MaxDrawdownTest, SimpleDrop) {
+  // Peak 2.0 -> trough 1.0: drawdown 50%.
+  EXPECT_DOUBLE_EQ(MaxDrawdown({1.5, 2.0, 1.0, 1.8}), 0.5);
+}
+
+TEST(MaxDrawdownTest, UsesImplicitStartAtOne) {
+  // Curve starts below 1: peak is the implicit S_0 = 1.
+  EXPECT_DOUBLE_EQ(MaxDrawdown({0.8, 0.9}), 0.2);
+}
+
+TEST(MaxDrawdownTest, TakesWorstOfSeveral) {
+  EXPECT_DOUBLE_EQ(MaxDrawdown({2.0, 1.8, 2.0, 1.0, 3.0, 2.4}), 0.5);
+}
+
+TEST(MetricsTest, HandComputedValues) {
+  BacktestRecord record;
+  record.log_returns = {0.1, -0.05, 0.2, 0.05};
+  double wealth = 1.0;
+  for (const double r : record.log_returns) {
+    wealth *= std::exp(r);
+    record.wealth_curve.push_back(wealth);
+  }
+  record.turnover_terms = {0.4, 0.2, 0.0, 0.2};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_NEAR(metrics.apv, std::exp(0.3), 1e-9);
+  const double mean = 0.075;
+  const double var = (0.025 * 0.025 + 0.125 * 0.125 + 0.125 * 0.125 +
+                      0.025 * 0.025) /
+                     4.0;
+  EXPECT_NEAR(metrics.std_pct, std::sqrt(var) * 100.0, 1e-9);
+  EXPECT_NEAR(metrics.sr_pct, mean / std::sqrt(var) * 100.0, 1e-9);
+  // TO = sum / (2n) = 0.8 / 8.
+  EXPECT_NEAR(metrics.turnover, 0.1, 1e-12);
+  // MDD: wealth dips from e^0.1 to e^0.05.
+  EXPECT_NEAR(metrics.mdd_pct, (1.0 - std::exp(-0.05)) * 100.0, 1e-9);
+  EXPECT_NEAR(metrics.cr,
+              (metrics.apv - 1.0) / (1.0 - std::exp(-0.05)), 1e-6);
+}
+
+TEST(MetricsTest, NegativeCalmarForLosingRun) {
+  BacktestRecord record;
+  record.log_returns = {-0.1, -0.1};
+  record.wealth_curve = {std::exp(-0.1), std::exp(-0.2)};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_LT(metrics.cr, 0.0);
+  EXPECT_LT(metrics.apv, 1.0);
+}
+
+TEST(MetricsTest, ZeroVarianceGivesZeroSharpe) {
+  BacktestRecord record;
+  record.log_returns = {0.01, 0.01, 0.01};
+  record.wealth_curve = {1.01, 1.02, 1.03};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_DOUBLE_EQ(metrics.sr_pct, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.std_pct, 0.0);
+}
+
+TEST(MetricsTest, NoDrawdownUsesFloor) {
+  BacktestRecord record;
+  record.log_returns = {0.1, 0.1};
+  record.wealth_curve = {1.1, 1.21};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_GT(metrics.cr, 1e4);  // Huge but finite.
+}
+
+TEST(MetricsDeathTest, EmptyRecordAborts) {
+  BacktestRecord record;
+  EXPECT_DEATH(ComputeMetrics(record), "PPN_CHECK");
+}
+
+TEST(MetricsDeathTest, MismatchedSizesAbort) {
+  BacktestRecord record;
+  record.wealth_curve = {1.0, 1.1};
+  record.log_returns = {0.1};
+  EXPECT_DEATH(ComputeMetrics(record), "PPN_CHECK");
+}
+
+}  // namespace
+}  // namespace ppn::backtest

@@ -1,0 +1,85 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CsvTest, RoundTrip) {
+  CsvTable table;
+  table.header = {"a", "b", "c"};
+  table.rows = {{1.0, 2.5, -3.0}, {0.0, 1e-9, 4.25}};
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(WriteCsv(path, table));
+  CsvTable loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded));
+  ASSERT_EQ(loaded.header, table.header);
+  ASSERT_EQ(loaded.rows.size(), table.rows.size());
+  for (size_t r = 0; r < table.rows.size(); ++r) {
+    for (size_t c = 0; c < table.rows[r].size(); ++c) {
+      EXPECT_NEAR(loaded.rows[r][c], table.rows[r][c], 1e-12);
+    }
+  }
+}
+
+TEST(CsvTest, EmptyRowsRoundTrip) {
+  CsvTable table;
+  table.header = {"x"};
+  const std::string path = TempPath("empty.csv");
+  ASSERT_TRUE(WriteCsv(path, table));
+  CsvTable loaded;
+  ASSERT_TRUE(ReadCsv(path, &loaded));
+  EXPECT_EQ(loaded.header.size(), 1u);
+  EXPECT_TRUE(loaded.rows.empty());
+}
+
+TEST(CsvTest, WriteRejectsRaggedRows) {
+  CsvTable table;
+  table.header = {"a", "b"};
+  table.rows = {{1.0}};
+  EXPECT_FALSE(WriteCsv(TempPath("ragged.csv"), table));
+}
+
+TEST(CsvTest, ReadFailsOnMissingFile) {
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(TempPath("does_not_exist.csv"), &table));
+  EXPECT_TRUE(table.header.empty());
+}
+
+TEST(CsvTest, ReadFailsOnNonNumericCell) {
+  const std::string path = TempPath("bad.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1.0,hello\n";
+  }
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(path, &table));
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvTest, ReadFailsOnRaggedRow) {
+  const std::string path = TempPath("ragged_read.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1.0\n";
+  }
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(path, &table));
+}
+
+TEST(CsvTest, WriteFailsOnBadPath) {
+  CsvTable table;
+  table.header = {"a"};
+  EXPECT_FALSE(WriteCsv("/nonexistent_dir/zzz/file.csv", table));
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,50 @@
+#include "common/run_scale.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(RunScaleTest, DefaultsToQuick) {
+  unsetenv("PPN_SCALE");
+  EXPECT_EQ(GetRunScale(), RunScale::kQuick);
+}
+
+TEST(RunScaleTest, ParsesFull) {
+  setenv("PPN_SCALE", "full", 1);
+  EXPECT_EQ(GetRunScale(), RunScale::kFull);
+  unsetenv("PPN_SCALE");
+}
+
+TEST(RunScaleTest, ParsesSmoke) {
+  setenv("PPN_SCALE", "smoke", 1);
+  EXPECT_EQ(GetRunScale(), RunScale::kSmoke);
+  unsetenv("PPN_SCALE");
+}
+
+TEST(RunScaleTest, UnknownFallsBackToQuick) {
+  setenv("PPN_SCALE", "banana", 1);
+  EXPECT_EQ(GetRunScale(), RunScale::kQuick);
+  unsetenv("PPN_SCALE");
+}
+
+TEST(RunScaleTest, ScaledStepsTiers) {
+  EXPECT_EQ(ScaledSteps(400, RunScale::kQuick), 400);
+  EXPECT_EQ(ScaledSteps(400, RunScale::kSmoke), 50);
+  EXPECT_EQ(ScaledSteps(400, RunScale::kFull, 10), 4000);
+}
+
+TEST(RunScaleTest, SmokeNeverBelowOne) {
+  EXPECT_EQ(ScaledSteps(4, RunScale::kSmoke), 1);
+}
+
+TEST(RunScaleTest, Names) {
+  EXPECT_STREQ(RunScaleName(RunScale::kQuick), "quick");
+  EXPECT_STREQ(RunScaleName(RunScale::kFull), "full");
+  EXPECT_STREQ(RunScaleName(RunScale::kSmoke), "smoke");
+}
+
+}  // namespace
+}  // namespace ppn

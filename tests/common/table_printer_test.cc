@@ -1,0 +1,52 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter printer({"Algo", "APV", "SR"});
+  printer.AddRow({"UBAH", "2.59", "3.87"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("Algo"), std::string::npos);
+  EXPECT_NE(out.find("UBAH"), std::string::npos);
+  EXPECT_NE(out.find("2.59"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowFormatting) {
+  TablePrinter printer({"Algo", "APV", "TO"});
+  printer.AddRow("PPN", {32.04, 5e-8});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("32.04"), std::string::npos);
+  EXPECT_NE(out.find("5e-08"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatCellFixedVsScientific) {
+  EXPECT_EQ(TablePrinter::FormatCell(1.5, 2), "1.50");
+  EXPECT_EQ(TablePrinter::FormatCell(0.0, 2), "0.00");
+  EXPECT_EQ(TablePrinter::FormatCell(2e-7, 2), "2e-07");
+  EXPECT_EQ(TablePrinter::FormatCell(-3.456, 1), "-3.5");
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter printer({"A", "LongHeader"});
+  printer.AddRow({"LongLabelHere", "1"});
+  const std::string out = printer.ToString();
+  // Every rendered line has the same length when columns are aligned.
+  size_t first_line_len = out.find('\n');
+  size_t pos = first_line_len + 1;
+  while (pos < out.size()) {
+    const size_t next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_line_len);
+    pos = next + 1;
+  }
+}
+
+TEST(TablePrinterDeathTest, RowWidthMismatchAborts) {
+  TablePrinter printer({"A", "B"});
+  EXPECT_DEATH(printer.AddRow({"only one"}), "PPN_CHECK");
+}
+
+}  // namespace
+}  // namespace ppn

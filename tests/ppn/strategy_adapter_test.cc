@@ -1,0 +1,121 @@
+#include "ppn/strategy_adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "backtest/backtester.h"
+#include "common/math_utils.h"
+#include "market/generator.h"
+
+namespace ppn::core {
+namespace {
+
+market::OhlcPanel SmallPanel() {
+  market::SyntheticMarketConfig config;
+  config.num_assets = 3;
+  config.num_periods = 120;
+  config.seed = 4;
+  config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.Generate();
+}
+
+PolicyConfig SmallConfig() {
+  PolicyConfig config;
+  config.variant = PolicyVariant::kPpn;
+  config.num_assets = 3;
+  config.window = 10;
+  config.lstm_hidden = 4;
+  config.block1_channels = 3;
+  config.block2_channels = 4;
+  return config;
+}
+
+TEST(PolicyStrategyTest, NameIsForwarded) {
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy strategy(policy.get(), "MyPolicy");
+  EXPECT_EQ(strategy.name(), "MyPolicy");
+}
+
+TEST(PolicyStrategyTest, DecisionsAreOnSimplex) {
+  market::OhlcPanel panel = SmallPanel();
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy strategy(policy.get(), "PPN");
+  backtest::BacktestConfig config;
+  config.start_period = 20;
+  config.end_period = 100;
+  const backtest::BacktestRecord record =
+      backtest::RunBacktest(&strategy, panel, config);
+  for (const auto& action : record.actions) {
+    EXPECT_TRUE(IsOnSimplex(action, 1e-5));
+  }
+}
+
+TEST(PolicyStrategyTest, EvalDisablesDropoutNoise) {
+  // Two identical runs must produce identical decisions even though the
+  // policy was constructed with nonzero dropout.
+  market::OhlcPanel panel = SmallPanel();
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy strategy(policy.get(), "PPN");
+  backtest::BacktestConfig config;
+  config.start_period = 20;
+  config.end_period = 60;
+  const backtest::BacktestRecord r1 =
+      backtest::RunBacktest(&strategy, panel, config);
+  const backtest::BacktestRecord r2 =
+      backtest::RunBacktest(&strategy, panel, config);
+  ASSERT_EQ(r1.actions.size(), r2.actions.size());
+  for (size_t t = 0; t < r1.actions.size(); ++t) {
+    for (size_t i = 0; i < r1.actions[t].size(); ++i) {
+      EXPECT_DOUBLE_EQ(r1.actions[t][i], r2.actions[t][i]);
+    }
+  }
+}
+
+TEST(PolicyStrategyTest, RecursionFeedsOwnPreviousAction) {
+  // The second decision must differ from what it would be with a cash
+  // previous action (the recursive input matters).
+  market::OhlcPanel panel = SmallPanel();
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy continuous(policy.get(), "PPN");
+  continuous.Reset(panel, 20);
+  std::vector<double> dummy(4, 0.25);
+  continuous.Decide(panel, 20, dummy);
+  const std::vector<double> second = continuous.Decide(panel, 21, dummy);
+
+  PolicyStrategy fresh(policy.get(), "PPN");
+  fresh.Reset(panel, 21);  // Previous action = cash.
+  const std::vector<double> fresh_second = fresh.Decide(panel, 21, dummy);
+  bool differs = false;
+  for (size_t i = 0; i < second.size(); ++i) {
+    if (std::abs(second[i] - fresh_second[i]) > 1e-9) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(PolicyStrategyDeathTest, TooEarlyFirstPeriodAborts) {
+  market::OhlcPanel panel = SmallPanel();
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy strategy(policy.get(), "PPN");
+  EXPECT_DEATH(strategy.Reset(panel, 5), "history");
+}
+
+TEST(PolicyStrategyDeathTest, AssetCountMismatchAborts) {
+  market::SyntheticMarketConfig config;
+  config.num_assets = 7;  // Policy expects 3.
+  config.num_periods = 60;
+  config.seed = 4;
+  market::SyntheticMarketGenerator generator(config);
+  market::OhlcPanel panel = generator.Generate();
+  Rng init(1), dropout(2);
+  auto policy = MakePolicy(SmallConfig(), &init, &dropout);
+  PolicyStrategy strategy(policy.get(), "PPN");
+  EXPECT_DEATH(strategy.Reset(panel, 20), "PPN_CHECK");
+}
+
+}  // namespace
+}  // namespace ppn::core

@@ -1,0 +1,340 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "backtest/backtester.h"
+#include "common/math_utils.h"
+#include "market/generator.h"
+#include "strategies/anticor.h"
+#include "strategies/common.h"
+#include "strategies/mean_reversion.h"
+#include "strategies/registry.h"
+#include "strategies/simple.h"
+#include "strategies/universal.h"
+
+namespace ppn::strategies {
+namespace {
+
+market::OhlcPanel SyntheticPanel(uint64_t seed = 3, int64_t assets = 5,
+                                 int64_t periods = 300) {
+  market::SyntheticMarketConfig config;
+  config.num_assets = assets;
+  config.num_periods = periods;
+  config.seed = seed;
+  config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.Generate();
+}
+
+// Flat panel where asset prices never move.
+market::OhlcPanel FlatPanel(int64_t assets, int64_t periods) {
+  market::OhlcPanel panel(periods, assets);
+  for (int64_t t = 0; t < periods; ++t) {
+    for (int64_t a = 0; a < assets; ++a) {
+      const double price = 10.0 * (a + 1);
+      panel.SetPrice(t, a, market::kOpen, price);
+      panel.SetPrice(t, a, market::kHigh, price);
+      panel.SetPrice(t, a, market::kLow, price);
+      panel.SetPrice(t, a, market::kClose, price);
+    }
+  }
+  return panel;
+}
+
+TEST(HelpersTest, UniformRiskPortfolio) {
+  const std::vector<double> p = UniformRiskPortfolio(4);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  for (int i = 1; i <= 4; ++i) EXPECT_DOUBLE_EQ(p[i], 0.25);
+}
+
+TEST(HelpersTest, WithCashClipsNegatives) {
+  const std::vector<double> p = WithCash({0.5, -0.2, 0.5});
+  EXPECT_TRUE(IsOnSimplex(p, 1e-12));
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+}
+
+TEST(HelpersTest, WithCashAllClippedFallsBackToUniform) {
+  const std::vector<double> p = WithCash({-1.0, -2.0});
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_DOUBLE_EQ(p[2], 0.5);
+}
+
+TEST(HelpersTest, L1MedianOfSymmetricPointsIsCenter) {
+  const std::vector<std::vector<double>> points = {
+      {1.0, 0.0}, {-1.0, 0.0}, {0.0, 1.0}, {0.0, -1.0}};
+  const std::vector<double> median = L1Median(points);
+  EXPECT_NEAR(median[0], 0.0, 1e-6);
+  EXPECT_NEAR(median[1], 0.0, 1e-6);
+}
+
+TEST(HelpersTest, L1MedianRobustToOutlier) {
+  // Geometric median resists one far outlier better than the mean.
+  const std::vector<std::vector<double>> points = {
+      {1.0}, {1.1}, {0.9}, {100.0}};
+  const std::vector<double> median = L1Median(points);
+  EXPECT_LT(median[0], 2.0);
+}
+
+// --- Generic contract checks over all registered baselines. -------------
+
+class BaselineContract : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineContract, ProducesSimplexPortfoliosThroughoutARun) {
+  market::OhlcPanel panel = SyntheticPanel();
+  auto strategy = MakeClassicBaseline(GetParam());
+  backtest::BacktestConfig config;
+  config.start_period = 40;
+  config.end_period = 200;
+  const backtest::BacktestRecord record =
+      backtest::RunBacktest(strategy.get(), panel, config);
+  for (const auto& action : record.actions) {
+    EXPECT_TRUE(IsOnSimplex(action, 1e-6)) << GetParam();
+  }
+  EXPECT_GT(record.wealth_curve.back(), 0.0);
+}
+
+TEST_P(BaselineContract, NoLookahead) {
+  if (GetParam() == "Best") {
+    GTEST_SKIP() << "Best is a hindsight oracle by definition";
+  }
+  // Decisions up to period t must not change when the future changes.
+  market::OhlcPanel panel_a = SyntheticPanel(3);
+  market::OhlcPanel panel_b = SyntheticPanel(3);
+  // Rewrite the future (t >= 150) of panel_b.
+  for (int64_t t = 150; t < panel_b.num_periods(); ++t) {
+    for (int64_t a = 0; a < panel_b.num_assets(); ++a) {
+      for (int f = 0; f < market::kNumPriceFields; ++f) {
+        panel_b.SetPrice(t, a, static_cast<market::PriceField>(f),
+                         1.0 + 0.01 * (a + f + t % 7));
+      }
+    }
+  }
+  auto strategy_a = MakeClassicBaseline(GetParam());
+  auto strategy_b = MakeClassicBaseline(GetParam());
+  strategy_a->Reset(panel_a, 40);
+  strategy_b->Reset(panel_b, 40);
+  std::vector<double> prev_hat = UniformRiskPortfolio(panel_a.num_assets());
+  for (int64_t t = 40; t < 150; ++t) {
+    const std::vector<double> action_a =
+        strategy_a->Decide(panel_a, t, prev_hat);
+    const std::vector<double> action_b =
+        strategy_b->Decide(panel_b, t, prev_hat);
+    ASSERT_EQ(action_a.size(), action_b.size());
+    for (size_t i = 0; i < action_a.size(); ++i) {
+      ASSERT_NEAR(action_a[i], action_b[i], 1e-12)
+          << GetParam() << " leaked future data at t=" << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBaselines, BaselineContract,
+                         ::testing::ValuesIn(ClassicBaselineNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(RegistryTest, TwelveBaselines) {
+  EXPECT_EQ(ClassicBaselineNames().size(), 12u);
+}
+
+TEST(RegistryDeathTest, UnknownNameAborts) {
+  EXPECT_DEATH(MakeClassicBaseline("Nope"), "unknown baseline");
+}
+
+// --- Behavioral checks. --------------------------------------------------
+
+TEST(UbahTest, NeverTradesAfterFirstPeriod) {
+  market::OhlcPanel panel = SyntheticPanel();
+  UbahStrategy strategy;
+  backtest::BacktestConfig config;
+  config.start_period = 10;
+  config.end_period = 100;
+  const backtest::BacktestRecord record =
+      backtest::RunBacktest(&strategy, panel, config);
+  for (size_t t = 1; t < record.cost_fractions.size(); ++t) {
+    EXPECT_NEAR(record.cost_fractions[t], 0.0, 1e-12);
+  }
+}
+
+TEST(BestTest, PicksTheHindsightWinner) {
+  // Asset 1 grows fastest by construction.
+  market::OhlcPanel panel(50, 3);
+  for (int64_t t = 0; t < 50; ++t) {
+    const double growth[3] = {1.0, 1.05, 1.01};
+    for (int64_t a = 0; a < 3; ++a) {
+      const double close = 10.0 * std::pow(growth[a], t);
+      panel.SetPrice(t, a, market::kOpen, close);
+      panel.SetPrice(t, a, market::kHigh, close);
+      panel.SetPrice(t, a, market::kLow, close);
+      panel.SetPrice(t, a, market::kClose, close);
+    }
+  }
+  BestStrategy strategy;
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 1, UniformRiskPortfolio(3));
+  EXPECT_DOUBLE_EQ(action[2], 1.0);  // Risk asset 1 = index 2 with cash.
+}
+
+TEST(CrpTest, AlwaysUniform) {
+  market::OhlcPanel panel = SyntheticPanel();
+  CrpStrategy strategy;
+  strategy.Reset(panel, 50);
+  for (int64_t t = 50; t < 60; ++t) {
+    const std::vector<double> action =
+        strategy.Decide(panel, t, UniformRiskPortfolio(5));
+    for (int64_t i = 1; i <= 5; ++i) EXPECT_DOUBLE_EQ(action[i], 0.2);
+  }
+}
+
+TEST(EgTest, TiltsTowardRecentWinner) {
+  // Asset 0 keeps winning: EG weight on it must grow past uniform.
+  market::OhlcPanel panel(100, 2);
+  for (int64_t t = 0; t < 100; ++t) {
+    const double c0 = 10.0 * std::pow(1.03, t);
+    const double c1 = 10.0;
+    for (int64_t a = 0; a < 2; ++a) {
+      const double close = a == 0 ? c0 : c1;
+      panel.SetPrice(t, a, market::kOpen, close);
+      panel.SetPrice(t, a, market::kHigh, close);
+      panel.SetPrice(t, a, market::kLow, close);
+      panel.SetPrice(t, a, market::kClose, close);
+    }
+  }
+  EgStrategy strategy;
+  strategy.Reset(panel, 1);
+  const std::vector<double> early =
+      strategy.Decide(panel, 20, UniformRiskPortfolio(2));
+  const std::vector<double> late =
+      strategy.Decide(panel, 60, UniformRiskPortfolio(2));
+  EXPECT_GT(late[1], 0.5);
+  EXPECT_GT(late[1], early[1]);  // Tilt strengthens with more evidence.
+}
+
+TEST(PamrTest, ShiftsTowardRecentLoser) {
+  // One big up-move for asset 0: PAMR (mean reversion) must underweight it.
+  market::OhlcPanel panel = FlatPanel(2, 20);
+  for (int64_t t = 10; t < 20; ++t) {
+    panel.SetPrice(t, 0, market::kClose, 20.0);
+    panel.SetPrice(t, 0, market::kHigh, 20.0);
+    panel.SetPrice(t, 0, market::kOpen, 20.0);
+    panel.SetPrice(t, 0, market::kLow, 20.0);
+  }
+  PamrStrategy strategy(0.5);
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 12, UniformRiskPortfolio(2));
+  EXPECT_LT(action[1], action[2]);
+}
+
+TEST(OlmarTest, BuysAssetBelowItsMovingAverage) {
+  // Asset 0 crashed relative to its MA: OLMAR predicts reversion up.
+  market::OhlcPanel panel = FlatPanel(2, 30);
+  for (int64_t t = 25; t < 30; ++t) {
+    panel.SetPrice(t, 0, market::kClose, 5.0);
+    panel.SetPrice(t, 0, market::kOpen, 5.0);
+    panel.SetPrice(t, 0, market::kHigh, 5.0);
+    panel.SetPrice(t, 0, market::kLow, 5.0);
+  }
+  OlmarStrategy strategy(5, 10.0);
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 27, UniformRiskPortfolio(2));
+  EXPECT_GT(action[1], action[2]);
+}
+
+TEST(RmrTest, MedianPredictionAlsoBuysDip) {
+  market::OhlcPanel panel = FlatPanel(2, 30);
+  for (int64_t t = 26; t < 30; ++t) {
+    panel.SetPrice(t, 0, market::kClose, 5.0);
+    panel.SetPrice(t, 0, market::kOpen, 5.0);
+    panel.SetPrice(t, 0, market::kHigh, 5.0);
+    panel.SetPrice(t, 0, market::kLow, 5.0);
+  }
+  RmrStrategy strategy(5, 5.0);
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 28, UniformRiskPortfolio(2));
+  EXPECT_GT(action[1], action[2]);
+}
+
+TEST(CwmrTest, StaysOnSimplexUnderRepeatedUpdates) {
+  market::OhlcPanel panel = SyntheticPanel(11, 4, 200);
+  CwmrStrategy strategy;
+  strategy.Reset(panel, 1);
+  for (int64_t t = 10; t < 150; t += 10) {
+    const std::vector<double> action =
+        strategy.Decide(panel, t, UniformRiskPortfolio(4));
+    EXPECT_TRUE(IsOnSimplex(action, 1e-6)) << "t=" << t;
+  }
+}
+
+TEST(WmamrTest, FlatMarketKeepsUniform) {
+  market::OhlcPanel panel = FlatPanel(3, 40);
+  WmamrStrategy strategy;
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 30, UniformRiskPortfolio(3));
+  // All relatives are 1: loss = max(0, 1 - 0.5) triggers, but the centered
+  // signal is zero so no direction exists; weights stay uniform.
+  for (int64_t i = 1; i <= 3; ++i) EXPECT_NEAR(action[i], 1.0 / 3, 1e-9);
+}
+
+TEST(AnticorTest, RespondsToAlternatingPattern) {
+  // Two assets alternating out of phase: Anticor should move weight and
+  // stay on the simplex.
+  market::OhlcPanel panel(80, 2);
+  for (int64_t t = 0; t < 80; ++t) {
+    const double c0 = 10.0 * (t % 2 == 0 ? 1.0 : 1.2);
+    const double c1 = 10.0 * (t % 2 == 0 ? 1.2 : 1.0);
+    for (int64_t a = 0; a < 2; ++a) {
+      const double close = a == 0 ? c0 : c1;
+      panel.SetPrice(t, a, market::kOpen, close);
+      panel.SetPrice(t, a, market::kHigh, close * 1.001);
+      panel.SetPrice(t, a, market::kLow, close * 0.999);
+      panel.SetPrice(t, a, market::kClose, close);
+    }
+  }
+  AnticorStrategy strategy(4);
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 60, UniformRiskPortfolio(2));
+  EXPECT_TRUE(IsOnSimplex(action, 1e-9));
+}
+
+TEST(UpTest, ConvergesTowardBetterConstantPortfolios) {
+  // Asset 0 dominates: UP's weighted average must overweight it.
+  market::OhlcPanel panel(200, 2);
+  for (int64_t t = 0; t < 200; ++t) {
+    const double c0 = 10.0 * std::pow(1.02, t);
+    const double c1 = 10.0 * std::pow(0.999, t);
+    for (int64_t a = 0; a < 2; ++a) {
+      const double close = a == 0 ? c0 : c1;
+      panel.SetPrice(t, a, market::kOpen, close);
+      panel.SetPrice(t, a, market::kHigh, close);
+      panel.SetPrice(t, a, market::kLow, close);
+      panel.SetPrice(t, a, market::kClose, close);
+    }
+  }
+  UpStrategy strategy(300, 5);
+  strategy.Reset(panel, 1);
+  const std::vector<double> action =
+      strategy.Decide(panel, 150, UniformRiskPortfolio(2));
+  EXPECT_GT(action[1], 0.65);
+}
+
+TEST(OnsTest, StableOnRandomData) {
+  market::OhlcPanel panel = SyntheticPanel(21, 4, 250);
+  OnsStrategy strategy;
+  backtest::BacktestConfig config;
+  config.start_period = 10;
+  config.end_period = 200;
+  const backtest::BacktestRecord record =
+      backtest::RunBacktest(&strategy, panel, config);
+  EXPECT_GT(record.wealth_curve.back(), 0.1);
+  for (const auto& action : record.actions) {
+    EXPECT_TRUE(IsOnSimplex(action, 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace ppn::strategies

@@ -1,0 +1,221 @@
+// ppn_cli — command-line front end for the library.
+//
+//   ppn_cli generate  --dataset crypto-a --out data/run1
+//   ppn_cli train     --dataset crypto-a --variant PPN --steps 600
+//                     [--gamma 1e-3 --lambda 1e-4 --cost 0.0025
+//                      --weights ppn.weights]
+//   ppn_cli backtest  --dataset crypto-a --variant PPN --weights ppn.weights
+//   ppn_cli baselines --dataset crypto-a
+//
+// `--dataset` accepts crypto-a/b/c/d and sp500 (generated presets honoring
+// PPN_SCALE), or `--data <prefix>` to load a panel saved by `generate`.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "backtest/backtester.h"
+#include "common/table_printer.h"
+#include "market/io.h"
+#include "market/presets.h"
+#include "ppn/strategy_adapter.h"
+#include "ppn/trainer.h"
+#include "strategies/registry.h"
+
+namespace {
+
+using namespace ppn;
+
+/// Parsed --key value pairs.
+using Flags = std::map<std::string, std::string>;
+
+Flags ParseFlags(int argc, char** argv, int first) {
+  Flags flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    const char* key = argv[i];
+    if (std::strncmp(key, "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", key);
+      std::exit(2);
+    }
+    flags[key + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const Flags& flags, const std::string& key,
+                   const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+double NumFlagOr(const Flags& flags, const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool DatasetIdFromName(const std::string& name, market::DatasetId* id) {
+  if (name == "crypto-a") *id = market::DatasetId::kCryptoA;
+  else if (name == "crypto-b") *id = market::DatasetId::kCryptoB;
+  else if (name == "crypto-c") *id = market::DatasetId::kCryptoC;
+  else if (name == "crypto-d") *id = market::DatasetId::kCryptoD;
+  else if (name == "sp500") *id = market::DatasetId::kSp500;
+  else return false;
+  return true;
+}
+
+market::MarketDataset ResolveDataset(const Flags& flags) {
+  if (flags.count("data") > 0) {
+    market::MarketDataset dataset;
+    if (!market::LoadDataset(flags.at("data"), &dataset)) {
+      std::fprintf(stderr, "could not load dataset '%s'\n",
+                   flags.at("data").c_str());
+      std::exit(1);
+    }
+    return dataset;
+  }
+  const std::string name = FlagOr(flags, "dataset", "crypto-a");
+  market::DatasetId id;
+  if (!DatasetIdFromName(name, &id)) {
+    std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return market::MakeDataset(id, GetRunScale());
+}
+
+core::PolicyConfig PolicyConfigFor(const Flags& flags,
+                                   const market::MarketDataset& dataset) {
+  core::PolicyConfig config;
+  const std::string variant_name = FlagOr(flags, "variant", "PPN");
+  if (!core::VariantFromName(variant_name, &config.variant)) {
+    std::fprintf(stderr, "unknown variant '%s'\n", variant_name.c_str());
+    std::exit(2);
+  }
+  config.num_assets = dataset.panel.num_assets();
+  config.window = static_cast<int64_t>(NumFlagOr(flags, "window", 30));
+  config.dropout = static_cast<float>(NumFlagOr(flags, "dropout", 0.1));
+  config.seed = static_cast<uint64_t>(NumFlagOr(flags, "seed", 1));
+  return config;
+}
+
+void PrintMetrics(const std::string& label, const backtest::Metrics& m) {
+  std::printf(
+      "%-14s APV=%.4f  SR=%.2f%%  STD=%.2f%%  CR=%.2f  MDD=%.1f%%  TO=%.4f\n",
+      label.c_str(), m.apv, m.sr_pct, m.std_pct, m.cr, m.mdd_pct, m.turnover);
+}
+
+int CmdGenerate(const Flags& flags) {
+  const market::MarketDataset dataset = ResolveDataset(flags);
+  const std::string out = FlagOr(flags, "out", "dataset");
+  if (!market::SaveDataset(dataset, out)) {
+    std::fprintf(stderr, "failed writing '%s'\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s.meta.csv and %s.prices.csv (%lld periods x %lld assets)\n",
+              out.c_str(), out.c_str(),
+              static_cast<long long>(dataset.panel.num_periods()),
+              static_cast<long long>(dataset.panel.num_assets()));
+  return 0;
+}
+
+int CmdTrain(const Flags& flags) {
+  const market::MarketDataset dataset = ResolveDataset(flags);
+  const core::PolicyConfig policy_config = PolicyConfigFor(flags, dataset);
+  Rng init(policy_config.seed * 7 + 1);
+  Rng dropout(policy_config.seed * 7 + 2);
+  auto policy = core::MakePolicy(policy_config, &init, &dropout);
+  std::printf("training %s on %s (%lld params)\n",
+              core::VariantName(policy_config.variant).c_str(),
+              dataset.name.c_str(),
+              static_cast<long long>(policy->ParameterCount()));
+  core::TrainerConfig trainer_config;
+  trainer_config.steps = static_cast<int64_t>(NumFlagOr(flags, "steps", 600));
+  trainer_config.batch_size =
+      static_cast<int64_t>(NumFlagOr(flags, "batch", 16));
+  trainer_config.learning_rate =
+      static_cast<float>(NumFlagOr(flags, "lr", 3e-3));
+  trainer_config.weight_decay =
+      static_cast<float>(NumFlagOr(flags, "weight-decay", 1e-3));
+  trainer_config.seed = policy_config.seed;
+  trainer_config.reward.gamma = NumFlagOr(flags, "gamma", 1e-3);
+  trainer_config.reward.lambda = NumFlagOr(flags, "lambda", 1e-4);
+  trainer_config.reward.cost_rate = NumFlagOr(flags, "cost", 0.0025);
+  core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
+  const double tail = trainer.Train();
+  std::printf("tail mean reward: %.6f\n", tail);
+  const std::string weights = FlagOr(flags, "weights", "policy.weights");
+  if (!policy->SaveParameters(weights)) {
+    std::fprintf(stderr, "failed writing weights '%s'\n", weights.c_str());
+    return 1;
+  }
+  std::printf("weights saved to %s\n", weights.c_str());
+  // Immediate test-range evaluation for convenience.
+  core::PolicyStrategy strategy(policy.get(),
+                                core::VariantName(policy_config.variant));
+  PrintMetrics("test range",
+               backtest::ComputeMetrics(backtest::RunOnTestRange(
+                   &strategy, dataset, trainer_config.reward.cost_rate)));
+  return 0;
+}
+
+int CmdBacktest(const Flags& flags) {
+  const market::MarketDataset dataset = ResolveDataset(flags);
+  const core::PolicyConfig policy_config = PolicyConfigFor(flags, dataset);
+  Rng init(1);
+  Rng dropout(2);
+  auto policy = core::MakePolicy(policy_config, &init, &dropout);
+  const std::string weights = FlagOr(flags, "weights", "policy.weights");
+  if (!policy->LoadParameters(weights)) {
+    std::fprintf(stderr,
+                 "failed loading weights '%s' (train first, and use the "
+                 "same --variant/--window)\n",
+                 weights.c_str());
+    return 1;
+  }
+  core::PolicyStrategy strategy(policy.get(),
+                                core::VariantName(policy_config.variant));
+  PrintMetrics(core::VariantName(policy_config.variant),
+               backtest::ComputeMetrics(backtest::RunOnTestRange(
+                   &strategy, dataset, NumFlagOr(flags, "cost", 0.0025))));
+  return 0;
+}
+
+int CmdBaselines(const Flags& flags) {
+  const market::MarketDataset dataset = ResolveDataset(flags);
+  const double cost = NumFlagOr(flags, "cost", 0.0025);
+  TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "MDD(%)", "TO"});
+  for (const std::string& name : strategies::ClassicBaselineNames()) {
+    auto strategy = strategies::MakeClassicBaseline(name);
+    const backtest::Metrics m = backtest::ComputeMetrics(
+        backtest::RunOnTestRange(strategy.get(), dataset, cost));
+    printer.AddRow(name, {m.apv, m.sr_pct, m.cr, m.mdd_pct, m.turnover}, 3);
+  }
+  std::printf("%s (test range, cost %.4f)\n%s\n", dataset.name.c_str(), cost,
+              printer.ToString().c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: ppn_cli <generate|train|backtest|baselines> "
+               "[--flag value ...]\n"
+               "see the header comment of tools/ppn_cli.cc for details\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "train") return CmdTrain(flags);
+  if (command == "backtest") return CmdBacktest(flags);
+  if (command == "baselines") return CmdBaselines(flags);
+  Usage();
+  return 2;
+}
