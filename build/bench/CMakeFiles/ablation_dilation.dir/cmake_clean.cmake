@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dilation.dir/ablation_dilation.cc.o"
+  "CMakeFiles/ablation_dilation.dir/ablation_dilation.cc.o.d"
+  "CMakeFiles/ablation_dilation.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_dilation.dir/bench_util.cc.o.d"
+  "ablation_dilation"
+  "ablation_dilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

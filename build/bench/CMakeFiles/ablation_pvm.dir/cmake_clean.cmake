@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pvm.dir/ablation_pvm.cc.o"
+  "CMakeFiles/ablation_pvm.dir/ablation_pvm.cc.o.d"
+  "CMakeFiles/ablation_pvm.dir/bench_util.cc.o"
+  "CMakeFiles/ablation_pvm.dir/bench_util.cc.o.d"
+  "ablation_pvm"
+  "ablation_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

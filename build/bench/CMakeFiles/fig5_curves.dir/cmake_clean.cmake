@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_curves.dir/bench_util.cc.o"
+  "CMakeFiles/fig5_curves.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig5_curves.dir/fig5_curves.cc.o"
+  "CMakeFiles/fig5_curves.dir/fig5_curves.cc.o.d"
+  "fig5_curves"
+  "fig5_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

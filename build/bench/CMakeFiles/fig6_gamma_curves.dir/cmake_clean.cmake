@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_gamma_curves.dir/bench_util.cc.o"
+  "CMakeFiles/fig6_gamma_curves.dir/bench_util.cc.o.d"
+  "CMakeFiles/fig6_gamma_curves.dir/fig6_gamma_curves.cc.o"
+  "CMakeFiles/fig6_gamma_curves.dir/fig6_gamma_curves.cc.o.d"
+  "fig6_gamma_curves"
+  "fig6_gamma_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_gamma_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

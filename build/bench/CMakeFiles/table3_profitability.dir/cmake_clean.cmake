@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_profitability.dir/bench_util.cc.o"
+  "CMakeFiles/table3_profitability.dir/bench_util.cc.o.d"
+  "CMakeFiles/table3_profitability.dir/table3_profitability.cc.o"
+  "CMakeFiles/table3_profitability.dir/table3_profitability.cc.o.d"
+  "table3_profitability"
+  "table3_profitability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_profitability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

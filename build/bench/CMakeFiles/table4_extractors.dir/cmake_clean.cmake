@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_extractors.dir/bench_util.cc.o"
+  "CMakeFiles/table4_extractors.dir/bench_util.cc.o.d"
+  "CMakeFiles/table4_extractors.dir/table4_extractors.cc.o"
+  "CMakeFiles/table4_extractors.dir/table4_extractors.cc.o.d"
+  "table4_extractors"
+  "table4_extractors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_extractors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

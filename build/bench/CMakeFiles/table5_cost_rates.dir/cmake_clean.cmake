@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cost_rates.dir/bench_util.cc.o"
+  "CMakeFiles/table5_cost_rates.dir/bench_util.cc.o.d"
+  "CMakeFiles/table5_cost_rates.dir/table5_cost_rates.cc.o"
+  "CMakeFiles/table5_cost_rates.dir/table5_cost_rates.cc.o.d"
+  "table5_cost_rates"
+  "table5_cost_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cost_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

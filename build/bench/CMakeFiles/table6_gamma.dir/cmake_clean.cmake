@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_gamma.dir/bench_util.cc.o"
+  "CMakeFiles/table6_gamma.dir/bench_util.cc.o.d"
+  "CMakeFiles/table6_gamma.dir/table6_gamma.cc.o"
+  "CMakeFiles/table6_gamma.dir/table6_gamma.cc.o.d"
+  "table6_gamma"
+  "table6_gamma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_gamma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

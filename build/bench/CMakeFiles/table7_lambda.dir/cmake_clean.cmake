@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_lambda.dir/bench_util.cc.o"
+  "CMakeFiles/table7_lambda.dir/bench_util.cc.o.d"
+  "CMakeFiles/table7_lambda.dir/table7_lambda.cc.o"
+  "CMakeFiles/table7_lambda.dir/table7_lambda.cc.o.d"
+  "table7_lambda"
+  "table7_lambda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_lambda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

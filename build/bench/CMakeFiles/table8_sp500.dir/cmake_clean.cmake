@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_sp500.dir/bench_util.cc.o"
+  "CMakeFiles/table8_sp500.dir/bench_util.cc.o.d"
+  "CMakeFiles/table8_sp500.dir/table8_sp500.cc.o"
+  "CMakeFiles/table8_sp500.dir/table8_sp500.cc.o.d"
+  "table8_sp500"
+  "table8_sp500.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_sp500.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

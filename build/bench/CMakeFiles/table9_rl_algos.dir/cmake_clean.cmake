@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_rl_algos.dir/bench_util.cc.o"
+  "CMakeFiles/table9_rl_algos.dir/bench_util.cc.o.d"
+  "CMakeFiles/table9_rl_algos.dir/table9_rl_algos.cc.o"
+  "CMakeFiles/table9_rl_algos.dir/table9_rl_algos.cc.o.d"
+  "table9_rl_algos"
+  "table9_rl_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_rl_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

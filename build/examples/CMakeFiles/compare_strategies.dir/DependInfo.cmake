@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/compare_strategies.cpp" "examples/CMakeFiles/compare_strategies.dir/compare_strategies.cpp.o" "gcc" "examples/CMakeFiles/compare_strategies.dir/compare_strategies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppn/CMakeFiles/ppn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategies/CMakeFiles/ppn_strategies.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/ppn_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/backtest/CMakeFiles/ppn_backtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/ppn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/ppn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ppn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

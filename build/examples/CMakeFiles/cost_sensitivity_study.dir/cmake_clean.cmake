@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_sensitivity_study.dir/cost_sensitivity_study.cpp.o"
+  "CMakeFiles/cost_sensitivity_study.dir/cost_sensitivity_study.cpp.o.d"
+  "cost_sensitivity_study"
+  "cost_sensitivity_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_sensitivity_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

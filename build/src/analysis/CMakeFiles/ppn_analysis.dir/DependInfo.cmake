@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/rolling.cc" "src/analysis/CMakeFiles/ppn_analysis.dir/rolling.cc.o" "gcc" "src/analysis/CMakeFiles/ppn_analysis.dir/rolling.cc.o.d"
+  "/root/repo/src/analysis/theory.cc" "src/analysis/CMakeFiles/ppn_analysis.dir/theory.cc.o" "gcc" "src/analysis/CMakeFiles/ppn_analysis.dir/theory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/ppn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_analysis.dir/rolling.cc.o"
+  "CMakeFiles/ppn_analysis.dir/rolling.cc.o.d"
+  "CMakeFiles/ppn_analysis.dir/theory.cc.o"
+  "CMakeFiles/ppn_analysis.dir/theory.cc.o.d"
+  "libppn_analysis.a"
+  "libppn_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_autograd.dir/grad_check.cc.o"
+  "CMakeFiles/ppn_autograd.dir/grad_check.cc.o.d"
+  "CMakeFiles/ppn_autograd.dir/ops.cc.o"
+  "CMakeFiles/ppn_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/ppn_autograd.dir/variable.cc.o"
+  "CMakeFiles/ppn_autograd.dir/variable.cc.o.d"
+  "libppn_autograd.a"
+  "libppn_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

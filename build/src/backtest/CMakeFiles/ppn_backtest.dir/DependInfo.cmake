@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/backtest/backtester.cc" "src/backtest/CMakeFiles/ppn_backtest.dir/backtester.cc.o" "gcc" "src/backtest/CMakeFiles/ppn_backtest.dir/backtester.cc.o.d"
+  "/root/repo/src/backtest/costs.cc" "src/backtest/CMakeFiles/ppn_backtest.dir/costs.cc.o" "gcc" "src/backtest/CMakeFiles/ppn_backtest.dir/costs.cc.o.d"
+  "/root/repo/src/backtest/metrics.cc" "src/backtest/CMakeFiles/ppn_backtest.dir/metrics.cc.o" "gcc" "src/backtest/CMakeFiles/ppn_backtest.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/ppn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_backtest.dir/backtester.cc.o"
+  "CMakeFiles/ppn_backtest.dir/backtester.cc.o.d"
+  "CMakeFiles/ppn_backtest.dir/costs.cc.o"
+  "CMakeFiles/ppn_backtest.dir/costs.cc.o.d"
+  "CMakeFiles/ppn_backtest.dir/metrics.cc.o"
+  "CMakeFiles/ppn_backtest.dir/metrics.cc.o.d"
+  "libppn_backtest.a"
+  "libppn_backtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_backtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_common.dir/csv.cc.o"
+  "CMakeFiles/ppn_common.dir/csv.cc.o.d"
+  "CMakeFiles/ppn_common.dir/math_utils.cc.o"
+  "CMakeFiles/ppn_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/ppn_common.dir/random.cc.o"
+  "CMakeFiles/ppn_common.dir/random.cc.o.d"
+  "CMakeFiles/ppn_common.dir/run_scale.cc.o"
+  "CMakeFiles/ppn_common.dir/run_scale.cc.o.d"
+  "CMakeFiles/ppn_common.dir/table_printer.cc.o"
+  "CMakeFiles/ppn_common.dir/table_printer.cc.o.d"
+  "libppn_common.a"
+  "libppn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

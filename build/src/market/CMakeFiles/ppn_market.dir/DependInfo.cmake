@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/dataset.cc" "src/market/CMakeFiles/ppn_market.dir/dataset.cc.o" "gcc" "src/market/CMakeFiles/ppn_market.dir/dataset.cc.o.d"
+  "/root/repo/src/market/generator.cc" "src/market/CMakeFiles/ppn_market.dir/generator.cc.o" "gcc" "src/market/CMakeFiles/ppn_market.dir/generator.cc.o.d"
+  "/root/repo/src/market/io.cc" "src/market/CMakeFiles/ppn_market.dir/io.cc.o" "gcc" "src/market/CMakeFiles/ppn_market.dir/io.cc.o.d"
+  "/root/repo/src/market/presets.cc" "src/market/CMakeFiles/ppn_market.dir/presets.cc.o" "gcc" "src/market/CMakeFiles/ppn_market.dir/presets.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_market.dir/dataset.cc.o"
+  "CMakeFiles/ppn_market.dir/dataset.cc.o.d"
+  "CMakeFiles/ppn_market.dir/generator.cc.o"
+  "CMakeFiles/ppn_market.dir/generator.cc.o.d"
+  "CMakeFiles/ppn_market.dir/io.cc.o"
+  "CMakeFiles/ppn_market.dir/io.cc.o.d"
+  "CMakeFiles/ppn_market.dir/presets.cc.o"
+  "CMakeFiles/ppn_market.dir/presets.cc.o.d"
+  "libppn_market.a"
+  "libppn_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

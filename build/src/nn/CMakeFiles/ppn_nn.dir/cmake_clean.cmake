@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_nn.dir/conv.cc.o"
+  "CMakeFiles/ppn_nn.dir/conv.cc.o.d"
+  "CMakeFiles/ppn_nn.dir/init.cc.o"
+  "CMakeFiles/ppn_nn.dir/init.cc.o.d"
+  "CMakeFiles/ppn_nn.dir/linear.cc.o"
+  "CMakeFiles/ppn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/ppn_nn.dir/lstm.cc.o"
+  "CMakeFiles/ppn_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/ppn_nn.dir/module.cc.o"
+  "CMakeFiles/ppn_nn.dir/module.cc.o.d"
+  "CMakeFiles/ppn_nn.dir/optimizer.cc.o"
+  "CMakeFiles/ppn_nn.dir/optimizer.cc.o.d"
+  "libppn_nn.a"
+  "libppn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

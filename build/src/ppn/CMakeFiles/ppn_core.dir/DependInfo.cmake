@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppn/config.cc" "src/ppn/CMakeFiles/ppn_core.dir/config.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/config.cc.o.d"
+  "/root/repo/src/ppn/ddpg.cc" "src/ppn/CMakeFiles/ppn_core.dir/ddpg.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/ddpg.cc.o.d"
+  "/root/repo/src/ppn/eiie.cc" "src/ppn/CMakeFiles/ppn_core.dir/eiie.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/eiie.cc.o.d"
+  "/root/repo/src/ppn/feature_nets.cc" "src/ppn/CMakeFiles/ppn_core.dir/feature_nets.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/feature_nets.cc.o.d"
+  "/root/repo/src/ppn/policy_network.cc" "src/ppn/CMakeFiles/ppn_core.dir/policy_network.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/policy_network.cc.o.d"
+  "/root/repo/src/ppn/pvm.cc" "src/ppn/CMakeFiles/ppn_core.dir/pvm.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/pvm.cc.o.d"
+  "/root/repo/src/ppn/reward.cc" "src/ppn/CMakeFiles/ppn_core.dir/reward.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/reward.cc.o.d"
+  "/root/repo/src/ppn/strategy_adapter.cc" "src/ppn/CMakeFiles/ppn_core.dir/strategy_adapter.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/strategy_adapter.cc.o.d"
+  "/root/repo/src/ppn/trainer.cc" "src/ppn/CMakeFiles/ppn_core.dir/trainer.cc.o" "gcc" "src/ppn/CMakeFiles/ppn_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/ppn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/ppn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/backtest/CMakeFiles/ppn_backtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/ppn_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

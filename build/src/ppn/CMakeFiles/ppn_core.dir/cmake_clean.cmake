@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_core.dir/config.cc.o"
+  "CMakeFiles/ppn_core.dir/config.cc.o.d"
+  "CMakeFiles/ppn_core.dir/ddpg.cc.o"
+  "CMakeFiles/ppn_core.dir/ddpg.cc.o.d"
+  "CMakeFiles/ppn_core.dir/eiie.cc.o"
+  "CMakeFiles/ppn_core.dir/eiie.cc.o.d"
+  "CMakeFiles/ppn_core.dir/feature_nets.cc.o"
+  "CMakeFiles/ppn_core.dir/feature_nets.cc.o.d"
+  "CMakeFiles/ppn_core.dir/policy_network.cc.o"
+  "CMakeFiles/ppn_core.dir/policy_network.cc.o.d"
+  "CMakeFiles/ppn_core.dir/pvm.cc.o"
+  "CMakeFiles/ppn_core.dir/pvm.cc.o.d"
+  "CMakeFiles/ppn_core.dir/reward.cc.o"
+  "CMakeFiles/ppn_core.dir/reward.cc.o.d"
+  "CMakeFiles/ppn_core.dir/strategy_adapter.cc.o"
+  "CMakeFiles/ppn_core.dir/strategy_adapter.cc.o.d"
+  "CMakeFiles/ppn_core.dir/trainer.cc.o"
+  "CMakeFiles/ppn_core.dir/trainer.cc.o.d"
+  "libppn_core.a"
+  "libppn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

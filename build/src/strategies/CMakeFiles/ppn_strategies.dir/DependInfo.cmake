@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategies/anticor.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/anticor.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/anticor.cc.o.d"
+  "/root/repo/src/strategies/common.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/common.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/common.cc.o.d"
+  "/root/repo/src/strategies/mean_reversion.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/mean_reversion.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/mean_reversion.cc.o.d"
+  "/root/repo/src/strategies/registry.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/registry.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/registry.cc.o.d"
+  "/root/repo/src/strategies/simple.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/simple.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/simple.cc.o.d"
+  "/root/repo/src/strategies/universal.cc" "src/strategies/CMakeFiles/ppn_strategies.dir/universal.cc.o" "gcc" "src/strategies/CMakeFiles/ppn_strategies.dir/universal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/backtest/CMakeFiles/ppn_backtest.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/ppn_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/ppn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ppn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_strategies.dir/anticor.cc.o"
+  "CMakeFiles/ppn_strategies.dir/anticor.cc.o.d"
+  "CMakeFiles/ppn_strategies.dir/common.cc.o"
+  "CMakeFiles/ppn_strategies.dir/common.cc.o.d"
+  "CMakeFiles/ppn_strategies.dir/mean_reversion.cc.o"
+  "CMakeFiles/ppn_strategies.dir/mean_reversion.cc.o.d"
+  "CMakeFiles/ppn_strategies.dir/registry.cc.o"
+  "CMakeFiles/ppn_strategies.dir/registry.cc.o.d"
+  "CMakeFiles/ppn_strategies.dir/simple.cc.o"
+  "CMakeFiles/ppn_strategies.dir/simple.cc.o.d"
+  "CMakeFiles/ppn_strategies.dir/universal.cc.o"
+  "CMakeFiles/ppn_strategies.dir/universal.cc.o.d"
+  "libppn_strategies.a"
+  "libppn_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_tensor.dir/ops.cc.o"
+  "CMakeFiles/ppn_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/ppn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/ppn_tensor.dir/tensor.cc.o.d"
+  "libppn_tensor.a"
+  "libppn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

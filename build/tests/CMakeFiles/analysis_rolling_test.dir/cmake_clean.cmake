@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_rolling_test.dir/analysis/rolling_test.cc.o"
+  "CMakeFiles/analysis_rolling_test.dir/analysis/rolling_test.cc.o.d"
+  "analysis_rolling_test"
+  "analysis_rolling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_rolling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

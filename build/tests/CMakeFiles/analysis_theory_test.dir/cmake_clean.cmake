@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_theory_test.dir/analysis/theory_test.cc.o"
+  "CMakeFiles/analysis_theory_test.dir/analysis/theory_test.cc.o.d"
+  "analysis_theory_test"
+  "analysis_theory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtest_costs_test.dir/backtest/costs_test.cc.o"
+  "CMakeFiles/backtest_costs_test.dir/backtest/costs_test.cc.o.d"
+  "backtest_costs_test"
+  "backtest_costs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtest_costs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

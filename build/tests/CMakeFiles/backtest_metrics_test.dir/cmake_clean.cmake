@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtest_metrics_test.dir/backtest/metrics_test.cc.o"
+  "CMakeFiles/backtest_metrics_test.dir/backtest/metrics_test.cc.o.d"
+  "backtest_metrics_test"
+  "backtest_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtest_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtester_test.dir/backtest/backtester_test.cc.o"
+  "CMakeFiles/backtester_test.dir/backtest/backtester_test.cc.o.d"
+  "backtester_test"
+  "backtester_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtester_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_dataset_test.dir/market/dataset_test.cc.o"
+  "CMakeFiles/market_dataset_test.dir/market/dataset_test.cc.o.d"
+  "market_dataset_test"
+  "market_dataset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_dataset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_generator_test.dir/market/generator_test.cc.o"
+  "CMakeFiles/market_generator_test.dir/market/generator_test.cc.o.d"
+  "market_generator_test"
+  "market_generator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_io_test.dir/market/io_test.cc.o"
+  "CMakeFiles/market_io_test.dir/market/io_test.cc.o.d"
+  "market_io_test"
+  "market_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/math_utils_test.dir/common/math_utils_test.cc.o"
+  "CMakeFiles/math_utils_test.dir/common/math_utils_test.cc.o.d"
+  "math_utils_test"
+  "math_utils_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/math_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

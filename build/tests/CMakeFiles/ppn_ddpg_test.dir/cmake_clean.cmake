@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_ddpg_test.dir/ppn/ddpg_test.cc.o"
+  "CMakeFiles/ppn_ddpg_test.dir/ppn/ddpg_test.cc.o.d"
+  "ppn_ddpg_test"
+  "ppn_ddpg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_ddpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_feature_nets_test.dir/ppn/feature_nets_test.cc.o"
+  "CMakeFiles/ppn_feature_nets_test.dir/ppn/feature_nets_test.cc.o.d"
+  "ppn_feature_nets_test"
+  "ppn_feature_nets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_feature_nets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_policy_test.dir/ppn/policy_test.cc.o"
+  "CMakeFiles/ppn_policy_test.dir/ppn/policy_test.cc.o.d"
+  "ppn_policy_test"
+  "ppn_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

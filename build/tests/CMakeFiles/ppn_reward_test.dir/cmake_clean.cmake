@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_reward_test.dir/ppn/reward_test.cc.o"
+  "CMakeFiles/ppn_reward_test.dir/ppn/reward_test.cc.o.d"
+  "ppn_reward_test"
+  "ppn_reward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_reward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

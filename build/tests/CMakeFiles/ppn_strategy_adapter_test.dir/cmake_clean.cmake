@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_strategy_adapter_test.dir/ppn/strategy_adapter_test.cc.o"
+  "CMakeFiles/ppn_strategy_adapter_test.dir/ppn/strategy_adapter_test.cc.o.d"
+  "ppn_strategy_adapter_test"
+  "ppn_strategy_adapter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_strategy_adapter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_trainer_test.dir/ppn/trainer_test.cc.o"
+  "CMakeFiles/ppn_trainer_test.dir/ppn/trainer_test.cc.o.d"
+  "ppn_trainer_test"
+  "ppn_trainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

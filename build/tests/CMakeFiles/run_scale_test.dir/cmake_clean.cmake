@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_scale_test.dir/common/run_scale_test.cc.o"
+  "CMakeFiles/run_scale_test.dir/common/run_scale_test.cc.o.d"
+  "run_scale_test"
+  "run_scale_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategies_baselines_test.dir/strategies/baselines_test.cc.o"
+  "CMakeFiles/strategies_baselines_test.dir/strategies/baselines_test.cc.o.d"
+  "strategies_baselines_test"
+  "strategies_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategies_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

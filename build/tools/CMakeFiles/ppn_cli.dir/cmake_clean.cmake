@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppn_cli.dir/ppn_cli.cc.o"
+  "CMakeFiles/ppn_cli.dir/ppn_cli.cc.o.d"
+  "ppn_cli"
+  "ppn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
