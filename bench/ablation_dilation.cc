@@ -56,9 +56,8 @@ int64_t EmpiricalReceptiveField(const std::vector<int64_t>& dilations,
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Ablation: dilated vs plain causal convolutions",
-                          scale);
+  bench::BenchContext context(
+      "Ablation: dilated vs plain causal convolutions");
   constexpr int64_t kWindow = 30;
   TablePrinter printer({"Stack", "dilations", "receptive field (of 30)"});
   printer.AddRow({"TCCB (paper)", "1,2,4",

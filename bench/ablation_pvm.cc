@@ -9,12 +9,16 @@
 
 #include <cstdio>
 
+#include "backtest/backtester.h"
 #include "bench_util.h"
+#include "ppn/policy_module.h"
+#include "strategies/registry.h"
 
 namespace ppn {
 namespace {
 
 /// Evaluation adapter that lies to the policy about its previous action.
+/// Bespoke eval probe, not a portfolio strategy — hence not registered.
 class FrozenPrevStrategy : public backtest::Strategy {
  public:
   explicit FrozenPrevStrategy(core::PolicyModule* policy) : policy_(policy) {}
@@ -48,36 +52,30 @@ class FrozenPrevStrategy : public backtest::Strategy {
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Ablation: recursive previous-action input", scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kCryptoA, scale);
-  const int64_t m = dataset.panel.num_assets();
+  bench::BenchContext context("Ablation: recursive previous-action input");
+  const market::MarketDataset& dataset =
+      context.dataset(market::DatasetId::kCryptoA);
   constexpr double kCostRate = 0.0025;
 
-  Rng init(2023);
-  Rng dropout(2024);
-  auto policy = core::MakePolicy(
-      bench::PaperPolicyConfig(core::PolicyVariant::kPpn, m, 1), &init,
-      &dropout);
-  core::TrainerConfig tc;
-  tc.batch_size = 16;
-  tc.steps = bench::BudgetFor(scale, m).steps;
-  tc.learning_rate = bench::BudgetFor(scale, m).learning_rate;
-  tc.reward.cost_rate = kCostRate;
-  core::PolicyGradientTrainer trainer(policy.get(), dataset, tc);
-  trainer.Train();
+  // One training run through the registry, two evaluation modes of the
+  // same weights.
+  strategies::StrategySpec spec{.name = "PPN"};
+  spec.scale = context.scale();
+  spec.cost_rate = kCostRate;
+  const strategies::TrainedPolicy trained =
+      strategies::TrainPolicy(spec, dataset);
 
   TablePrinter printer({"Evaluation mode", "APV", "TO", "SR(%)"});
   {
-    core::PolicyStrategy normal(policy.get(), "PPN");
+    const std::unique_ptr<backtest::Strategy> normal =
+        trained.MakeEvalStrategy("PPN");
     const backtest::Metrics metrics = backtest::ComputeMetrics(
-        backtest::RunOnTestRange(&normal, dataset, kCostRate));
+        backtest::RunOnTestRange(normal.get(), dataset, kCostRate));
     printer.AddRow("recursive prev action",
                    {metrics.apv, metrics.turnover, metrics.sr_pct}, 3);
   }
   {
-    FrozenPrevStrategy frozen(policy.get());
+    FrozenPrevStrategy frozen(trained.policy());
     const backtest::Metrics metrics = backtest::ComputeMetrics(
         backtest::RunOnTestRange(&frozen, dataset, kCostRate));
     printer.AddRow("frozen uniform prev action",

@@ -1,92 +1,114 @@
 #include "bench_util.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <functional>
 
 #include "common/check.h"
 #include "common/csv.h"
-#include "strategies/registry.h"
+#include "exec/thread_pool.h"
 
 namespace ppn::bench {
 
-NeuralBudget BudgetFor(RunScale scale, int64_t num_assets,
-                       int64_t base_steps) {
-  NeuralBudget budget;
-  budget.steps = ScaledSteps(static_cast<int>(base_steps), scale,
-                             /*full_multiplier=*/50);
-  // The correlational conv costs O(m²): shrink the step budget for wide
-  // panels so every dataset costs roughly the same wall-clock.
-  if (num_assets > 12) {
-    budget.steps = std::max<int64_t>(
-        80, budget.steps * 12 / num_assets);
+namespace {
+
+std::string SlugFromTitle(const std::string& title) {
+  std::string slug;
+  for (const char c : title) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      slug.push_back(static_cast<char>(
+          std::tolower(static_cast<unsigned char>(c))));
+    } else if (!slug.empty() && slug.back() != '_') {
+      slug.push_back('_');
+    }
   }
-  if (scale == RunScale::kFull) {
-    budget.batch_size = 32;
-    budget.learning_rate = 1e-3f;  // The paper's setting.
+  while (!slug.empty() && slug.back() == '_') slug.pop_back();
+  return slug.empty() ? "results" : slug;
+}
+
+/// Groups rows by a key (first-appearance order) and prints one table per
+/// group with the strategy label leading each row.
+void PrintGrouped(
+    const std::vector<exec::CellResult>& rows,
+    const std::vector<std::string>& metric_columns,
+    const std::string& label_header, int precision,
+    const std::function<std::string(const exec::CellResult&)>& group_of) {
+  std::vector<std::string> group_order;
+  for (const exec::CellResult& row : rows) {
+    const std::string group = group_of(row);
+    bool seen = false;
+    for (const std::string& existing : group_order) {
+      if (existing == group) seen = true;
+    }
+    if (!seen) group_order.push_back(group);
   }
-  return budget;
+  for (const std::string& group : group_order) {
+    std::printf("--- %s ---\n", group.c_str());
+    std::vector<std::pair<std::string, const exec::CellResult*>> table_rows;
+    for (const exec::CellResult& row : rows) {
+      if (group_of(row) == group) {
+        table_rows.emplace_back(row.key.strategy, &row);
+      }
+    }
+    const TablePrinter printer = exec::MakeMetricsTable(
+        label_header, table_rows, metric_columns, precision);
+    std::printf("%s\n", printer.ToString().c_str());
+  }
 }
 
-core::PolicyConfig PaperPolicyConfig(core::PolicyVariant variant,
-                                     int64_t num_assets, uint64_t seed) {
-  core::PolicyConfig config;
-  config.variant = variant;
-  config.num_assets = num_assets;
-  config.window = 30;
-  config.lstm_hidden = 16;
-  config.block1_channels = 8;
-  config.block2_channels = 16;
-  // The paper uses dropout 0.2 over 1e5 training steps; at the harness's
-  // reduced step budgets 0.1 reaches comparable regularization without
-  // drowning the gradient signal (see EXPERIMENTS.md).
-  config.dropout = 0.1f;
-  config.seed = seed;
-  return config;
+}  // namespace
+
+BenchContext::BenchContext(std::string title)
+    : title_(std::move(title)),
+      scale_(GetRunScale()),
+      runner_(exec::DefaultWorkerCount()) {
+  PrintBenchHeader(title_, scale_);
 }
 
-NeuralRunResult RunNeural(const market::MarketDataset& dataset,
-                          const NeuralRunOptions& options, RunScale scale) {
-  const int64_t m = dataset.panel.num_assets();
-  const NeuralBudget budget = BudgetFor(scale, m, options.base_steps);
-  Rng init(options.seed * 7919 + 13);
-  Rng dropout(options.seed * 104729 + 17);
-  auto policy =
-      core::MakePolicy(PaperPolicyConfig(options.variant, m, options.seed),
-                       &init, &dropout);
-  core::TrainerConfig tc;
-  tc.batch_size = budget.batch_size;
-  tc.steps = budget.steps;
-  tc.learning_rate = budget.learning_rate;
-  tc.seed = options.seed * 31 + 7;
-  tc.weight_decay = 1e-3f;  // AdamW decay; calibrated for short budgets.
-  tc.reward.gamma = options.gamma;
-  tc.reward.lambda = options.lambda;
-  tc.reward.cost_rate = options.train_cost_rate >= 0.0
-                            ? options.train_cost_rate
-                            : options.cost_rate;
-  // EIIE optimizes the plain rebalanced log-return: its cost factor is a
-  // stop-gradient constant (Jiang et al. 2017), unlike the cost-sensitive
-  // reward's differentiable cost + explicit L1 constraint.
-  tc.reward.differentiable_cost =
-      options.variant != core::PolicyVariant::kEiie;
-  core::PolicyGradientTrainer trainer(policy.get(), dataset, tc);
-  trainer.Train();
-  core::PolicyStrategy strategy(policy.get(),
-                                core::VariantName(options.variant));
-  NeuralRunResult result;
-  result.record =
-      backtest::RunOnTestRange(&strategy, dataset, options.cost_rate);
-  result.metrics = backtest::ComputeMetrics(result.record);
-  return result;
+const market::MarketDataset& BenchContext::dataset(market::DatasetId id) {
+  auto it = datasets_.find(id);
+  if (it == datasets_.end()) {
+    it = datasets_.emplace(id, market::MakeDataset(id, scale_)).first;
+  }
+  return it->second;
 }
 
-NeuralRunResult RunClassic(const std::string& name,
-                           const market::MarketDataset& dataset,
-                           double cost_rate) {
-  auto strategy = strategies::MakeClassicBaseline(name);
-  NeuralRunResult result;
-  result.record = backtest::RunOnTestRange(strategy.get(), dataset, cost_rate);
-  result.metrics = backtest::ComputeMetrics(result.record);
-  return result;
+std::vector<exec::CellResult> BenchContext::Run(
+    exec::ExperimentSpec spec) const {
+  spec.scale = scale_;
+  if (spec.title.empty()) spec.title = title_;
+  std::vector<exec::CellResult> rows = runner_.Run(spec);
+  if (const char* dir = std::getenv("PPN_RESULTS_JSON");
+      dir != nullptr && dir[0] != '\0') {
+    const std::string path =
+        std::string(dir) + "/" + SlugFromTitle(spec.title) + ".cells.json";
+    if (!exec::WriteResultsJson(path, rows)) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    }
+  }
+  return rows;
+}
+
+void BenchContext::PrintByDataset(
+    const std::vector<exec::CellResult>& rows,
+    const std::vector<std::string>& metric_columns,
+    const std::string& label_header, int precision) const {
+  PrintGrouped(rows, metric_columns, label_header, precision,
+               [](const exec::CellResult& row) { return row.key.dataset; });
+}
+
+void BenchContext::PrintByCostRate(
+    const std::vector<exec::CellResult>& rows,
+    const std::vector<std::string>& metric_columns,
+    const std::string& label_header, int precision) const {
+  PrintGrouped(rows, metric_columns, label_header, precision,
+               [](const exec::CellResult& row) {
+                 char buffer[32];
+                 std::snprintf(buffer, sizeof(buffer), "c = %.2f%%",
+                               row.key.cost_rate * 100.0);
+                 return std::string(buffer);
+               });
 }
 
 std::string WriteWealthCurves(

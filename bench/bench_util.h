@@ -1,68 +1,67 @@
 #ifndef PPN_BENCH_BENCH_UTIL_H_
 #define PPN_BENCH_BENCH_UTIL_H_
 
-#include <memory>
+#include <map>
 #include <string>
 #include <vector>
 
-#include "backtest/backtester.h"
 #include "common/run_scale.h"
 #include "common/table_printer.h"
+#include "exec/experiment.h"
 #include "market/presets.h"
-#include "ppn/strategy_adapter.h"
-#include "ppn/trainer.h"
 
 /// \file
-/// Shared machinery of the experiment harness: one-call "train a policy
-/// variant on a dataset and backtest it" with budgets scaled to the active
-/// `PPN_SCALE` tier, plus helpers to print paper-style tables and dump
-/// wealth curves as CSV.
+/// Shared machinery of the experiment harness. A `BenchContext` owns the
+/// scale tier, the parallel `ExperimentRunner`, and the table/JSON output
+/// conventions, so each bench binary reduces to: declare an
+/// `ExperimentSpec`, run it, print the grouped tables.
+///
+/// Strategy construction and training moved to the unified registry
+/// (strategies/registry.h); bench binaries must not instantiate strategy
+/// or trainer types directly.
 
 namespace ppn::bench {
 
-/// Training budget for one neural run at the given scale, shrunk for
-/// large-asset-count datasets (the correlational convolution costs O(m²)).
-struct NeuralBudget {
-  int64_t steps = 400;
-  int64_t batch_size = 16;
-  float learning_rate = 3e-3f;
+/// Per-binary harness state: prints the header at construction, runs specs
+/// through a shared `ExperimentRunner` (worker count from `PPN_WORKERS`,
+/// default: hardware threads), and renders grouped result tables.
+class BenchContext {
+ public:
+  /// Prints the bench header for `title` at the active `PPN_SCALE` tier.
+  explicit BenchContext(std::string title);
+
+  RunScale scale() const { return scale_; }
+
+  /// Generates (and caches) a dataset preset at the context's scale, for
+  /// benches that need panel access beyond what a spec run returns.
+  const market::MarketDataset& dataset(market::DatasetId id);
+
+  /// Runs `spec` through the parallel runner. The context's scale and (if
+  /// unset) title are stamped onto the spec first. When the
+  /// `PPN_RESULTS_JSON` environment variable names a directory, the rows
+  /// are also dumped there as `<slugged title>.cells.json`.
+  std::vector<exec::CellResult> Run(exec::ExperimentSpec spec) const;
+
+  /// Prints one table per dataset (spec enumeration order): rows are the
+  /// strategy labels, columns the requested metrics.
+  void PrintByDataset(const std::vector<exec::CellResult>& rows,
+                      const std::vector<std::string>& metric_columns,
+                      const std::string& label_header = "Algos",
+                      int precision = 3) const;
+
+  /// Prints one table per cost rate ("--- c = X% ---"): rows are the
+  /// strategy labels, columns the requested metrics.
+  void PrintByCostRate(const std::vector<exec::CellResult>& rows,
+                       const std::vector<std::string>& metric_columns,
+                       const std::string& label_header = "Algos",
+                       int precision = 3) const;
+
+ private:
+  std::string title_;
+  RunScale scale_;
+  exec::ExperimentRunner runner_;
+  std::map<market::DatasetId, market::MarketDataset> datasets_;
 };
-
-/// Computes the budget for a dataset with `num_assets` assets.
-NeuralBudget BudgetFor(RunScale scale, int64_t num_assets,
-                       int64_t base_steps = 400);
-
-/// Everything produced by one trained-and-backtested neural run.
-struct NeuralRunResult {
-  backtest::Metrics metrics;
-  backtest::BacktestRecord record;
-};
-
-/// Options of one neural run.
-struct NeuralRunOptions {
-  core::PolicyVariant variant = core::PolicyVariant::kPpn;
-  double gamma = 1e-3;          ///< 0 for EIIE (it optimizes plain log-return).
-  double lambda = 1e-4;
-  double cost_rate = 0.0025;
-  uint64_t seed = 1;
-  int64_t base_steps = 400;
-  /// Train-time cost rate override; < 0 means "same as cost_rate".
-  double train_cost_rate = -1.0;
-};
-
-/// Trains `options.variant` on the dataset's training range and backtests
-/// on the test range. Deterministic in `options.seed`.
-NeuralRunResult RunNeural(const market::MarketDataset& dataset,
-                          const NeuralRunOptions& options, RunScale scale);
-
-/// Runs one classic baseline on the dataset's test range.
-NeuralRunResult RunClassic(const std::string& name,
-                           const market::MarketDataset& dataset,
-                           double cost_rate);
-
-/// Standard PPN policy config for a dataset (paper Table 2 sizes).
-core::PolicyConfig PaperPolicyConfig(core::PolicyVariant variant,
-                                     int64_t num_assets, uint64_t seed);
 
 /// Writes per-period wealth curves (one column per labelled series) to a
 /// CSV under the current directory; returns the path.

@@ -10,35 +10,33 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "ppn/config.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Fig 5: wealth development per extractor (Crypto-A)",
-                          scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kCryptoA, scale);
+  bench::BenchContext context(
+      "Fig 5: wealth development per extractor (Crypto-A)");
 
-  std::vector<std::pair<std::string, std::vector<double>>> curves;
-  // EIIE first, then the Table-4 variants.
-  {
-    bench::NeuralRunOptions options;
-    options.variant = core::PolicyVariant::kEiie;
-    options.base_steps = 450;
-    options.gamma = 0.0;
-    options.lambda = 0.0;
-    curves.emplace_back(
-        "EIIE", bench::RunNeural(dataset, options, scale).record.wealth_curve);
-  }
+  exec::ExperimentSpec spec;
+  spec.datasets = {market::DatasetId::kCryptoA};
+  spec.keep_records = true;
+  strategies::StrategySpec eiie{.name = "EIIE"};
+  eiie.gamma = 0.0;
+  eiie.lambda = 0.0;
+  eiie.base_steps = 450;
+  spec.strategies.push_back(eiie);
   for (const core::PolicyVariant variant : core::Table4Variants()) {
-    bench::NeuralRunOptions options;
-    options.variant = variant;
-    options.base_steps = 450;
-    curves.emplace_back(
-        core::VariantName(variant),
-        bench::RunNeural(dataset, options, scale).record.wealth_curve);
+    strategies::StrategySpec module{.name = core::VariantName(variant)};
+    module.base_steps = 450;
+    spec.strategies.push_back(module);
   }
 
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  std::vector<std::pair<std::string, std::vector<double>>> curves;
+  for (const exec::CellResult& row : rows) {
+    curves.emplace_back(row.key.strategy, row.record.wealth_curve);
+  }
   const std::string path = bench::WriteWealthCurves("fig5_wealth_curves",
                                                     curves);
   std::printf("Wealth curves written to %s\n\n", path.c_str());

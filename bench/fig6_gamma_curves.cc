@@ -6,41 +6,41 @@
 // (the policy stops trading when costs outweigh the edge); γ = 1e-3 ends
 // highest; γ = 1e-1 stays near 1.
 
-#include <cmath>
 #include <cstdio>
 
 #include "bench_util.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Fig 6: wealth development per gamma (Crypto-A)",
-                          scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kCryptoA, scale);
-  const double gammas[] = {1e-4, 1e-3, 1e-2, 1e-1};
+  bench::BenchContext context(
+      "Fig 6: wealth development per gamma (Crypto-A)");
 
+  exec::ExperimentSpec spec;
+  spec.datasets = {market::DatasetId::kCryptoA};
+  spec.keep_records = true;
+  for (const double gamma : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    strategies::StrategySpec ppn{.name = "PPN"};
+    ppn.label = "gamma=" + TablePrinter::FormatCell(gamma, 4);
+    ppn.gamma = gamma;
+    ppn.base_steps = 300;
+    spec.strategies.push_back(ppn);
+  }
+
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
   std::vector<std::pair<std::string, std::vector<double>>> curves;
   TablePrinter printer({"gamma", "final wealth", "no-trade fraction", "TO"});
-  for (const double gamma : gammas) {
-    bench::NeuralRunOptions options;
-    options.variant = core::PolicyVariant::kPpn;
-    options.gamma = gamma;
-    options.base_steps = 300;
-    const bench::NeuralRunResult result =
-        bench::RunNeural(dataset, options, scale);
+  for (const exec::CellResult& row : rows) {
     int64_t no_trade = 0;
-    for (const double term : result.record.turnover_terms) {
+    for (const double term : row.record.turnover_terms) {
       if (term < 1e-3) ++no_trade;
     }
-    const std::string label =
-        "gamma=" + TablePrinter::FormatCell(gamma, 4);
-    printer.AddRow(label,
-                   {result.metrics.apv,
+    printer.AddRow(row.key.strategy,
+                   {row.metrics.apv,
                     static_cast<double>(no_trade) /
-                        result.record.turnover_terms.size(),
-                    result.metrics.turnover}, 3);
-    curves.emplace_back(label, result.record.wealth_curve);
+                        row.record.turnover_terms.size(),
+                    row.metrics.turnover}, 3);
+    curves.emplace_back(row.key.strategy, row.record.wealth_curve);
   }
   const std::string path =
       bench::WriteWealthCurves("fig6_gamma_curves", curves);

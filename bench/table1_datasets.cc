@@ -7,13 +7,12 @@
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 1 & Table 10: dataset statistics", scale);
+  bench::BenchContext context("Table 1 & Table 10: dataset statistics");
 
   TablePrinter printer({"Dataset", "#Asset", "Train Num.", "Test Num."});
   auto add = [&](market::DatasetId id) {
-    const market::MarketDataset dataset = market::MakeDataset(id, scale);
-    const market::DatasetStats stats = market::ComputeStats(dataset);
+    const market::DatasetStats stats =
+        market::ComputeStats(context.dataset(id));
     printer.AddRow({stats.name, std::to_string(stats.num_assets),
                     std::to_string(stats.train_periods),
                     std::to_string(stats.test_periods)});

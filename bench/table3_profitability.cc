@@ -5,51 +5,31 @@
 // Expected shape (paper): PPN > PPN-I > EIIE > every classic baseline on
 // APV; mean-reversion baselines erratic under transaction costs.
 
-#include <cstdio>
-
 #include "bench_util.h"
 #include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 3: profitability comparison", scale);
-  constexpr double kCostRate = 0.0025;
+  bench::BenchContext context("Table 3: profitability comparison");
 
-  for (const market::DatasetId id : market::CryptoDatasets()) {
-    const market::MarketDataset dataset = market::MakeDataset(id, scale);
-    std::printf("--- %s (m=%lld) ---\n", dataset.name.c_str(),
-                static_cast<long long>(dataset.panel.num_assets()));
-    TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "TO"});
-    auto add_row = [&printer](const std::string& name,
-                              const backtest::Metrics& metrics) {
-      printer.AddRow(name, {metrics.apv, metrics.sr_pct, metrics.cr,
-                            metrics.turnover}, 3);
-    };
-    for (const std::string& name : strategies::ClassicBaselineNames()) {
-      add_row(name, bench::RunClassic(name, dataset, kCostRate).metrics);
-    }
-    bench::NeuralRunOptions eiie;
-    eiie.base_steps = 600;
-    eiie.variant = core::PolicyVariant::kEiie;
-    eiie.gamma = 0.0;
-    eiie.lambda = 0.0;
-    eiie.cost_rate = kCostRate;
-    add_row("EIIE", bench::RunNeural(dataset, eiie, scale).metrics);
-
-    bench::NeuralRunOptions ppn_i;
-    ppn_i.base_steps = 600;
-    ppn_i.variant = core::PolicyVariant::kPpnI;
-    ppn_i.cost_rate = kCostRate;
-    add_row("PPN-I", bench::RunNeural(dataset, ppn_i, scale).metrics);
-
-    bench::NeuralRunOptions ppn;
-    ppn.base_steps = 600;
-    ppn.variant = core::PolicyVariant::kPpn;
-    ppn.cost_rate = kCostRate;
-    add_row("PPN", bench::RunNeural(dataset, ppn, scale).metrics);
-
-    std::printf("%s\n", printer.ToString().c_str());
+  exec::ExperimentSpec spec;
+  spec.datasets = market::CryptoDatasets();
+  for (const std::string& name : strategies::ClassicBaselineNames()) {
+    spec.strategies.push_back({.name = name});
   }
+  strategies::StrategySpec eiie{.name = "EIIE"};
+  eiie.gamma = 0.0;
+  eiie.lambda = 0.0;
+  eiie.base_steps = 600;
+  spec.strategies.push_back(eiie);
+  strategies::StrategySpec ppn_i{.name = "PPN-I"};
+  ppn_i.base_steps = 600;
+  spec.strategies.push_back(ppn_i);
+  strategies::StrategySpec ppn{.name = "PPN"};
+  ppn.base_steps = 600;
+  spec.strategies.push_back(ppn);
+
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "SR(%)", "CR", "TO"});
   return 0;
 }

@@ -5,38 +5,28 @@
 // twins (TCCB > TCB, TCCB-LSTM > TCB-LSTM, PPN > PPN-I); two-stream beats
 // single-stream; PPN best overall.
 
-#include <cstdio>
-
 #include "bench_util.h"
+#include "ppn/config.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 4: feature-extractor ablation", scale);
-  constexpr double kCostRate = 0.0025;
+  bench::BenchContext context("Table 4: feature-extractor ablation");
 
+  exec::ExperimentSpec spec;
   // Quick scale covers Crypto-A/B (PPN_SCALE=full runs all four; the
   // correlational conv makes wide panels O(m^2) per step).
-  std::vector<market::DatasetId> datasets = market::CryptoDatasets();
-  if (scale != RunScale::kFull) {
-    datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoB};
+  spec.datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoB};
+  if (context.scale() == RunScale::kFull) {
+    spec.datasets = market::CryptoDatasets();
   }
-  for (const market::DatasetId id : datasets) {
-    const market::MarketDataset dataset = market::MakeDataset(id, scale);
-    std::printf("--- %s ---\n", dataset.name.c_str());
-    TablePrinter printer({"Module", "APV", "SR(%)", "CR", "TO"});
-    for (const core::PolicyVariant variant : core::Table4Variants()) {
-      bench::NeuralRunOptions options;
-      options.variant = variant;
-      options.base_steps = 200;
-      options.cost_rate = kCostRate;
-      const backtest::Metrics metrics =
-          bench::RunNeural(dataset, options, scale).metrics;
-      printer.AddRow(core::VariantName(variant),
-                     {metrics.apv, metrics.sr_pct, metrics.cr,
-                      metrics.turnover}, 3);
-    }
-    std::printf("%s\n", printer.ToString().c_str());
+  for (const core::PolicyVariant variant : core::Table4Variants()) {
+    strategies::StrategySpec module{.name = core::VariantName(variant)};
+    module.base_steps = 200;
+    spec.strategies.push_back(module);
   }
+
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "SR(%)", "CR", "TO"}, "Module");
   return 0;
 }

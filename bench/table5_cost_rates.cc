@@ -1,58 +1,42 @@
 // Reproduces Table 5 (+ Sup.3): EIIE vs PPN-I vs PPN across transaction
 // cost rates ψ ∈ {0.01, 0.05, 0.1, 0.25, 0.5, 1, 2, 5}% on Crypto-A.
-// Each policy is retrained with the evaluated rate in its reward.
+// Each policy is retrained with the evaluated rate in its reward (the
+// runner's default: train_cost_rate < 0).
 //
 // Expected shape (paper): PPN best APV at every rate; PPN-family TO below
 // EIIE's; at ψ = 5% PPN stops trading (TO → 0, APV → 1) while EIIE keeps
 // trading and loses wealth.
 
-#include <cstdio>
-
 #include "bench_util.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 5: transaction-cost-rate sweep (Crypto-A)",
-                          scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kCryptoA, scale);
+  bench::BenchContext context(
+      "Table 5: transaction-cost-rate sweep (Crypto-A)");
 
+  exec::ExperimentSpec spec;
+  spec.datasets = {market::DatasetId::kCryptoA};
   // Quick scale sweeps the paper's four pivotal rates; PPN_SCALE=full
   // runs all eight of Table 5.
-  std::vector<double> rates = {0.0005, 0.0025, 0.01, 0.05};
-  if (scale == RunScale::kFull) {
-    rates = {0.0001, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.02, 0.05};
+  spec.cost_rates = {0.0005, 0.0025, 0.01, 0.05};
+  if (context.scale() == RunScale::kFull) {
+    spec.cost_rates = {0.0001, 0.0005, 0.001, 0.0025,
+                       0.005,  0.01,   0.02,  0.05};
   }
-  struct Contender {
-    const char* name;
-    core::PolicyVariant variant;
-    double gamma;
-    double lambda;
-  };
-  const Contender contenders[] = {
-      {"EIIE", core::PolicyVariant::kEiie, 0.0, 0.0},
-      {"PPN-I", core::PolicyVariant::kPpnI, 1e-3, 1e-4},
-      {"PPN", core::PolicyVariant::kPpn, 1e-3, 1e-4},
-  };
+  strategies::StrategySpec eiie{.name = "EIIE"};
+  eiie.gamma = 0.0;
+  eiie.lambda = 0.0;
+  eiie.base_steps = 200;
+  spec.strategies.push_back(eiie);
+  strategies::StrategySpec ppn_i{.name = "PPN-I"};
+  ppn_i.base_steps = 200;
+  spec.strategies.push_back(ppn_i);
+  strategies::StrategySpec ppn{.name = "PPN"};
+  ppn.base_steps = 200;
+  spec.strategies.push_back(ppn);
 
-  for (const double rate : rates) {
-    std::printf("--- c = %.2f%% ---\n", rate * 100.0);
-    TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "TO"});
-    for (const Contender& contender : contenders) {
-      bench::NeuralRunOptions options;
-      options.variant = contender.variant;
-      options.gamma = contender.gamma;
-      options.lambda = contender.lambda;
-      options.cost_rate = rate;
-      options.base_steps = 200;
-      const backtest::Metrics metrics =
-          bench::RunNeural(dataset, options, scale).metrics;
-      printer.AddRow(contender.name,
-                     {metrics.apv, metrics.sr_pct, metrics.cr,
-                      metrics.turnover}, 3);
-    }
-    std::printf("%s\n", printer.ToString().c_str());
-  }
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByCostRate(rows, {"APV", "SR(%)", "CR", "TO"});
   return 0;
 }

@@ -4,38 +4,31 @@
 // Expected shape (paper): TO decreases monotonically in γ; APV peaks at an
 // interior γ (too small → cost bleed, too large → no trading).
 
-#include <cstdio>
-
 #include "bench_util.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 6: cost-sensitivity to gamma", scale);
-  const double gammas[] = {1e-4, 1e-3, 1e-2, 1e-1};
+  bench::BenchContext context("Table 6: cost-sensitivity to gamma");
 
+  exec::ExperimentSpec spec;
   // The full 4-dataset sweep is reserved for PPN_SCALE=full; quick scale
   // covers the smallest and a mid-size market to bound wall-clock.
-  std::vector<market::DatasetId> datasets = market::CryptoDatasets();
-  if (scale != RunScale::kFull) {
-    datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  spec.datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  if (context.scale() == RunScale::kFull) {
+    spec.datasets = market::CryptoDatasets();
   }
-  for (const market::DatasetId id : datasets) {
-    const market::MarketDataset dataset = market::MakeDataset(id, scale);
-    std::printf("--- %s ---\n", dataset.name.c_str());
-    TablePrinter printer({"gamma", "APV", "SR(%)", "CR", "TO"});
-    for (const double gamma : gammas) {
-      bench::NeuralRunOptions options;
-      options.base_steps = 200;
-      options.variant = core::PolicyVariant::kPpn;
-      options.gamma = gamma;
-      const backtest::Metrics metrics =
-          bench::RunNeural(dataset, options, scale).metrics;
-      printer.AddRow(TablePrinter::FormatCell(gamma, 4),
-                     {metrics.apv, metrics.sr_pct, metrics.cr,
-                      metrics.turnover}, 3);
-    }
-    std::printf("%s\n", printer.ToString().c_str());
+  for (const double gamma : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    strategies::StrategySpec ppn{.name = "PPN"};
+    // Same variant four times: a distinct label per γ keys (and seeds)
+    // each cell.
+    ppn.label = TablePrinter::FormatCell(gamma, 4);
+    ppn.gamma = gamma;
+    ppn.base_steps = 200;
+    spec.strategies.push_back(ppn);
   }
+
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "SR(%)", "CR", "TO"}, "gamma");
   return 0;
 }

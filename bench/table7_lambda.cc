@@ -5,38 +5,29 @@
 // mostly decreases (the risk penalty suppresses return volatility at some
 // cost in APV).
 
-#include <cstdio>
-
 #include "bench_util.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 7: cost-sensitivity to lambda", scale);
-  const double lambdas[] = {1e-4, 1e-3, 1e-2, 1e-1};
+  bench::BenchContext context("Table 7: cost-sensitivity to lambda");
 
+  exec::ExperimentSpec spec;
   // The full 4-dataset sweep is reserved for PPN_SCALE=full; quick scale
   // covers the smallest and a mid-size market to bound wall-clock.
-  std::vector<market::DatasetId> datasets = market::CryptoDatasets();
-  if (scale != RunScale::kFull) {
-    datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  spec.datasets = {market::DatasetId::kCryptoA, market::DatasetId::kCryptoC};
+  if (context.scale() == RunScale::kFull) {
+    spec.datasets = market::CryptoDatasets();
   }
-  for (const market::DatasetId id : datasets) {
-    const market::MarketDataset dataset = market::MakeDataset(id, scale);
-    std::printf("--- %s ---\n", dataset.name.c_str());
-    TablePrinter printer({"lambda", "APV", "STD(%)", "MDD(%)", "TO"});
-    for (const double lambda : lambdas) {
-      bench::NeuralRunOptions options;
-      options.base_steps = 200;
-      options.variant = core::PolicyVariant::kPpn;
-      options.lambda = lambda;
-      const backtest::Metrics metrics =
-          bench::RunNeural(dataset, options, scale).metrics;
-      printer.AddRow(TablePrinter::FormatCell(lambda, 4),
-                     {metrics.apv, metrics.std_pct, metrics.mdd_pct,
-                      metrics.turnover}, 3);
-    }
-    std::printf("%s\n", printer.ToString().c_str());
+  for (const double lambda : {1e-4, 1e-3, 1e-2, 1e-1}) {
+    strategies::StrategySpec ppn{.name = "PPN"};
+    ppn.label = TablePrinter::FormatCell(lambda, 4);
+    ppn.lambda = lambda;
+    ppn.base_steps = 200;
+    spec.strategies.push_back(ppn);
   }
+
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "STD(%)", "MDD(%)", "TO"}, "lambda");
   return 0;
 }

@@ -5,43 +5,31 @@
 // (PPN > PPN-I > EIIE > classic baselines), demonstrating that the method
 // generalizes beyond crypto-currencies.
 
-#include <cstdio>
-
 #include "bench_util.h"
 #include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 8: S&P500 stock dataset", scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kSp500, scale);
-  constexpr double kCostRate = 0.0025;
+  bench::BenchContext context("Table 8: S&P500 stock dataset");
 
-  TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "TO"});
-  auto add_row = [&printer](const std::string& name,
-                            const backtest::Metrics& metrics) {
-    printer.AddRow(name, {metrics.apv, metrics.sr_pct, metrics.cr,
-                          metrics.turnover}, 3);
-  };
+  exec::ExperimentSpec spec;
+  spec.datasets = {market::DatasetId::kSp500};
   for (const std::string& name : strategies::ClassicBaselineNames()) {
-    add_row(name, bench::RunClassic(name, dataset, kCostRate).metrics);
+    spec.strategies.push_back({.name = name});
   }
-  bench::NeuralRunOptions eiie;
-  eiie.variant = core::PolicyVariant::kEiie;
+  strategies::StrategySpec eiie{.name = "EIIE"};
   eiie.gamma = 0.0;
   eiie.lambda = 0.0;
   eiie.base_steps = 600;  // Counteract the asset-count step scaling.
-  add_row("EIIE", bench::RunNeural(dataset, eiie, scale).metrics);
-  bench::NeuralRunOptions ppn_i;
-  ppn_i.variant = core::PolicyVariant::kPpnI;
+  spec.strategies.push_back(eiie);
+  strategies::StrategySpec ppn_i{.name = "PPN-I"};
   ppn_i.base_steps = 600;
-  add_row("PPN-I", bench::RunNeural(dataset, ppn_i, scale).metrics);
-  bench::NeuralRunOptions ppn;
-  ppn.variant = core::PolicyVariant::kPpn;
+  spec.strategies.push_back(ppn_i);
+  strategies::StrategySpec ppn{.name = "PPN"};
   ppn.base_steps = 600;
-  add_row("PPN", bench::RunNeural(dataset, ppn, scale).metrics);
+  spec.strategies.push_back(ppn);
 
-  std::printf("%s\n", printer.ToString().c_str());
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "SR(%)", "CR", "TO"});
   return 0;
 }

@@ -6,54 +6,22 @@
 // still better than most classic baselines (the actor's representation
 // carries it); the critic's value-function approximation is the bottleneck.
 
-#include <cstdio>
-
 #include "bench_util.h"
-#include "ppn/ddpg.h"
+#include "strategies/registry.h"
 
 int main() {
   using namespace ppn;
-  const RunScale scale = GetRunScale();
-  bench::PrintBenchHeader("Table 9: direct policy gradient vs actor-critic",
-                          scale);
-  const market::MarketDataset dataset =
-      market::MakeDataset(market::DatasetId::kCryptoA, scale);
-  constexpr double kCostRate = 0.0025;
-  TablePrinter printer({"Algos", "APV", "STD(%)", "SR(%)", "MDD(%)", "CR"});
+  bench::BenchContext context(
+      "Table 9: direct policy gradient vs actor-critic");
 
-  // --- PPN-AC: DDPG-trained actor. -------------------------------------
-  {
-    const int64_t m = dataset.panel.num_assets();
-    Rng init(1021);
-    Rng dropout(1022);
-    auto actor = core::MakePolicy(
-        bench::PaperPolicyConfig(core::PolicyVariant::kPpn, m, 77), &init,
-        &dropout);
-    core::DdpgConfig config;
-    config.steps = bench::BudgetFor(scale, m, 250).steps;
-    config.batch_size = 16;
-    config.cost_rate = kCostRate;
-    config.seed = 5;
-    core::DdpgTrainer trainer(actor.get(), dataset, config);
-    trainer.Train();
-    core::PolicyStrategy strategy(actor.get(), "PPN-AC");
-    const backtest::Metrics metrics = backtest::ComputeMetrics(
-        backtest::RunOnTestRange(&strategy, dataset, kCostRate));
-    printer.AddRow("PPN-AC", {metrics.apv, metrics.std_pct, metrics.sr_pct,
-                              metrics.mdd_pct, metrics.cr}, 3);
-  }
+  exec::ExperimentSpec spec;
+  spec.datasets = {market::DatasetId::kCryptoA};
+  strategies::StrategySpec ac{.name = "PPN-AC"};
+  ac.base_steps = 250;
+  spec.strategies.push_back(ac);
+  spec.strategies.push_back({.name = "PPN"});
 
-  // --- PPN: direct policy gradient. -------------------------------------
-  {
-    bench::NeuralRunOptions options;
-    options.variant = core::PolicyVariant::kPpn;
-    options.cost_rate = kCostRate;
-    const backtest::Metrics metrics =
-        bench::RunNeural(dataset, options, scale).metrics;
-    printer.AddRow("PPN", {metrics.apv, metrics.std_pct, metrics.sr_pct,
-                           metrics.mdd_pct, metrics.cr}, 3);
-  }
-
-  std::printf("%s\n", printer.ToString().c_str());
+  const std::vector<exec::CellResult> rows = context.Run(std::move(spec));
+  context.PrintByDataset(rows, {"APV", "STD(%)", "SR(%)", "MDD(%)", "CR"});
   return 0;
 }

@@ -1,7 +1,8 @@
 // Strategy shoot-out: runs the twelve classic OLPS baselines and a trained
 // PPN on the same synthetic crypto market and prints a Table-3-style
-// comparison. Demonstrates the `Strategy` interface, the baseline
-// registry, and the backtest metrics.
+// comparison. Demonstrates the unified strategy registry (`MakeStrategy`
+// builds classics and trains neural policies through one call) and the
+// backtest metrics.
 //
 // Build & run:  ./build/examples/compare_strategies
 
@@ -10,8 +11,6 @@
 #include "backtest/backtester.h"
 #include "common/table_printer.h"
 #include "market/presets.h"
-#include "ppn/strategy_adapter.h"
-#include "ppn/trainer.h"
 #include "strategies/registry.h"
 
 int main() {
@@ -39,27 +38,20 @@ int main() {
 
   // The classic online portfolio selection family.
   for (const std::string& name : strategies::ClassicBaselineNames()) {
-    auto strategy = strategies::MakeClassicBaseline(name);
+    auto strategy = strategies::MakeStrategy({.name = name}, dataset);
     evaluate(strategy.get());
   }
 
-  // A briefly trained PPN for comparison.
-  core::PolicyConfig policy_config;
-  policy_config.variant = core::PolicyVariant::kPpn;
-  policy_config.num_assets = dataset.panel.num_assets();
-  policy_config.window = 30;
-  Rng init_rng(3);
-  Rng dropout_rng(4);
-  auto policy = core::MakePolicy(policy_config, &init_rng, &dropout_rng);
-  core::TrainerConfig trainer_config;
-  trainer_config.steps = 250;
-  trainer_config.batch_size = 16;
-  trainer_config.learning_rate = 3e-3f;
-  trainer_config.reward.cost_rate = kCostRate;
-  core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
-  trainer.Train();
-  core::PolicyStrategy ppn_strategy(policy.get(), "PPN (trained)");
-  evaluate(&ppn_strategy);
+  // A briefly trained PPN for comparison: the same factory call trains the
+  // policy on the dataset's training range before wrapping it.
+  strategies::StrategySpec ppn{.name = "PPN"};
+  ppn.label = "PPN (trained)";
+  ppn.base_steps = 250;
+  ppn.seed = 3;
+  // kQuick keeps the 250-step budget unscaled (kSmoke would divide it).
+  ppn.scale = RunScale::kQuick;
+  auto ppn_strategy = strategies::MakeStrategy(ppn, dataset);
+  evaluate(ppn_strategy.get());
 
   std::printf("%s\n", printer.ToString().c_str());
   return 0;

@@ -1,6 +1,13 @@
 #!/bin/sh
 # Runs every bench binary sequentially and records the combined output.
+# Table benches also dump machine-readable per-cell results (one
+# "<slug>.cells.json" per bench) into bench_results/, keyed by the
+# PPN_RESULTS_JSON directory. PPN_WORKERS controls experiment parallelism
+# (default: hardware thread count; 0 forces the serial inline path).
 cd /root/repo
+mkdir -p bench_results
+PPN_RESULTS_JSON=/root/repo/bench_results
+export PPN_RESULTS_JSON
 {
   for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ppn::ag {
 
@@ -401,6 +402,12 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
   {
     const float* pm = out_matrix.Data();
     float* po = out.MutableData();
+    // Pure permutation, disjoint per image: safe and bit-identical.
+#ifdef _OPENMP
+#pragma omp parallel for \
+    if (InnerParallelEnabled() && batch * c_out * out_h * out_w > 65536) \
+    schedule(static)
+#endif
     for (int64_t b = 0; b < batch; ++b) {
       for (int64_t oy = 0; oy < out_h; ++oy) {
         for (int64_t ox = 0; ox < out_w; ++ox) {
@@ -428,6 +435,12 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
         {
           const float* pg = self->grad().Data();
           float* pm = grad_matrix.MutableData();
+          // Pure permutation, disjoint per image: safe and bit-identical.
+#ifdef _OPENMP
+#pragma omp parallel for \
+    if (InnerParallelEnabled() && batch * c_out * out_h * out_w > 65536) \
+    schedule(static)
+#endif
           for (int64_t b = 0; b < batch; ++b) {
             for (int64_t co = 0; co < c_out; ++co) {
               for (int64_t oy = 0; oy < out_h; ++oy) {

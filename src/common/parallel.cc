@@ -1,0 +1,24 @@
+#include "common/parallel.h"
+
+#include <thread>
+
+namespace ppn {
+
+namespace {
+thread_local bool inner_parallel_enabled = true;
+}  // namespace
+
+bool InnerParallelEnabled() { return inner_parallel_enabled; }
+
+bool SetInnerParallelEnabled(bool enabled) {
+  const bool previous = inner_parallel_enabled;
+  inner_parallel_enabled = enabled;
+  return previous;
+}
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace ppn

@@ -1,0 +1,238 @@
+#include "exec/experiment.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "backtest/backtester.h"
+#include "common/check.h"
+#include "exec/thread_pool.h"
+
+namespace ppn::exec {
+
+namespace {
+
+/// FNV-1a over a byte range.
+uint64_t FnvMix(uint64_t hash, const void* bytes, size_t size) {
+  constexpr uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= kPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMix(uint64_t hash, const std::string& text) {
+  // Fold the length in as well so ("ab", "c") != ("a", "bc").
+  const uint64_t length = text.size();
+  hash = FnvMix(hash, &length, sizeof(length));
+  return FnvMix(hash, text.data(), text.size());
+}
+
+/// splitmix64 finalizer: diffuses the FNV state across all 64 bits.
+uint64_t Finalize(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+uint64_t CellSeed(const CellKey& key) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  hash = FnvMix(hash, key.strategy);
+  hash = FnvMix(hash, key.dataset);
+  // Hash the IEEE bits, not a decimal rendering: formatting can round two
+  // distinct rates to the same string but never maps one rate to two.
+  uint64_t cost_bits = 0;
+  static_assert(sizeof(cost_bits) == sizeof(key.cost_rate));
+  std::memcpy(&cost_bits, &key.cost_rate, sizeof(cost_bits));
+  hash = FnvMix(hash, &cost_bits, sizeof(cost_bits));
+  hash = FnvMix(hash, &key.seed, sizeof(key.seed));
+  const uint64_t seed = Finalize(hash);
+  // Keep the seed nonzero so downstream multiply-based stream derivations
+  // (seed * k + c) never collapse streams onto their constants.
+  return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
+}
+
+ResultSink::ResultSink(int64_t num_cells)
+    : rows_(static_cast<size_t>(num_cells)),
+      filled_(static_cast<size_t>(num_cells), false) {
+  PPN_CHECK_GE(num_cells, 0);
+}
+
+void ResultSink::Set(int64_t index, CellResult result) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  PPN_CHECK(index >= 0 && index < static_cast<int64_t>(rows_.size()))
+      << "cell index out of range: " << index;
+  PPN_CHECK(!filled_[index]) << "cell " << index << " reported twice";
+  rows_[index] = std::move(result);
+  filled_[index] = true;
+}
+
+std::vector<CellResult> ResultSink::Take() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (size_t i = 0; i < filled_.size(); ++i) {
+    PPN_CHECK(filled_[i]) << "cell " << i << " never reported";
+  }
+  return std::move(rows_);
+}
+
+double MetricValue(const backtest::Metrics& metrics,
+                   const std::string& column) {
+  if (column == "APV") return metrics.apv;
+  if (column == "SR(%)") return metrics.sr_pct;
+  if (column == "STD(%)") return metrics.std_pct;
+  if (column == "MDD(%)") return metrics.mdd_pct;
+  if (column == "CR") return metrics.cr;
+  if (column == "TO") return metrics.turnover;
+  PPN_CHECK(false) << "unknown metric column: " << column;
+  return 0.0;
+}
+
+TablePrinter MakeMetricsTable(
+    const std::string& label_header,
+    const std::vector<std::pair<std::string, const CellResult*>>& rows,
+    const std::vector<std::string>& metric_columns, int precision) {
+  std::vector<std::string> header = {label_header};
+  header.insert(header.end(), metric_columns.begin(), metric_columns.end());
+  TablePrinter table(std::move(header));
+  for (const auto& [label, result] : rows) {
+    PPN_CHECK(result != nullptr);
+    std::vector<double> values;
+    values.reserve(metric_columns.size());
+    for (const std::string& column : metric_columns) {
+      values.push_back(MetricValue(result->metrics, column));
+    }
+    table.AddRow(label, values, precision);
+  }
+  return table;
+}
+
+bool WriteResultsJson(const std::string& path,
+                      const std::vector<CellResult>& rows) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const CellResult& row = rows[i];
+    out << "  {\"strategy\": \"" << JsonEscape(row.key.strategy)
+        << "\", \"dataset\": \"" << JsonEscape(row.key.dataset)
+        << "\", \"cost_rate\": " << row.key.cost_rate
+        << ", \"seed\": " << row.key.seed
+        << ", \"derived_seed\": " << row.derived_seed
+        << ", \"apv\": " << row.metrics.apv
+        << ", \"sr_pct\": " << row.metrics.sr_pct
+        << ", \"std_pct\": " << row.metrics.std_pct
+        << ", \"mdd_pct\": " << row.metrics.mdd_pct
+        << ", \"cr\": " << row.metrics.cr
+        << ", \"turnover\": " << row.metrics.turnover
+        << ", \"wall_seconds\": " << row.wall_seconds << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.good();
+}
+
+ExperimentRunner::ExperimentRunner(int num_workers)
+    : num_workers_(num_workers) {
+  PPN_CHECK_GE(num_workers, 0);
+}
+
+ExperimentRunner::ExperimentRunner()
+    : ExperimentRunner(DefaultWorkerCount()) {}
+
+std::vector<CellResult> ExperimentRunner::Run(
+    const ExperimentSpec& spec) const {
+  PPN_CHECK(!spec.datasets.empty()) << "spec has no datasets";
+  PPN_CHECK(!spec.strategies.empty()) << "spec has no strategies";
+  PPN_CHECK(!spec.cost_rates.empty()) << "spec has no cost rates";
+  PPN_CHECK(!spec.seeds.empty()) << "spec has no seeds";
+  std::set<std::string> labels;
+  for (const strategies::StrategySpec& strategy : spec.strategies) {
+    strategy.Validate();
+    PPN_CHECK(labels.insert(strategy.display()).second)
+        << "duplicate strategy label in spec: " << strategy.display()
+        << " (cells are keyed by label; disambiguate with StrategySpec::label)";
+  }
+
+  // Datasets are generated once, serially, before any cell runs: every cell
+  // then reads the shared immutable panels, and generation cost is not
+  // multiplied across the grid.
+  std::vector<market::MarketDataset> datasets;
+  datasets.reserve(spec.datasets.size());
+  for (const market::DatasetId id : spec.datasets) {
+    datasets.push_back(market::MakeDataset(id, spec.scale));
+  }
+
+  struct Cell {
+    int64_t index;
+    size_t dataset_index;
+    size_t strategy_index;
+    double cost_rate;
+    uint64_t seed;
+  };
+  std::vector<Cell> cells;
+  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+    for (size_t s = 0; s < spec.strategies.size(); ++s) {
+      for (const double cost_rate : spec.cost_rates) {
+        for (const uint64_t seed : spec.seeds) {
+          cells.push_back(Cell{static_cast<int64_t>(cells.size()), d, s,
+                               cost_rate, seed});
+        }
+      }
+    }
+  }
+
+  ResultSink sink(static_cast<int64_t>(cells.size()));
+  ThreadPool pool(num_workers_);
+  for (const Cell& cell : cells) {
+    pool.Submit([&spec, &datasets, &sink, cell] {
+      const auto start = std::chrono::steady_clock::now();
+      const market::MarketDataset& dataset = datasets[cell.dataset_index];
+      strategies::StrategySpec cell_spec = spec.strategies[cell.strategy_index];
+      cell_spec.scale = spec.scale;
+      // Train at the evaluated rate (the paper's protocol) unless the spec
+      // pins a fixed train-time rate.
+      cell_spec.cost_rate =
+          spec.train_cost_rate >= 0.0 ? spec.train_cost_rate : cell.cost_rate;
+      CellResult result;
+      result.key = CellKey{cell_spec.display(),
+                           market::DatasetName(spec.datasets[cell.dataset_index]),
+                           cell.cost_rate, cell.seed};
+      // The cell's RNG root comes from its key, never from scheduling, so
+      // any worker count reproduces the same bits.
+      result.derived_seed = CellSeed(result.key);
+      cell_spec.seed = result.derived_seed;
+      const std::unique_ptr<backtest::Strategy> strategy =
+          strategies::MakeStrategy(cell_spec, dataset);
+      backtest::BacktestRecord record =
+          backtest::RunOnTestRange(strategy.get(), dataset, cell.cost_rate);
+      result.metrics = backtest::ComputeMetrics(record);
+      if (spec.keep_records) result.record = std::move(record);
+      result.wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      sink.Set(cell.index, std::move(result));
+    });
+  }
+  pool.Wait();
+  return sink.Take();
+}
+
+}  // namespace ppn::exec

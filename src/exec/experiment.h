@@ -1,0 +1,126 @@
+#ifndef PPN_EXEC_EXPERIMENT_H_
+#define PPN_EXEC_EXPERIMENT_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "backtest/metrics.h"
+#include "common/run_scale.h"
+#include "common/table_printer.h"
+#include "market/presets.h"
+#include "strategies/registry.h"
+
+/// \file
+/// The declarative experiment harness: an `ExperimentSpec` names the axes
+/// of a sweep (strategy × dataset × cost-rate × seed), the
+/// `ExperimentRunner` fans the independent cells out across a thread pool,
+/// and a thread-safe `ResultSink` collects the `CellResult` rows.
+///
+/// Determinism rule: the RNG seed of every cell is derived from the CELL
+/// KEY (strategy label, dataset name, cost rate, sweep seed) — never from
+/// submission or completion order — so an N-worker run is bit-identical to
+/// the 1-worker (and inline 0-worker) run of the same spec.
+
+namespace ppn::exec {
+
+/// Declarative description of a full sweep. The runner evaluates the cross
+/// product of `datasets` × `strategies` × `cost_rates` × `seeds`.
+struct ExperimentSpec {
+  std::string title;
+  RunScale scale = RunScale::kQuick;
+  std::vector<market::DatasetId> datasets;
+  std::vector<strategies::StrategySpec> strategies;
+  /// Backtest cost rates ψ. Neural cells also TRAIN at the evaluated rate
+  /// unless `train_cost_rate` fixes one.
+  std::vector<double> cost_rates = {0.0025};
+  /// Sweep seeds; each multiplies the grid (multi-seed confidence runs).
+  std::vector<uint64_t> seeds = {1};
+  /// Fixed train-time cost rate; < 0 trains each cell at its evaluated
+  /// backtest rate (the paper's protocol).
+  double train_cost_rate = -1.0;
+  /// Retain each cell's full `BacktestRecord` (wealth curves etc.).
+  bool keep_records = false;
+};
+
+/// Identity of one cell within a sweep.
+struct CellKey {
+  std::string strategy;  ///< `StrategySpec::display()` label.
+  std::string dataset;   ///< Dataset display name.
+  double cost_rate = 0.0025;
+  uint64_t seed = 1;     ///< Sweep-level seed entry.
+};
+
+/// Derives the root RNG seed of a cell from its key alone (FNV-1a over the
+/// key fields with a splitmix64 finalizer). Independent of submission
+/// order, worker count, and the other cells in the spec.
+uint64_t CellSeed(const CellKey& key);
+
+/// Everything produced by one evaluated cell.
+struct CellResult {
+  CellKey key;
+  uint64_t derived_seed = 0;  ///< `CellSeed(key)`; seeds the cell's RNGs.
+  backtest::Metrics metrics;
+  backtest::BacktestRecord record;  ///< Filled when `spec.keep_records`.
+  double wall_seconds = 0.0;
+};
+
+/// Thread-safe, position-addressed collector of cell results. Rows come
+/// back in cell-enumeration order regardless of completion order.
+class ResultSink {
+ public:
+  explicit ResultSink(int64_t num_cells);
+
+  /// Stores the result of cell `index` (thread-safe, each index once).
+  void Set(int64_t index, CellResult result);
+
+  /// Returns all rows in enumeration order; checks every cell reported.
+  std::vector<CellResult> Take();
+
+ private:
+  std::mutex mutex_;
+  std::vector<CellResult> rows_;
+  std::vector<bool> filled_;
+};
+
+/// Metric accessor by the paper's column names: "APV", "SR(%)", "STD(%)",
+/// "MDD(%)", "CR", "TO". Checks the name is known.
+double MetricValue(const backtest::Metrics& metrics,
+                   const std::string& column);
+
+/// Renders rows as a paper-style table: `label_header` heads the first
+/// column, each row is (label, metric columns).
+TablePrinter MakeMetricsTable(
+    const std::string& label_header,
+    const std::vector<std::pair<std::string, const CellResult*>>& rows,
+    const std::vector<std::string>& metric_columns, int precision = 3);
+
+/// Dumps rows as a JSON array (key fields + metrics + wall_seconds), for
+/// machine consumption by `run_benches.sh` and downstream tooling.
+/// Returns false if the file cannot be written.
+bool WriteResultsJson(const std::string& path,
+                      const std::vector<CellResult>& rows);
+
+/// Fans the cells of a spec out across a fixed-size thread pool.
+class ExperimentRunner {
+ public:
+  /// `num_workers` = 0 runs every cell inline on the calling thread; the
+  /// default honors `PPN_WORKERS` (see thread_pool.h).
+  explicit ExperimentRunner(int num_workers);
+  ExperimentRunner();
+
+  /// Evaluates every cell of the spec and returns rows in enumeration
+  /// order: datasets-major, then strategies, then cost rates, then seeds.
+  /// Bit-identical across worker counts.
+  std::vector<CellResult> Run(const ExperimentSpec& spec) const;
+
+  int num_workers() const { return num_workers_; }
+
+ private:
+  int num_workers_;
+};
+
+}  // namespace ppn::exec
+
+#endif  // PPN_EXEC_EXPERIMENT_H_

@@ -1,0 +1,82 @@
+#include "exec/thread_pool.h"
+
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/parallel.h"
+
+namespace ppn::exec {
+
+ThreadPool::ThreadPool(int num_threads) : num_threads_(num_threads) {
+  PPN_CHECK_GE(num_threads, 0);
+  // Leave the kernels' OpenMP parallelism on only while the pool occupies
+  // at most half the machine; a saturating pool owns all cores already and
+  // nested OpenMP teams would only oversubscribe.
+  const bool allow_inner = num_threads * 2 <= HardwareThreads();
+  workers_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, allow_inner] { WorkerLoop(allow_inner); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  PPN_CHECK(task != nullptr);
+  if (num_threads_ == 0) {
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    PPN_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  if (num_threads_ == 0) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
+  SetInnerParallelEnabled(allow_inner_parallel);
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+int DefaultWorkerCount() {
+  const char* value = std::getenv("PPN_WORKERS");
+  if (value != nullptr) {
+    const int workers = std::atoi(value);
+    if (workers >= 0) return workers;
+  }
+  return HardwareThreads();
+}
+
+}  // namespace ppn::exec

@@ -1,0 +1,68 @@
+#ifndef PPN_EXEC_THREAD_POOL_H_
+#define PPN_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file
+/// Fixed-size thread pool for coarse-grained experiment parallelism. Tasks
+/// are independent by contract (the `ExperimentRunner` gives every cell its
+/// own strategy, RNG stream, and result slot), so the pool needs no futures
+/// or task graphs — just submit/wait.
+
+namespace ppn::exec {
+
+/// A fixed-size worker pool executing submitted tasks FIFO.
+///
+/// `num_threads == 0` makes the pool inline: `Submit` runs the task on the
+/// calling thread immediately. This degenerate mode shares every code path
+/// with the threaded mode above it, which is what the determinism tests
+/// compare against.
+///
+/// Workers of a pool that saturates the hardware disable the inner OpenMP
+/// parallelism of the tensor kernels (see common/parallel.h) so cells never
+/// oversubscribe the machine with nested thread teams.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (0 = inline mode).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. In inline mode the task runs before `Submit` returns.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Worker count the pool was built with (0 = inline).
+  int num_threads() const { return num_threads_; }
+
+ private:
+  void WorkerLoop(bool allow_inner_parallel);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  int64_t in_flight_ = 0;  // Queued + currently running tasks.
+  bool shutting_down_ = false;
+};
+
+/// Worker count for experiment runners: the `PPN_WORKERS` environment
+/// variable when set (>= 0), otherwise the hardware thread count.
+int DefaultWorkerCount();
+
+}  // namespace ppn::exec
+
+#endif  // PPN_EXEC_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ppn::nn {
 
@@ -96,7 +97,13 @@ void Adam::Step() {
     float* value = p->mutable_value()->MutableData();
     float* m = first_moment_[i].data();
     float* v = second_moment_[i].data();
-    for (int64_t j = 0; j < p->numel(); ++j) {
+    const int64_t numel = p->numel();
+    // Elementwise with disjoint writes: bit-identical at any thread count.
+#ifdef _OPENMP
+#pragma omp parallel for if (InnerParallelEnabled() && numel > 65536) \
+    schedule(static)
+#endif
+    for (int64_t j = 0; j < numel; ++j) {
       m[j] = beta1_ * m[j] + (1.0f - beta1_) * g[j];
       v[j] = beta2_ * v[j] + (1.0f - beta2_) * g[j] * g[j];
       value[j] -= corrected_lr * m[j] / (std::sqrt(v[j]) + epsilon_) +

@@ -65,6 +65,23 @@ ag::Var CriticNetwork::Forward(const ag::Var& windows,
 
 // -------------------------------------------------------- DdpgTrainer ----
 
+void DdpgConfig::Validate() const {
+  PPN_CHECK_GT(steps, 0);
+  PPN_CHECK_GT(batch_size, 0);
+  PPN_CHECK_GE(warmup, 0);
+  PPN_CHECK_GE(buffer_capacity, batch_size)
+      << "replay buffer smaller than a minibatch";
+  PPN_CHECK_GT(actor_lr, 0.0f);
+  PPN_CHECK_GT(critic_lr, 0.0f);
+  PPN_CHECK(tau > 0.0f && tau <= 1.0f) << "tau out of (0, 1]: " << tau;
+  PPN_CHECK(discount >= 0.0f && discount <= 1.0f)
+      << "discount out of [0, 1]: " << discount;
+  PPN_CHECK(explore_start >= 0.0 && explore_start <= 1.0);
+  PPN_CHECK(explore_end >= 0.0 && explore_end <= 1.0);
+  PPN_CHECK(cost_rate >= 0.0 && cost_rate < 1.0)
+      << "cost_rate out of [0, 1): " << cost_rate;
+}
+
 DdpgTrainer::DdpgTrainer(PolicyModule* actor,
                          const market::MarketDataset& dataset,
                          DdpgConfig config)
@@ -76,6 +93,7 @@ DdpgTrainer::DdpgTrainer(PolicyModule* actor,
       last_period_(dataset.train_end),
       rng_(config_.seed),
       dropout_rng_(config_.seed ^ 0xD00DULL) {
+  config_.Validate();
   PPN_CHECK(actor != nullptr);
   PPN_CHECK_EQ(dataset.panel.num_assets(), num_assets_);
   PPN_CHECK_GT(last_period_ - first_period_, 2);

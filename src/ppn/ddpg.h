@@ -59,6 +59,12 @@ struct DdpgConfig {
   double explore_end = 0.02;
   double cost_rate = 0.0025;   ///< ψ for the per-period reward.
   uint64_t seed = 3;
+
+  /// Checks steps/batch_size > 0, warmup ≥ 0, buffer_capacity ≥
+  /// batch_size, both learning rates > 0, tau ∈ (0, 1], discount ∈ [0, 1],
+  /// explore weights in [0, 1], and ψ ∈ [0, 1). Aborts on violation;
+  /// called at trainer construction.
+  void Validate() const;
 };
 
 /// Trains a PPN actor with DDPG on a dataset's training range.

@@ -6,6 +6,13 @@
 
 namespace ppn::core {
 
+void RewardConfig::Validate() const {
+  PPN_CHECK_GE(lambda, 0.0);
+  PPN_CHECK_GE(gamma, 0.0);
+  PPN_CHECK(cost_rate >= 0.0 && cost_rate < 1.0)
+      << "cost_rate out of [0, 1): " << cost_rate;
+}
+
 ag::Var CostSensitiveReward(const ag::Var& actions, const RewardInputs& inputs,
                             const RewardConfig& config,
                             RewardBreakdown* breakdown,

@@ -30,6 +30,10 @@ struct RewardConfig {
   /// stop-gradient log ω_t factor — the plain rebalanced-log-return
   /// objective the EIIE baseline optimizes.
   bool differentiable_cost = true;
+
+  /// Checks λ ≥ 0, γ ≥ 0 and ψ ∈ [0, 1); aborts with a message on
+  /// violation. Called by every trainer at construction.
+  void Validate() const;
 };
 
 /// Constant (non-differentiated) per-period context of a reward evaluation.

@@ -7,6 +7,17 @@
 
 namespace ppn::core {
 
+void TrainerConfig::Validate() const {
+  PPN_CHECK_GT(batch_size, 0);
+  PPN_CHECK_GT(steps, 0);
+  PPN_CHECK_GT(learning_rate, 0.0f);
+  PPN_CHECK_GE(weight_decay, 0.0f);
+  PPN_CHECK_GT(grad_clip, 0.0);
+  PPN_CHECK(geometric_p >= 0.0 && geometric_p < 1.0)
+      << "geometric_p out of [0, 1): " << geometric_p;
+  reward.Validate();
+}
+
 PolicyGradientTrainer::PolicyGradientTrainer(
     PolicyModule* policy, const market::MarketDataset& dataset,
     TrainerConfig config)
@@ -18,6 +29,7 @@ PolicyGradientTrainer::PolicyGradientTrainer(
       last_period_(dataset.train_end),
       pvm_(dataset.panel.num_periods(), policy->config().num_assets),
       rng_(config_.seed) {
+  config_.Validate();
   PPN_CHECK(policy != nullptr);
   PPN_CHECK_EQ(dataset.panel.num_assets(), num_assets_);
   PPN_CHECK_GT(last_period_ - first_period_, config_.batch_size)

@@ -31,6 +31,12 @@ struct TrainerConfig {
   double geometric_p = 0.0;
   RewardConfig reward;
   uint64_t seed = 1;
+
+  /// Checks batch_size/steps > 0, learning_rate > 0, weight_decay ≥ 0,
+  /// grad_clip > 0, geometric_p ∈ [0, 1), and `reward` (see
+  /// RewardConfig::Validate). Aborts on violation; called at trainer
+  /// construction.
+  void Validate() const;
 };
 
 /// Trains a policy on a dataset's training range by direct policy gradient.

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace ppn {
 
@@ -104,7 +105,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.Data();
   float* po = out.MutableData();
 #ifdef _OPENMP
-#pragma omp parallel for if (m * n * k > 65536) schedule(static)
+#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
+    schedule(static)
 #endif
   for (int64_t i = 0; i < m; ++i) {
     float* out_row = po + i * n;
@@ -129,13 +131,20 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const float* pa = a.Data();
   const float* pb = b.Data();
   float* po = out.MutableData();
-  for (int64_t p = 0; p < k; ++p) {
-    const float* a_row = pa + p * m;
-    const float* b_row = pb + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float a_pi = a_row[i];
+  // Rows of the output are independent, so the parallel loop runs over i
+  // with p inner. Each out[i][j] still accumulates its k terms in
+  // p-ascending order — the same float summation order as the serial
+  // p-outer form — so results are bit-identical at any thread count.
+#ifdef _OPENMP
+#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
+    schedule(static)
+#endif
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = po + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      const float a_pi = pa[p * m + i];
       if (a_pi == 0.0f) continue;
-      float* out_row = po + i * n;
+      const float* b_row = pb + p * n;
       for (int64_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
     }
   }
@@ -154,7 +163,8 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const float* pb = b.Data();
   float* po = out.MutableData();
 #ifdef _OPENMP
-#pragma omp parallel for if (m * n * k > 65536) schedule(static)
+#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
+    schedule(static)
 #endif
   for (int64_t i = 0; i < m; ++i) {
     const float* a_row = pa + i * k;
@@ -353,7 +363,8 @@ Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
   const float* pi = input.Data();
   float* pc = columns.MutableData();
 #ifdef _OPENMP
-#pragma omp parallel for if (n * out_h * out_w * patch > 65536) \
+#pragma omp parallel for \
+    if (InnerParallelEnabled() && n * out_h * out_w * patch > 65536) \
     schedule(static)
 #endif
   for (int64_t b = 0; b < n; ++b) {
@@ -397,6 +408,14 @@ Tensor Col2Im(const Tensor& columns, const std::vector<int64_t>& input_shape,
   Tensor image(input_shape);
   const float* pc = columns.Data();
   float* pi = image.MutableData();
+  // Parallel over the batch only: overlapping patches of one image
+  // accumulate into shared pixels, but images never alias each other, and
+  // the within-image accumulation order is untouched (bit-identical).
+#ifdef _OPENMP
+#pragma omp parallel for \
+    if (InnerParallelEnabled() && n * out_h * out_w * patch > 65536) \
+    schedule(static)
+#endif
   for (int64_t b = 0; b < n; ++b) {
     for (int64_t oy = 0; oy < out_h; ++oy) {
       for (int64_t ox = 0; ox < out_w; ++ox) {

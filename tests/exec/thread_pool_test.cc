@@ -1,0 +1,142 @@
+// Tests for the fixed-size thread pool: inline mode, completion of all
+// submitted tasks, Wait semantics, and the inner-parallelism guard that
+// stops pool workers from oversubscribing the tensor kernels.
+
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace ppn::exec {
+namespace {
+
+TEST(ThreadPoolTest, InlineModeRunsTaskOnCallingThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id observed;
+  bool ran = false;
+  pool.Submit([&] {
+    observed = std::this_thread::get_id();
+    ran = true;
+  });
+  // Inline mode runs the task before Submit returns.
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(observed, caller);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  constexpr int kTasks = 200;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilTasksFinish) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+  // Wait on an already-drained pool returns immediately.
+  pool.Wait();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(ThreadPoolTest, TasksRunOnWorkerThreads) {
+  ThreadPool pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int> off_caller{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      if (std::this_thread::get_id() != caller) off_caller.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(off_caller.load(), 16);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+    // No Wait(): the destructor must drain the queue before joining.
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPoolTest, SaturatingPoolDisablesInnerParallelismInWorkers) {
+  // A pool as wide as the machine (always "saturating" under the
+  // num_threads * 2 > HardwareThreads() rule) must run its tasks with the
+  // inner OpenMP parallelism disabled; the calling thread is unaffected.
+  ThreadPool pool(HardwareThreads());
+  std::atomic<int> inner_enabled_count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&] {
+      if (InnerParallelEnabled()) inner_enabled_count.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(inner_enabled_count.load(), 0);
+  EXPECT_TRUE(InnerParallelEnabled());
+}
+
+TEST(ThreadPoolTest, InlineModeKeepsInnerParallelismEnabled) {
+  // Inline mode runs on the caller: one cell at a time, so the tensor
+  // kernels keep their inner parallelism.
+  ThreadPool pool(0);
+  bool inner = false;
+  pool.Submit([&] { inner = InnerParallelEnabled(); });
+  pool.Wait();
+  EXPECT_TRUE(inner);
+}
+
+TEST(ScopedInnerParallelDisableTest, RestoresOnExit) {
+  ASSERT_TRUE(InnerParallelEnabled());
+  {
+    ScopedInnerParallelDisable guard;
+    EXPECT_FALSE(InnerParallelEnabled());
+  }
+  EXPECT_TRUE(InnerParallelEnabled());
+}
+
+TEST(DefaultWorkerCountTest, HonorsEnvironmentVariable) {
+  const char* saved = std::getenv("PPN_WORKERS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  setenv("PPN_WORKERS", "3", 1);
+  EXPECT_EQ(DefaultWorkerCount(), 3);
+  setenv("PPN_WORKERS", "0", 1);
+  EXPECT_EQ(DefaultWorkerCount(), 0);
+
+  if (saved == nullptr) {
+    unsetenv("PPN_WORKERS");
+  } else {
+    setenv("PPN_WORKERS", saved_value.c_str(), 1);
+  }
+  EXPECT_GE(DefaultWorkerCount(), 0);
+}
+
+}  // namespace
+}  // namespace ppn::exec

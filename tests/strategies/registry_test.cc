@@ -1,0 +1,218 @@
+// Tests for the unified strategy registry: name-list consistency, the
+// `MakeStrategy` factory covering classics and neural policies through one
+// call, lookahead safety of registry-built strategies, determinism in the
+// spec seed, and `StrategySpec::Validate` contract checks.
+
+#include "strategies/registry.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "backtest/backtester.h"
+#include "common/math_utils.h"
+#include "market/generator.h"
+#include "market/presets.h"
+#include "strategies/common.h"
+
+namespace ppn::strategies {
+namespace {
+
+market::OhlcPanel SyntheticPanel(uint64_t seed = 3, int64_t assets = 5,
+                                 int64_t periods = 300) {
+  market::SyntheticMarketConfig config;
+  config.num_assets = assets;
+  config.num_periods = periods;
+  config.seed = seed;
+  config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.Generate();
+}
+
+/// Wraps a synthetic panel in a dataset (classics ignore the split).
+market::MarketDataset SyntheticDataset() {
+  market::MarketDataset dataset;
+  dataset.name = "registry-test";
+  dataset.panel = SyntheticPanel();
+  dataset.train_end = 200;
+  return dataset;
+}
+
+// --- Name lists. ---------------------------------------------------------
+
+TEST(RegistryNamesTest, TwelveClassicsAndTheNeuralFamily) {
+  const std::vector<std::string> classics = ClassicBaselineNames();
+  EXPECT_EQ(classics.size(), 12u);
+  const std::vector<std::string> neurals = NeuralStrategyNames();
+  for (const char* required : {"PPN", "EIIE", "PPN-AC"}) {
+    EXPECT_NE(std::find(neurals.begin(), neurals.end(), required),
+              neurals.end())
+        << required;
+  }
+}
+
+TEST(RegistryNamesTest, AllNamesIsClassicsThenNeurals) {
+  const std::vector<std::string> all = AllStrategyNames();
+  const std::vector<std::string> classics = ClassicBaselineNames();
+  const std::vector<std::string> neurals = NeuralStrategyNames();
+  ASSERT_EQ(all.size(), classics.size() + neurals.size());
+  for (size_t i = 0; i < classics.size(); ++i) EXPECT_EQ(all[i], classics[i]);
+  for (size_t i = 0; i < neurals.size(); ++i) {
+    EXPECT_EQ(all[classics.size() + i], neurals[i]);
+  }
+}
+
+TEST(RegistryNamesTest, PredicatesPartitionTheNames) {
+  for (const std::string& name : AllStrategyNames()) {
+    EXPECT_NE(IsClassicBaselineName(name), IsNeuralStrategyName(name))
+        << name << " must be exactly one of classic/neural";
+  }
+  EXPECT_FALSE(IsClassicBaselineName("Nope"));
+  EXPECT_FALSE(IsNeuralStrategyName("Nope"));
+}
+
+TEST(StrategySpecTest, DisplayFallsBackToName) {
+  StrategySpec spec{.name = "PPN"};
+  EXPECT_EQ(spec.display(), "PPN");
+  spec.label = "PPN gamma=0";
+  EXPECT_EQ(spec.display(), "PPN gamma=0");
+}
+
+// --- MakeStrategy: classics. ---------------------------------------------
+
+TEST(MakeStrategyTest, ClassicsMatchTheDeprecatedShim) {
+  const market::MarketDataset dataset = SyntheticDataset();
+  for (const std::string& name : ClassicBaselineNames()) {
+    SCOPED_TRACE(name);
+    auto via_registry = MakeStrategy({.name = name}, dataset);
+    auto via_shim = MakeClassicBaseline(name);
+    ASSERT_NE(via_registry, nullptr);
+    ASSERT_NE(via_shim, nullptr);
+    EXPECT_EQ(via_registry->name(), via_shim->name());
+    via_registry->Reset(dataset.panel, 40);
+    via_shim->Reset(dataset.panel, 40);
+    std::vector<double> prev_hat =
+        UniformRiskPortfolio(dataset.panel.num_assets());
+    for (int64_t t = 40; t < 80; ++t) {
+      const std::vector<double> a =
+          via_registry->Decide(dataset.panel, t, prev_hat);
+      const std::vector<double> b = via_shim->Decide(dataset.panel, t, prev_hat);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+    }
+  }
+}
+
+TEST(MakeStrategyTest, ClassicsHaveNoLookahead) {
+  // The registry-built strategies must not read past the decision period:
+  // rewrite the future of one panel and check decisions stay identical.
+  const market::MarketDataset dataset = SyntheticDataset();
+  market::OhlcPanel mutated = SyntheticPanel();
+  for (int64_t t = 150; t < mutated.num_periods(); ++t) {
+    for (int64_t a = 0; a < mutated.num_assets(); ++a) {
+      for (int f = 0; f < market::kNumPriceFields; ++f) {
+        mutated.SetPrice(t, a, static_cast<market::PriceField>(f),
+                         1.0 + 0.01 * (a + f + t % 7));
+      }
+    }
+  }
+  for (const std::string& name : ClassicBaselineNames()) {
+    if (name == "Best") continue;  // Hindsight oracle by definition.
+    SCOPED_TRACE(name);
+    auto strategy_a = MakeStrategy({.name = name}, dataset);
+    auto strategy_b = MakeStrategy({.name = name}, dataset);
+    strategy_a->Reset(dataset.panel, 40);
+    strategy_b->Reset(mutated, 40);
+    const std::vector<double> prev_hat =
+        UniformRiskPortfolio(dataset.panel.num_assets());
+    for (int64_t t = 40; t < 150; ++t) {
+      const std::vector<double> action_a =
+          strategy_a->Decide(dataset.panel, t, prev_hat);
+      const std::vector<double> action_b =
+          strategy_b->Decide(mutated, t, prev_hat);
+      ASSERT_EQ(action_a.size(), action_b.size());
+      for (size_t i = 0; i < action_a.size(); ++i) {
+        ASSERT_NEAR(action_a[i], action_b[i], 1e-12)
+            << name << " leaked future data at t=" << t;
+      }
+    }
+  }
+}
+
+// --- MakeStrategy: neural policies. --------------------------------------
+
+StrategySpec TinyPpnSpec() {
+  StrategySpec spec{.name = "PPN"};
+  spec.base_steps = 8;  // kSmoke divides by 8 -> a 1-step training run.
+  spec.scale = RunScale::kSmoke;
+  spec.seed = 5;
+  return spec;
+}
+
+TEST(MakeStrategyTest, TrainsAndBacktestsANeuralPolicy) {
+  const market::MarketDataset dataset =
+      market::MakeDataset(market::DatasetId::kCryptoA, RunScale::kSmoke);
+  StrategySpec spec = TinyPpnSpec();
+  spec.label = "PPN (tiny)";
+  auto strategy = MakeStrategy(spec, dataset);
+  ASSERT_NE(strategy, nullptr);
+  EXPECT_EQ(strategy->name(), "PPN (tiny)");
+  const backtest::BacktestRecord record =
+      backtest::RunOnTestRange(strategy.get(), dataset, 0.0025);
+  ASSERT_FALSE(record.actions.empty());
+  for (const auto& action : record.actions) {
+    EXPECT_TRUE(IsOnSimplex(action, 1e-4));
+  }
+  EXPECT_GT(record.wealth_curve.back(), 0.0);
+}
+
+TEST(MakeStrategyTest, NeuralTrainingIsDeterministicInTheSeed) {
+  const market::MarketDataset dataset =
+      market::MakeDataset(market::DatasetId::kCryptoA, RunScale::kSmoke);
+  const StrategySpec spec = TinyPpnSpec();
+  auto first = MakeStrategy(spec, dataset);
+  auto second = MakeStrategy(spec, dataset);
+  first->Reset(dataset.panel, dataset.train_end);
+  second->Reset(dataset.panel, dataset.train_end);
+  const std::vector<double> prev_hat =
+      UniformRiskPortfolio(dataset.panel.num_assets());
+  for (int64_t t = dataset.train_end; t < dataset.train_end + 5; ++t) {
+    const std::vector<double> a = first->Decide(dataset.panel, t, prev_hat);
+    const std::vector<double> b = second->Decide(dataset.panel, t, prev_hat);
+    ASSERT_EQ(a.size(), b.size());
+    // Bitwise equality: identical seeds must reproduce identical policies.
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "t=" << t;
+  }
+}
+
+// --- Validate contract. --------------------------------------------------
+
+TEST(StrategySpecDeathTest, UnknownNameAborts) {
+  const market::MarketDataset dataset = SyntheticDataset();
+  EXPECT_DEATH(MakeStrategy({.name = "Nope"}, dataset), "unknown strategy");
+}
+
+TEST(StrategySpecDeathTest, MalformedKnobsAbort) {
+  StrategySpec spec{.name = "PPN"};
+  spec.gamma = -1.0;
+  EXPECT_DEATH(spec.Validate(), "");
+  spec = StrategySpec{.name = "PPN"};
+  spec.lambda = -0.5;
+  EXPECT_DEATH(spec.Validate(), "");
+  spec = StrategySpec{.name = "PPN"};
+  spec.cost_rate = 1.0;
+  EXPECT_DEATH(spec.Validate(), "cost_rate");
+  spec = StrategySpec{.name = "PPN"};
+  spec.base_steps = 0;
+  EXPECT_DEATH(spec.Validate(), "");
+}
+
+TEST(StrategySpecDeathTest, ShimRejectsNeuralNames) {
+  // The deprecated shim only covers classics; neural names must go through
+  // MakeStrategy (they need a dataset to train on).
+  EXPECT_DEATH(MakeClassicBaseline("PPN"), "unknown baseline");
+}
+
+}  // namespace
+}  // namespace ppn::strategies

@@ -6,18 +6,28 @@
 //                      --weights ppn.weights]
 //   ppn_cli backtest  --dataset crypto-a --variant PPN --weights ppn.weights
 //   ppn_cli baselines --dataset crypto-a
+//   ppn_cli sweep     --datasets crypto-a,crypto-b
+//                     [--strategies UBAH,EIIE,PPN --costs 0.0025,0.01
+//                      --seeds 1,2 --steps 400 --gamma 1e-3 --lambda 1e-4
+//                      --workers 4 --json results.json]
 //
 // `--dataset` accepts crypto-a/b/c/d and sp500 (generated presets honoring
 // PPN_SCALE), or `--data <prefix>` to load a panel saved by `generate`.
+// `sweep` fans the (strategy × dataset × cost × seed) grid across a worker
+// pool (default: PPN_WORKERS or the hardware thread count) with results
+// bit-identical at any worker count.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "backtest/backtester.h"
 #include "common/table_printer.h"
+#include "exec/experiment.h"
+#include "exec/thread_pool.h"
 #include "market/io.h"
 #include "market/presets.h"
 #include "ppn/strategy_adapter.h"
@@ -186,7 +196,7 @@ int CmdBaselines(const Flags& flags) {
   const double cost = NumFlagOr(flags, "cost", 0.0025);
   TablePrinter printer({"Algos", "APV", "SR(%)", "CR", "MDD(%)", "TO"});
   for (const std::string& name : strategies::ClassicBaselineNames()) {
-    auto strategy = strategies::MakeClassicBaseline(name);
+    auto strategy = strategies::MakeStrategy({.name = name}, dataset);
     const backtest::Metrics m = backtest::ComputeMetrics(
         backtest::RunOnTestRange(strategy.get(), dataset, cost));
     printer.AddRow(name, {m.apv, m.sr_pct, m.cr, m.mdd_pct, m.turnover}, 3);
@@ -196,9 +206,115 @@ int CmdBaselines(const Flags& flags) {
   return 0;
 }
 
+std::vector<std::string> SplitCsvList(const std::string& text) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (const char c : text) {
+    if (c == ',') {
+      if (!current.empty()) parts.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+int CmdSweep(const Flags& flags) {
+  exec::ExperimentSpec spec;
+  spec.title = "sweep";
+  spec.scale = GetRunScale();
+  const std::string datasets_flag =
+      FlagOr(flags, "datasets", FlagOr(flags, "dataset", "crypto-a"));
+  for (const std::string& name : SplitCsvList(datasets_flag)) {
+    market::DatasetId id;
+    if (!DatasetIdFromName(name, &id)) {
+      std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
+      return 2;
+    }
+    spec.datasets.push_back(id);
+  }
+  // Absent --strategies sweeps the whole registry; an explicitly empty
+  // value is almost certainly a scripting mistake, not a request for the
+  // full (expensive) roster.
+  std::vector<std::string> names;
+  if (flags.count("strategies") == 0) {
+    names = strategies::AllStrategyNames();
+  } else {
+    names = SplitCsvList(flags.at("strategies"));
+    if (names.empty()) {
+      std::fprintf(stderr,
+                   "--strategies is empty; omit the flag to sweep every "
+                   "registered strategy\n");
+      return 2;
+    }
+  }
+  for (const std::string& name : names) {
+    strategies::StrategySpec strategy{.name = name};
+    strategy.gamma = NumFlagOr(flags, "gamma", strategy.gamma);
+    strategy.lambda = NumFlagOr(flags, "lambda", strategy.lambda);
+    strategy.base_steps =
+        static_cast<int64_t>(NumFlagOr(flags, "steps", strategy.base_steps));
+    spec.strategies.push_back(strategy);
+  }
+  if (flags.count("costs") > 0) {
+    spec.cost_rates.clear();
+    for (const std::string& rate : SplitCsvList(flags.at("costs"))) {
+      spec.cost_rates.push_back(std::atof(rate.c_str()));
+    }
+  }
+  if (flags.count("seeds") > 0) {
+    spec.seeds.clear();
+    for (const std::string& seed : SplitCsvList(flags.at("seeds"))) {
+      spec.seeds.push_back(
+          static_cast<uint64_t>(std::strtoull(seed.c_str(), nullptr, 10)));
+    }
+  }
+
+  const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
+  const exec::ExperimentRunner runner(
+      workers >= 0 ? workers : exec::DefaultWorkerCount());
+  std::printf("sweep: %zu cells across %d workers\n\n",
+              spec.datasets.size() * spec.strategies.size() *
+                  spec.cost_rates.size() * spec.seeds.size(),
+              runner.num_workers());
+  const bool many_costs = spec.cost_rates.size() > 1;
+  const bool many_seeds = spec.seeds.size() > 1;
+  const std::vector<exec::CellResult> rows = runner.Run(spec);
+
+  for (const market::DatasetId id : spec.datasets) {
+    const std::string dataset_name = market::DatasetName(id);
+    std::vector<std::pair<std::string, const exec::CellResult*>> table_rows;
+    for (const exec::CellResult& row : rows) {
+      if (row.key.dataset != dataset_name) continue;
+      std::string label = row.key.strategy;
+      if (many_costs) {
+        label += " c=" + TablePrinter::FormatCell(row.key.cost_rate, 4);
+      }
+      if (many_seeds) label += " s" + std::to_string(row.key.seed);
+      table_rows.emplace_back(std::move(label), &row);
+    }
+    const TablePrinter printer = exec::MakeMetricsTable(
+        "Algos", table_rows,
+        {"APV", "SR(%)", "STD(%)", "MDD(%)", "CR", "TO"});
+    std::printf("--- %s ---\n%s\n", dataset_name.c_str(),
+                printer.ToString().c_str());
+  }
+  if (flags.count("json") > 0) {
+    const std::string path = flags.at("json");
+    if (!exec::WriteResultsJson(path, rows)) {
+      std::fprintf(stderr, "failed writing '%s'\n", path.c_str());
+      return 1;
+    }
+    std::printf("results written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppn_cli <generate|train|backtest|baselines> "
+               "usage: ppn_cli <generate|train|backtest|baselines|sweep> "
                "[--flag value ...]\n"
                "see the header comment of tools/ppn_cli.cc for details\n");
 }
@@ -216,6 +332,7 @@ int main(int argc, char** argv) {
   if (command == "train") return CmdTrain(flags);
   if (command == "backtest") return CmdBacktest(flags);
   if (command == "baselines") return CmdBaselines(flags);
+  if (command == "sweep") return CmdSweep(flags);
   Usage();
   return 2;
 }
