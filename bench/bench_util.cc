@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/csv.h"
 #include "exec/thread_pool.h"
+#include "obs/stats.h"
 
 namespace ppn::bench {
 
@@ -66,6 +67,13 @@ BenchContext::BenchContext(std::string title)
   PrintBenchHeader(title_, scale_);
 }
 
+BenchContext::~BenchContext() {
+  if (obs::WriteProfileIfRequested()) {
+    std::fprintf(stderr, "profile written to %s\n",
+                 std::getenv("PPN_PROFILE_JSON"));
+  }
+}
+
 const market::MarketDataset& BenchContext::dataset(market::DatasetId id) {
   auto it = datasets_.find(id);
   if (it == datasets_.end()) {
@@ -86,6 +94,19 @@ std::vector<exec::CellResult> BenchContext::Run(
     if (!exec::WriteResultsJson(path, rows)) {
       std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     }
+  }
+  // Per-cell wall times, printed ONLY under profiling so the metric output
+  // of a plain run stays bit-identical to an uninstrumented build.
+  if (obs::Enabled() && !rows.empty()) {
+    std::printf("--- cell wall times (profiling) ---\n");
+    TablePrinter timing({"Cell", "wall(s)"});
+    for (const exec::CellResult& row : rows) {
+      timing.AddRow(row.key.strategy + " | " + row.key.dataset + " | psi=" +
+                        TablePrinter::FormatCell(row.key.cost_rate, 4) +
+                        " | seed=" + std::to_string(row.key.seed),
+                    {row.wall_seconds}, 3);
+    }
+    std::printf("%s\n", timing.ToString().c_str());
   }
   return rows;
 }

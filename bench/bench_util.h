@@ -30,6 +30,10 @@ class BenchContext {
   /// Prints the bench header for `title` at the active `PPN_SCALE` tier.
   explicit BenchContext(std::string title);
 
+  /// Writes the merged obs profile to `PPN_PROFILE_JSON` when that
+  /// variable is set (after every spec of the binary has run).
+  ~BenchContext();
+
   RunScale scale() const { return scale_; }
 
   /// Generates (and caches) a dataset preset at the context's scale, for

@@ -2,8 +2,12 @@
 # Runs every bench binary sequentially and records the combined output.
 # Table benches also dump machine-readable per-cell results (one
 # "<slug>.cells.json" per bench) into bench_results/, keyed by the
-# PPN_RESULTS_JSON directory. PPN_WORKERS controls experiment parallelism
-# (default: hardware thread count; 0 forces the serial inline path).
+# PPN_RESULTS_JSON directory. Each bench additionally runs with
+# PPN_PROFILE_JSON set, so a merged observability profile
+# ("<bench>.profile.json": kernel counters, per-cell wall times, solver
+# iteration stats, reward traces) is archived next to the results JSON.
+# PPN_WORKERS controls experiment parallelism (default: hardware thread
+# count; 0 forces the serial inline path).
 cd /root/repo
 mkdir -p bench_results
 PPN_RESULTS_JSON=/root/repo/bench_results
@@ -12,7 +16,7 @@ export PPN_RESULTS_JSON
   for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
       echo "===== RUNNING $(basename "$b") ====="
-      "$b"
+      PPN_PROFILE_JSON="/root/repo/bench_results/$(basename "$b").profile.json" "$b"
       echo ""
     fi
   done

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/stats.h"
 
 namespace ppn::ag {
 
@@ -388,6 +389,15 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
   const int64_t out_h = geometry.OutH(h);
   const int64_t out_w = geometry.OutW(w);
   const int64_t patch = c_in * geometry.kernel_h * geometry.kernel_w;
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& calls =
+        obs::GetCounter("nn.conv2d.calls");
+    static thread_local obs::Counter& flops =
+        obs::GetCounter("nn.conv2d.flops");
+    calls.Add(1.0);
+    flops.Add(2.0 * static_cast<double>(batch * out_h * out_w) *
+              static_cast<double>(patch) * static_cast<double>(c_out));
+  }
 
   Tensor columns = Im2Col(input->value(), geometry);  // [B*OH*OW, patch]
   Tensor weight_matrix = weight->value().Reshaped({c_out, patch});

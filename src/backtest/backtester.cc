@@ -55,7 +55,13 @@ BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
     }
     for (double& v : action) v /= total;
 
-    const double omega = SolveNetWealthFactor(prev_hat, action, config.costs);
+    const NetWealthSolve solve =
+        SolveNetWealthFactorDetailed(prev_hat, action, config.costs);
+    PPN_CHECK(solve.converged)
+        << "net-wealth solve failed at t=" << t << " for " << strategy->name()
+        << " (psi_p=" << config.costs.purchase_rate
+        << ", psi_s=" << config.costs.sale_rate << ")";
+    const double omega = solve.omega;
     const std::vector<double> relative =
         market::PriceRelativesWithCash(panel, t);
     const double gross_return = Dot(action, relative);

@@ -1,9 +1,11 @@
 #include "backtest/costs.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
 #include "common/math_utils.h"
+#include "obs/stats.h"
 
 namespace ppn::backtest {
 
@@ -26,21 +28,66 @@ double CostFractionAt(const std::vector<double>& prev_hat,
   return model.sale_rate * sales + model.purchase_rate * purchases;
 }
 
-double SolveNetWealthFactor(const std::vector<double>& prev_hat,
-                            const std::vector<double>& target,
-                            const CostModel& model) {
+NetWealthSolve SolveNetWealthFactorDetailed(const std::vector<double>& prev_hat,
+                                            const std::vector<double>& target,
+                                            const CostModel& model) {
   PPN_CHECK(model.purchase_rate >= 0.0 && model.purchase_rate < 1.0);
   PPN_CHECK(model.sale_rate >= 0.0 && model.sale_rate < 1.0);
   PPN_CHECK(IsOnSimplex(prev_hat, 1e-6)) << "prev_hat not a portfolio";
   PPN_CHECK(IsOnSimplex(target, 1e-6)) << "target not a portfolio";
+  // The map ω ↦ 1 − c(ω) contracts with factor ≤ max(ψ_p, ψ_s), so the
+  // iterate gains −log₂ψ bits per step and the cap below is loose by
+  // orders of magnitude for any realistic rate. Roundoff in c(ω) is
+  // amplified by 1/(1−ψ) at the fixed point, so the convergence tolerance
+  // must widen accordingly or high-ψ solves would oscillate forever at the
+  // noise floor. At the paper's ψ = 0.25% both adjustments are inert and
+  // the iteration sequence is identical to the original solver.
+  const double max_rate = std::max(model.purchase_rate, model.sale_rate);
+  const double tolerance = std::max(1e-14, 1e-15 / (1.0 - max_rate));
+  constexpr int kMaxIterations = 50000;
+  NetWealthSolve solve;
+  solve.converged = false;
   double omega = 1.0;
-  for (int iteration = 0; iteration < 200; ++iteration) {
+  for (int iteration = 0; iteration < kMaxIterations; ++iteration) {
     const double next =
         1.0 - CostFractionAt(prev_hat, target, omega, model);
-    if (std::fabs(next - omega) < 1e-14) return next;
+    if (std::fabs(next - omega) < tolerance) {
+      omega = next;
+      solve.iterations = iteration + 1;
+      solve.converged = true;
+      break;
+    }
     omega = next;
   }
-  return omega;
+  if (!solve.converged) solve.iterations = kMaxIterations;
+  solve.omega = omega;
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& calls =
+        obs::GetCounter("backtest.solver.calls");
+    static thread_local obs::Histogram& iterations =
+        obs::GetHistogram("backtest.solver.iterations");
+    calls.Add(1.0);
+    iterations.Observe(static_cast<double>(solve.iterations));
+    if (!solve.converged) {
+      static thread_local obs::Counter& nonconverged =
+          obs::GetCounter("backtest.solver.nonconverged");
+      nonconverged.Add(1.0);
+    }
+  }
+  return solve;
+}
+
+double SolveNetWealthFactor(const std::vector<double>& prev_hat,
+                            const std::vector<double>& target,
+                            const CostModel& model) {
+  const NetWealthSolve solve =
+      SolveNetWealthFactorDetailed(prev_hat, target, model);
+  PPN_CHECK(solve.converged)
+      << "net-wealth fixed point did not converge after" << solve.iterations
+      << "iterations (psi_p=" << model.purchase_rate
+      << ", psi_s=" << model.sale_rate << ", last omega=" << solve.omega
+      << ")";
+  return solve.omega;
 }
 
 std::vector<double> DriftPortfolio(const std::vector<double>& previous_action,

@@ -33,9 +33,29 @@ double CostFractionAt(const std::vector<double>& prev_hat,
                       const std::vector<double>& target, double omega,
                       const CostModel& model);
 
-/// Solves the fixed point ω = 1 - c(ω) by damped iteration; returns ω_t in
-/// (0, 1]. `prev_hat` and `target` are (m+1)-dim simplex vectors with cash
-/// at index 0. Converges in a handful of iterations for ψ < 1.
+/// Outcome of the net-wealth fixed-point solve.
+struct NetWealthSolve {
+  double omega = 1.0;    ///< Final iterate (the solution when converged).
+  int iterations = 0;    ///< Fixed-point steps taken.
+  bool converged = true;
+};
+
+/// Solves the fixed point ω = 1 - c(ω) by direct iteration and reports the
+/// outcome. `prev_hat` and `target` are (m+1)-dim simplex vectors with cash
+/// at index 0. The iteration contracts with factor ≈ ψ, so convergence
+/// takes O(1/(1-ψ)) steps: a handful at realistic rates, a few hundred as
+/// ψ → 0.9, which is why the cap is generous. The tolerance widens with ψ
+/// to stay above the floating-point noise floor of the map (amplified by
+/// 1/(1-ψ) at the fixed point). Non-convergence is counted in the obs
+/// registry (`backtest.solver.nonconverged`) but NOT checked here, so
+/// callers can decide how to fail.
+NetWealthSolve SolveNetWealthFactorDetailed(const std::vector<double>& prev_hat,
+                                            const std::vector<double>& target,
+                                            const CostModel& model);
+
+/// Convenience wrapper returning ω_t in (0, 1]. PPN_CHECK-aborts if the
+/// iteration did not converge (previously it silently returned the last
+/// iterate, corrupting downstream wealth trajectories).
 double SolveNetWealthFactor(const std::vector<double>& prev_hat,
                             const std::vector<double>& target,
                             const CostModel& model);

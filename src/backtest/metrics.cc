@@ -27,7 +27,11 @@ Metrics ComputeMetrics(const BacktestRecord& record) {
   const double mean_return = Mean(record.log_returns);
   const double std_return = StdDev(record.log_returns);
   metrics.std_pct = std_return * 100.0;
-  metrics.sr_pct = std_return > 0.0 ? mean_return / std_return * 100.0 : 0.0;
+  // Sharpe with a 1e-6 volatility floor (mirroring the CR drawdown floor
+  // below): a zero-variance profitable strategy reports a large positive
+  // SR rather than 0, preserving the sign of the mean return. The floor
+  // only binds when std < 1e-6; all other values are unchanged.
+  metrics.sr_pct = mean_return / std::max(std_return, 1e-6) * 100.0;
   const double mdd = MaxDrawdown(record.wealth_curve);
   metrics.mdd_pct = mdd * 100.0;
   // Calmar ratio as profit over maximum drawdown; with no drawdown the

@@ -1,0 +1,53 @@
+#include "common/parse.h"
+
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ppn {
+
+std::optional<int64_t> ParseInt64(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  double value = 0.0;
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+namespace {
+
+[[noreturn]] void DieOnBadNumber(std::string_view text,
+                                 std::string_view context,
+                                 const char* expected) {
+  std::fprintf(stderr, "ppn: invalid %s for %s: \"%s\"\n", expected,
+               std::string(context).c_str(), std::string(text).c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+int64_t ParseInt64OrDie(std::string_view text, std::string_view context) {
+  const std::optional<int64_t> value = ParseInt64(text);
+  if (!value.has_value()) DieOnBadNumber(text, context, "integer");
+  return *value;
+}
+
+double ParseDoubleOrDie(std::string_view text, std::string_view context) {
+  const std::optional<double> value = ParseDouble(text);
+  if (!value.has_value()) DieOnBadNumber(text, context, "number");
+  return *value;
+}
+
+}  // namespace ppn

@@ -1,0 +1,32 @@
+#ifndef PPN_COMMON_PARSE_H_
+#define PPN_COMMON_PARSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+/// \file
+/// Strict numeric parsing. The std::atoi/atof family silently maps
+/// malformed input to 0, which turned typos like `PPN_WORKERS=abc` or
+/// `--costs 0.0025,O.01` into silent behaviour changes (serial runs,
+/// zero-cost sweeps). These helpers accept a value only when the WHOLE
+/// string parses; the `Or`-suffixed variants return nullopt on failure
+/// and the plain variants abort with a message naming the offending
+/// input and its source (flag or env var).
+
+namespace ppn {
+
+/// Parses the entire string as a base-10 integer / double. Leading and
+/// trailing whitespace is rejected; so are partial parses ("12x"),
+/// empty strings, and (for ints) overflow.
+std::optional<int64_t> ParseInt64(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+
+/// Aborting variants: `context` names where the value came from, e.g.
+/// "--costs" or "PPN_WORKERS", and appears in the failure message.
+int64_t ParseInt64OrDie(std::string_view text, std::string_view context);
+double ParseDoubleOrDie(std::string_view text, std::string_view context);
+
+}  // namespace ppn
+
+#endif  // PPN_COMMON_PARSE_H_

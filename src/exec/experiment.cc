@@ -9,6 +9,7 @@
 #include "backtest/backtester.h"
 #include "common/check.h"
 #include "exec/thread_pool.h"
+#include "obs/stats.h"
 
 namespace ppn::exec {
 
@@ -228,6 +229,23 @@ std::vector<CellResult> ExperimentRunner::Run(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
+      if (obs::Enabled()) {
+        static thread_local obs::Counter& completed =
+            obs::GetCounter("exec.cells.completed");
+        static thread_local obs::Histogram& cell_seconds =
+            obs::GetHistogram("exec.cell.seconds");
+        completed.Add(1.0);
+        cell_seconds.Observe(result.wall_seconds);
+        // One gauge per cell key: readable per-cell wall times in the
+        // profile. A watermark (not last-write) so re-running the same spec
+        // merges deterministically. Cell-grid cardinality is small enough
+        // that a metric per cell is fine.
+        obs::GetGauge("exec.cell_seconds." + result.key.strategy + "|" +
+                      result.key.dataset + "|psi=" +
+                      std::to_string(result.key.cost_rate) + "|seed=" +
+                      std::to_string(result.key.seed))
+            .UpdateMax(result.wall_seconds);
+      }
       sink.Set(cell.index, std::move(result));
     });
   }

@@ -1,9 +1,12 @@
 #include "exec/thread_pool.h"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "common/parse.h"
+#include "obs/stats.h"
 
 namespace ppn::exec {
 
@@ -30,15 +33,31 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   PPN_CHECK(task != nullptr);
+  const bool profiling = obs::Enabled();
   if (num_threads_ == 0) {
-    task();
+    if (profiling) {
+      obs::ScopedTimer run_timer("exec.pool.task_run.seconds");
+      task();
+    } else {
+      task();
+    }
     return;
   }
+  QueuedTask queued;
+  queued.fn = std::move(task);
+  if (profiling) queued.enqueued = std::chrono::steady_clock::now();
+  size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     PPN_CHECK(!shutting_down_) << "Submit after shutdown";
-    queue_.push_back(std::move(task));
+    queue_.push_back(std::move(queued));
     ++in_flight_;
+    depth = queue_.size();
+  }
+  if (profiling) {
+    static thread_local obs::Gauge& queue_depth =
+        obs::GetGauge("exec.pool.queue_depth.max");
+    queue_depth.UpdateMax(static_cast<double>(depth));
   }
   task_ready_.notify_one();
 }
@@ -52,7 +71,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
   SetInnerParallelEnabled(allow_inner_parallel);
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock,
@@ -61,7 +80,21 @@ void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    if (obs::Enabled()) {
+      // A default-constructed timestamp means the task was enqueued with
+      // profiling off; skip the wait sample rather than record a bogus one.
+      if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+        static thread_local obs::Histogram& wait =
+            obs::GetHistogram("exec.pool.task_wait.seconds");
+        wait.Observe(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - task.enqueued)
+                         .count());
+      }
+      obs::ScopedTimer run_timer("exec.pool.task_run.seconds");
+      task.fn();
+    } else {
+      task.fn();
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       --in_flight_;
@@ -73,8 +106,14 @@ void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
 int DefaultWorkerCount() {
   const char* value = std::getenv("PPN_WORKERS");
   if (value != nullptr) {
-    const int workers = std::atoi(value);
-    if (workers >= 0) return workers;
+    const int64_t workers = ParseInt64OrDie(value, "PPN_WORKERS");
+    if (workers < 0) {
+      std::fprintf(stderr, "ppn: PPN_WORKERS must be >= 0, got %lld\n",
+                   static_cast<long long>(workers));
+      std::fflush(stderr);
+      std::abort();
+    }
+    return static_cast<int>(workers);
   }
   return HardwareThreads();
 }

@@ -1,6 +1,7 @@
 #ifndef PPN_EXEC_THREAD_POOL_H_
 #define PPN_EXEC_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -47,11 +48,19 @@ class ThreadPool {
   int num_threads() const { return num_threads_; }
 
  private:
+  /// A queued task plus its enqueue timestamp (feeds the obs
+  /// `exec.pool.task_wait.seconds` histogram; the clock read is skipped
+  /// when profiling is off).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop(bool allow_inner_parallel);
 
   int num_threads_;
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;
@@ -60,7 +69,10 @@ class ThreadPool {
 };
 
 /// Worker count for experiment runners: the `PPN_WORKERS` environment
-/// variable when set (>= 0), otherwise the hardware thread count.
+/// variable when set, otherwise the hardware thread count. Aborts with a
+/// clear message when `PPN_WORKERS` is set but is not a non-negative
+/// integer (it used to atoi-parse, so `PPN_WORKERS=abc` silently meant 0,
+/// i.e. a serial run).
 int DefaultWorkerCount();
 
 }  // namespace ppn::exec

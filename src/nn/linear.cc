@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "nn/init.h"
+#include "obs/stats.h"
 
 namespace ppn::nn {
 
@@ -21,6 +22,11 @@ Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng,
 ag::Var Linear::Forward(const ag::Var& input) const {
   PPN_CHECK_EQ(input->value().ndim(), 2);
   PPN_CHECK_EQ(input->value().dim(1), in_features_);
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& calls =
+        obs::GetCounter("nn.linear.calls");
+    calls.Add(1.0);
+  }
   ag::Var product = ag::MatMul(input, weight_);
   if (bias_ == nullptr) return product;
   return ag::AddRowVector(product, bias_);

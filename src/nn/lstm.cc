@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "nn/init.h"
+#include "obs/stats.h"
 
 namespace ppn::nn {
 
@@ -25,6 +26,11 @@ Lstm::Lstm(int64_t input_size, int64_t hidden_size, Rng* rng)
 
 void Lstm::Step(const ag::Var& x_t, ag::Var* h, ag::Var* c) const {
   using namespace ag;  // NOLINT: local op vocabulary.
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& steps =
+        obs::GetCounter("nn.lstm.cell_steps");
+    steps.Add(1.0);
+  }
   Var z = AddRowVector(Add(MatMul(x_t, w_ih_), MatMul(*h, w_hh_)), bias_);
   const int64_t hs = hidden_size_;
   Var i_gate = Sigmoid(NarrowVar(z, 1, 0, hs));

@@ -1,0 +1,450 @@
+#include "obs/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace ppn::obs {
+
+namespace internal {
+
+std::atomic<bool>& EnabledFlag() {
+  // First use decides the default from the environment: an explicit
+  // profile destination or PPN_OBS != "0" turns instrumentation on.
+  static std::atomic<bool> flag{[] {
+    const char* profile = std::getenv("PPN_PROFILE_JSON");
+    if (profile != nullptr && profile[0] != '\0') return true;
+    const char* obs = std::getenv("PPN_OBS");
+    return obs != nullptr && obs[0] != '\0' &&
+           !(obs[0] == '0' && obs[1] == '\0');
+  }()};
+  return flag;
+}
+
+}  // namespace internal
+
+bool SetEnabled(bool enabled) {
+  return internal::EnabledFlag().exchange(enabled);
+}
+
+// ---------------------------------------------------------------------------
+// Metric cells.
+
+namespace {
+
+/// Relaxed-atomic max update (CAS loop; uncontended in practice since
+/// only the owning thread writes).
+void AtomicMax(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* slot, double value) {
+  double current = slot->load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot->compare_exchange_weak(current, value,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::UpdateMax(double value) {
+  AtomicMax(&value_, value);
+  touched_.store(true, std::memory_order_relaxed);
+}
+
+void Gauge::Reset() {
+  value_.store(-std::numeric_limits<double>::infinity(),
+               std::memory_order_relaxed);
+  touched_.store(false, std::memory_order_relaxed);
+}
+
+/// Private accessors for the merge (kept out of the public surface).
+struct GaugeAccess {
+  static bool Touched(const Gauge& gauge) {
+    return gauge.touched_.load(std::memory_order_relaxed);
+  }
+};
+
+double HistogramBucketUpperBound(int index) {
+  PPN_CHECK(index >= 0 && index < kHistogramBuckets);
+  return std::ldexp(1.0, index - 30);
+}
+
+namespace {
+
+int BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // Non-positive and NaN clamp low.
+  const int index = static_cast<int>(std::floor(std::log2(value))) + 31;
+  if (index < 0) return 0;
+  if (index >= kHistogramBuckets) return kHistogramBuckets - 1;
+  return index;
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+}
+
+struct HistogramAccess {
+  static void MergeInto(const Histogram& histogram,
+                        HistogramSnapshot* merged) {
+    const int64_t count = histogram.count_.load(std::memory_order_relaxed);
+    if (count == 0) return;
+    const double min = histogram.min_.load(std::memory_order_relaxed);
+    const double max = histogram.max_.load(std::memory_order_relaxed);
+    if (merged->count == 0) {
+      merged->min = min;
+      merged->max = max;
+    } else {
+      merged->min = std::min(merged->min, min);
+      merged->max = std::max(merged->max, max);
+    }
+    merged->count += count;
+    merged->sum += histogram.sum_.load(std::memory_order_relaxed);
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      merged->buckets[i] +=
+          histogram.buckets_[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+TraceRing::TraceRing(std::array<std::string, 4> fields, int64_t capacity)
+    : fields_(std::move(fields)), capacity_(capacity) {
+  PPN_CHECK_GT(capacity, 0);
+  ring_.resize(static_cast<size_t>(capacity));
+}
+
+void TraceRing::Append(int64_t step, double v0, double v1, double v2,
+                       double v3) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ring_[static_cast<size_t>(next_)] = TracePoint{step, {v0, v1, v2, v3}};
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TracePoint> TraceRing::Points() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::vector<TracePoint> points;
+  const int64_t kept = std::min(total_, capacity_);
+  points.reserve(static_cast<size_t>(kept));
+  // Oldest-first: when the ring has wrapped, the oldest entry sits at
+  // `next_`; before wrapping, at 0.
+  const int64_t start = total_ < capacity_ ? 0 : next_;
+  for (int64_t i = 0; i < kept; ++i) {
+    points.push_back(ring_[static_cast<size_t>((start + i) % capacity_)]);
+  }
+  return points;
+}
+
+int64_t TraceRing::total_appended() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void TraceRing::Reset() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  next_ = 0;
+  total_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Shards and registry.
+
+namespace {
+
+/// One thread's private metric store. The owning thread is the only
+/// mutator; `mutex` guards the MAP STRUCTURE (owner inserts vs. merge
+/// iteration) — value updates go through the cells' own atomics.
+struct Shard {
+  std::mutex mutex;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  std::unordered_map<std::string, std::unique_ptr<TraceRing>> traces;
+};
+
+struct Registry {
+  std::mutex mutex;
+  // Shards are heap-allocated and never destroyed: a pool worker's stats
+  // must survive the worker's join so report-time merges still see them.
+  std::vector<Shard*> shards;
+};
+
+Registry& GlobalRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Shard& LocalShard() {
+  thread_local Shard* shard = [] {
+    auto* created = new Shard();
+    Registry& registry = GlobalRegistry();
+    std::unique_lock<std::mutex> lock(registry.mutex);
+    registry.shards.push_back(created);
+    return created;
+  }();
+  return *shard;
+}
+
+/// Find-or-create in the local shard. Lookup is lock-free (only the
+/// owner mutates the map); insertion of a NEW name takes the shard lock
+/// to stay ordered with report-time iteration.
+template <typename Cell, typename MapType, typename... MakeArgs>
+Cell& FindOrCreate(MapType Shard::* map, std::string_view name,
+                   MakeArgs&&... make_args) {
+  Shard& shard = LocalShard();
+  auto& cells = shard.*map;
+  const auto it = cells.find(std::string(name));
+  if (it != cells.end()) return *it->second;
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  auto [inserted, unused] = cells.emplace(
+      std::string(name),
+      std::make_unique<Cell>(std::forward<MakeArgs>(make_args)...));
+  return *inserted->second;
+}
+
+}  // namespace
+
+Counter& GetCounter(std::string_view name) {
+  return FindOrCreate<Counter>(&Shard::counters, name);
+}
+
+Gauge& GetGauge(std::string_view name) {
+  return FindOrCreate<Gauge>(&Shard::gauges, name);
+}
+
+Histogram& GetHistogram(std::string_view name) {
+  return FindOrCreate<Histogram>(&Shard::histograms, name);
+}
+
+TraceRing& GetTraceRing(std::string_view name,
+                        const std::array<std::string, 4>& fields,
+                        int64_t capacity) {
+  return FindOrCreate<TraceRing>(&Shard::traces, name, fields, capacity);
+}
+
+ScopedTimer::ScopedTimer(std::string_view name) {
+  if (!Enabled()) return;
+  histogram_ = &GetHistogram(name);
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram) {
+  if (!Enabled() || histogram == nullptr) return;
+  histogram_ = histogram;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (histogram_ == nullptr) return;
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  histogram_->Observe(seconds);
+}
+
+Snapshot TakeSnapshot() {
+  Snapshot snapshot;
+  Registry& registry = GlobalRegistry();
+  std::vector<Shard*> shards;
+  {
+    std::unique_lock<std::mutex> lock(registry.mutex);
+    shards = registry.shards;
+  }
+  for (Shard* shard : shards) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    for (const auto& [name, counter] : shard->counters) {
+      snapshot.counters[name] += counter->value();
+    }
+    for (const auto& [name, gauge] : shard->gauges) {
+      if (!GaugeAccess::Touched(*gauge)) continue;
+      const auto it = snapshot.gauges.find(name);
+      if (it == snapshot.gauges.end()) {
+        snapshot.gauges[name] = gauge->value();
+      } else {
+        it->second = std::max(it->second, gauge->value());
+      }
+    }
+    for (const auto& [name, histogram] : shard->histograms) {
+      HistogramAccess::MergeInto(*histogram,
+                                 &snapshot.histograms[name]);
+    }
+    for (const auto& [name, ring] : shard->traces) {
+      TraceSnapshot& merged = snapshot.traces[name];
+      if (merged.points.empty() && merged.total_appended == 0) {
+        merged.fields = ring->fields();
+      }
+      merged.total_appended += ring->total_appended();
+      const std::vector<TracePoint> points = ring->Points();
+      merged.points.insert(merged.points.end(), points.begin(), points.end());
+    }
+  }
+  // Same-named rings on several threads concatenate in shard-registration
+  // order; sort by step so the snapshot is independent of thread count.
+  for (auto& [name, trace] : snapshot.traces) {
+    std::stable_sort(trace.points.begin(), trace.points.end(),
+                     [](const TracePoint& a, const TracePoint& b) {
+                       return a.step < b.step;
+                     });
+  }
+  // Drop empty histogram entries (created but never observed).
+  for (auto it = snapshot.histograms.begin();
+       it != snapshot.histograms.end();) {
+    it = it->second.count == 0 ? snapshot.histograms.erase(it) : ++it;
+  }
+  return snapshot;
+}
+
+void ResetAll() {
+  Registry& registry = GlobalRegistry();
+  std::vector<Shard*> shards;
+  {
+    std::unique_lock<std::mutex> lock(registry.mutex);
+    shards = registry.shards;
+  }
+  for (Shard* shard : shards) {
+    std::unique_lock<std::mutex> lock(shard->mutex);
+    for (const auto& [name, counter] : shard->counters) counter->Reset();
+    for (const auto& [name, gauge] : shard->gauges) gauge->Reset();
+    for (const auto& [name, histogram] : shard->histograms) {
+      histogram->Reset();
+    }
+    for (const auto& [name, ring] : shard->traces) ring->Reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JSON rendering.
+
+namespace {
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Doubles render round-trippably; infinities (never produced by the
+/// merge, but cheap to guard) fall back to null.
+void AppendNumber(std::ostringstream* out, double value) {
+  if (std::isfinite(value)) {
+    (*out) << value;
+  } else {
+    (*out) << "null";
+  }
+}
+
+}  // namespace
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": ";
+    AppendNumber(&out, value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name) << "\": ";
+    AppendNumber(&out, value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": {\"count\": " << histogram.count << ", \"sum\": ";
+    AppendNumber(&out, histogram.sum);
+    out << ", \"mean\": ";
+    AppendNumber(&out, histogram.count > 0
+                           ? histogram.sum / static_cast<double>(
+                                                 histogram.count)
+                           : 0.0);
+    out << ", \"min\": ";
+    AppendNumber(&out, histogram.min);
+    out << ", \"max\": ";
+    AppendNumber(&out, histogram.max);
+    out << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i < kHistogramBuckets; ++i) {
+      if (histogram.buckets[i] == 0) continue;
+      if (!first_bucket) out << ", ";
+      out << "{\"le\": ";
+      AppendNumber(&out, HistogramBucketUpperBound(i));
+      out << ", \"count\": " << histogram.buckets[i] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"traces\": {";
+  first = true;
+  for (const auto& [name, trace] : snapshot.traces) {
+    out << (first ? "\n" : ",\n") << "    \"" << JsonEscape(name)
+        << "\": {\"total_appended\": " << trace.total_appended
+        << ", \"points\": [";
+    for (size_t i = 0; i < trace.points.size(); ++i) {
+      const TracePoint& point = trace.points[i];
+      out << (i == 0 ? "" : ", ") << "{\"step\": " << point.step;
+      for (size_t f = 0; f < trace.fields.size(); ++f) {
+        if (trace.fields[f].empty()) continue;
+        out << ", \"" << JsonEscape(trace.fields[f]) << "\": ";
+        AppendNumber(&out, point.values[f]);
+      }
+      out << "}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+bool WriteProfileJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << SnapshotToJson(TakeSnapshot());
+  return out.good();
+}
+
+bool WriteProfileIfRequested() {
+  const char* path = std::getenv("PPN_PROFILE_JSON");
+  if (path == nullptr || path[0] == '\0') return false;
+  return WriteProfileJson(path);
+}
+
+}  // namespace ppn::obs

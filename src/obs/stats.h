@@ -1,0 +1,257 @@
+#ifndef PPN_OBS_STATS_H_
+#define PPN_OBS_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file
+/// Lightweight observability: a process-wide registry of named counters,
+/// gauges, histograms, and fixed-size trace rings, accumulated in
+/// PER-THREAD SHARDS and merged only at report time.
+///
+/// Design constraints (in priority order):
+///
+/// 1. **No locks on hot paths.** Every metric update touches only the
+///    calling thread's shard. Counter/gauge/histogram cells are relaxed
+///    atomics so a concurrent `TakeSnapshot` reads well-defined values
+///    (and the ThreadSanitizer lane stays clean) without any mutex on the
+///    update path. The only shard lock is taken when a thread *creates* a
+///    metric it has never touched before (amortized away by the
+///    `static thread_local` handle idiom below), and by trace rings,
+///    whose multi-word entries take a per-ring, owner-only-contended
+///    mutex (trace appends are per-training-step, not per-kernel).
+/// 2. **Determinism is untouched.** Instrumentation only *observes*
+///    values; it never feeds anything back into computation, so the
+///    bit-identical worker-count contract of `src/exec` holds with
+///    profiling on or off. Snapshot maps are name-ordered, so merged
+///    *counter* values are also independent of thread count and
+///    scheduling (timings, by nature, are not).
+/// 3. **Negligible overhead when off.** Every call site guards on
+///    `obs::Enabled()` (one relaxed atomic load; constant-false when the
+///    library is compiled with PPN_OBS_DISABLED, letting the compiler
+///    drop the whole block).
+///
+/// Runtime enablement: profiling is ON when the `PPN_PROFILE_JSON` or
+/// `PPN_OBS` (≠ "0") environment variables are set, OFF otherwise;
+/// `SetEnabled` / `ScopedObsEnable` override at runtime (tests).
+///
+/// Call-site idiom for hot kernels (one map lookup per thread, ever):
+///
+///   if (obs::Enabled()) {
+///     static thread_local obs::Counter& calls =
+///         obs::GetCounter("tensor.matmul.calls");
+///     calls.Add(1.0);
+///   }
+
+namespace ppn::obs {
+
+namespace internal {
+std::atomic<bool>& EnabledFlag();
+}  // namespace internal
+
+/// True when instrumentation should record. Constant false when compiled
+/// out (-DPPN_OBS_COMPILED=OFF ⇒ PPN_OBS_DISABLED).
+inline bool Enabled() {
+#ifdef PPN_OBS_DISABLED
+  return false;
+#else
+  return internal::EnabledFlag().load(std::memory_order_relaxed);
+#endif
+}
+
+/// Sets the runtime flag; returns the previous value. The compile-out
+/// build ignores the setting (Enabled() stays false).
+bool SetEnabled(bool enabled);
+
+/// RAII enable/disable for tests.
+class ScopedObsEnable {
+ public:
+  explicit ScopedObsEnable(bool enabled = true)
+      : previous_(SetEnabled(enabled)) {}
+  ~ScopedObsEnable() { SetEnabled(previous_); }
+
+  ScopedObsEnable(const ScopedObsEnable&) = delete;
+  ScopedObsEnable& operator=(const ScopedObsEnable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Monotonic accumulator. Doubles (not integers) so FLOP estimates fit.
+/// Merge across shards: sum.
+class Counter {
+ public:
+  void Add(double delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// High-watermark gauge: `UpdateMax` keeps the largest value seen since
+/// the last reset. Merge across shards: max. (A last-write-wins gauge
+/// would make merged output depend on scheduling; a watermark does not.)
+class Gauge {
+ public:
+  void UpdateMax(double value);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::atomic<double> value_{-std::numeric_limits<double>::infinity()};
+  std::atomic<bool> touched_{false};
+
+  friend struct GaugeAccess;
+};
+
+/// Number of log2-spaced histogram buckets. Bucket i covers
+/// [2^(i-31), 2^(i-30)) — from ~4.7e-10 up to ~4.3e9, wide enough for
+/// nanosecond timers and iteration counts alike; out-of-range values
+/// clamp to the end buckets.
+inline constexpr int kHistogramBuckets = 64;
+
+/// Upper bound of histogram bucket `index` (exclusive).
+double HistogramBucketUpperBound(int index);
+
+/// Log2-bucketed histogram with count/sum/min/max. Merge across shards:
+/// elementwise bucket sum, sum of sums, min of mins, max of maxes.
+class Histogram {
+ public:
+  void Observe(double value);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::array<std::atomic<int64_t>, kHistogramBuckets> buckets_{};
+
+  friend struct HistogramAccess;
+};
+
+/// One entry of a trace ring: a step index plus up to four named values
+/// (field names live on the ring).
+struct TracePoint {
+  int64_t step = 0;
+  std::array<double, 4> values{};
+};
+
+/// Fixed-capacity ring keeping the LAST `capacity` appended points.
+/// Unlike the scalar metrics, entries are multi-word, so appends and
+/// snapshot reads synchronize on a per-ring mutex (uncontended on the
+/// hot path: only the report-time merge ever takes it from another
+/// thread).
+class TraceRing {
+ public:
+  TraceRing(std::array<std::string, 4> fields, int64_t capacity);
+
+  void Append(int64_t step, double v0, double v1 = 0.0, double v2 = 0.0,
+              double v3 = 0.0);
+
+  /// Points in append order (oldest first), plus total appended count.
+  std::vector<TracePoint> Points() const;
+  int64_t total_appended() const;
+  const std::array<std::string, 4>& fields() const { return fields_; }
+  int64_t capacity() const { return capacity_; }
+
+  void Reset();
+
+ private:
+  std::array<std::string, 4> fields_;
+  int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::vector<TracePoint> ring_;
+  int64_t next_ = 0;   ///< Ring slot the next append writes.
+  int64_t total_ = 0;  ///< Appends since construction/reset.
+};
+
+/// Finds or creates the named metric in the CALLING THREAD's shard and
+/// returns a reference that stays valid for the life of the process
+/// (shards are owned by the global registry and survive thread exit, so
+/// the merged report still sees work done by joined pool workers).
+Counter& GetCounter(std::string_view name);
+Gauge& GetGauge(std::string_view name);
+Histogram& GetHistogram(std::string_view name);
+TraceRing& GetTraceRing(std::string_view name,
+                        const std::array<std::string, 4>& fields,
+                        int64_t capacity = 512);
+
+/// RAII wall-clock span: records elapsed seconds into the named
+/// histogram at destruction. Inert when profiling is disabled at
+/// construction time.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name);
+  explicit ScopedTimer(Histogram* histogram);
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_ = nullptr;  ///< Null when inert.
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Merged view of one histogram.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<int64_t, kHistogramBuckets> buckets{};
+};
+
+/// Merged view of one trace (same-named rings concatenate, sorted by
+/// step for thread-count independence).
+struct TraceSnapshot {
+  std::array<std::string, 4> fields;
+  int64_t total_appended = 0;
+  std::vector<TracePoint> points;
+};
+
+/// Name-ordered merge of every shard (locks each shard briefly; call at
+/// report time, not from hot paths).
+struct Snapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, TraceSnapshot> traces;
+};
+
+Snapshot TakeSnapshot();
+
+/// Zeroes every metric in every shard (handles stay valid). Callers must
+/// be quiescent (no concurrent updates); intended for tests.
+void ResetAll();
+
+/// Renders a snapshot as pretty-printed JSON (stable: name-ordered maps,
+/// only non-empty histogram buckets).
+std::string SnapshotToJson(const Snapshot& snapshot);
+
+/// Takes a snapshot and writes it to `path`; false if the file cannot be
+/// written.
+bool WriteProfileJson(const std::string& path);
+
+/// Honors `PPN_PROFILE_JSON=<path>`: writes the merged profile there and
+/// returns true on success. No-op (returns false) when the variable is
+/// unset or empty. Called by `bench::BenchContext` at destruction and by
+/// `ppn_cli` before exit.
+bool WriteProfileIfRequested();
+
+}  // namespace ppn::obs
+
+#endif  // PPN_OBS_STATS_H_

@@ -4,6 +4,7 @@
 
 #include "backtest/costs.h"
 #include "common/check.h"
+#include "obs/stats.h"
 
 namespace ppn::core {
 
@@ -64,6 +65,7 @@ Tensor PolicyGradientTrainer::BatchWindows(int64_t t0) const {
 }
 
 double PolicyGradientTrainer::TrainStep() {
+  obs::ScopedTimer step_timer("trainer.step.seconds");
   const int64_t batch = config_.batch_size;
   const int64_t min_start = first_period_;
   const int64_t max_start = last_period_ - batch;  // Inclusive.
@@ -129,6 +131,20 @@ double PolicyGradientTrainer::TrainStep() {
     }
     pvm_.Set(t0 + b, std::move(action));
   }
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& steps =
+        obs::GetCounter("trainer.steps");
+    steps.Add(1.0);
+    // The ring is keyed by the trainer's seed, which derives from the cell
+    // key in sweeps — so the merged profile names traces deterministically
+    // regardless of which worker ran the cell.
+    obs::GetTraceRing(
+            "trainer.reward.seed" + std::to_string(config_.seed),
+            {{"total", "log_return", "variance", "turnover"}})
+        .Append(steps_done_, breakdown.total, breakdown.mean_log_return,
+                breakdown.variance, breakdown.mean_turnover);
+  }
+  ++steps_done_;
   return breakdown.total;
 }
 

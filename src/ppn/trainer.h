@@ -77,6 +77,8 @@ class PolicyGradientTrainer {
   PortfolioVectorMemory pvm_;
   Rng rng_;
   std::unique_ptr<nn::Adam> optimizer_;
+  /// Steps taken so far; indexes the obs reward-breakdown trace ring.
+  int64_t steps_done_ = 0;
   /// windows_[t - first_period_] is the normalized window for a decision at
   /// period t (data through t-1).
   std::vector<Tensor> windows_;

@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/parallel.h"
+#include "obs/stats.h"
 
 namespace ppn {
 
@@ -13,6 +14,19 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   PPN_CHECK(SameShape(a, b)) << op << ": shape mismatch "
                              << ShapeToString(a.shape()) << " vs "
                              << ShapeToString(b.shape());
+}
+
+/// Shared by the three matmul variants: one call, 2·m·n·k FLOPs.
+inline void RecordMatMul(int64_t m, int64_t n, int64_t k) {
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& calls =
+        obs::GetCounter("tensor.matmul.calls");
+    static thread_local obs::Counter& flops =
+        obs::GetCounter("tensor.matmul.flops");
+    calls.Add(1.0);
+    flops.Add(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k));
+  }
 }
 
 }  // namespace
@@ -100,6 +114,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   PPN_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims " << ShapeToString(a.shape())
                             << " x " << ShapeToString(b.shape());
+  RecordMatMul(m, n, k);
   Tensor out({m, n});
   const float* pa = a.Data();
   const float* pb = b.Data();
@@ -127,6 +142,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.dim(1);
   const int64_t n = b.dim(1);
   PPN_CHECK_EQ(k, b.dim(0));
+  RecordMatMul(m, n, k);
   Tensor out({m, n});
   const float* pa = a.Data();
   const float* pb = b.Data();
@@ -158,6 +174,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t k = a.dim(1);
   const int64_t n = b.dim(0);
   PPN_CHECK_EQ(k, b.dim(1));
+  RecordMatMul(m, n, k);
   Tensor out({m, n});
   const float* pa = a.Data();
   const float* pb = b.Data();
@@ -359,6 +376,11 @@ Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
   PPN_CHECK(out_h > 0 && out_w > 0)
       << "conv output is empty for input " << ShapeToString(input.shape());
   const int64_t patch = c * g.kernel_h * g.kernel_w;
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& calls =
+        obs::GetCounter("tensor.im2col.calls");
+    calls.Add(1.0);
+  }
   Tensor columns({n * out_h * out_w, patch});
   const float* pi = input.Data();
   float* pc = columns.MutableData();

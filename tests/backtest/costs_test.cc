@@ -6,6 +6,7 @@
 
 #include "common/math_utils.h"
 #include "common/random.h"
+#include "obs/stats.h"
 
 namespace ppn::backtest {
 namespace {
@@ -134,6 +135,84 @@ TEST(DriftPortfolioTest, NoChangeWhenRelativesEqual) {
 
 TEST(DriftPortfolioDeathTest, NonPositiveRelativeAborts) {
   EXPECT_DEATH(DriftPortfolio({1.0, 0.0}, {0.0, 1.0}), "PPN_CHECK");
+}
+
+TEST(CostSolverTest, DetailedReportsConvergenceAndIterations) {
+  const std::vector<double> prev = {0.2, 0.5, 0.3};
+  const NetWealthSolve solve =
+      SolveNetWealthFactorDetailed(prev, prev, CostModel::Uniform(0.0025));
+  EXPECT_TRUE(solve.converged);
+  EXPECT_GT(solve.iterations, 0);
+  EXPECT_DOUBLE_EQ(solve.omega, 1.0);
+}
+
+TEST(CostSolverTest, ExtremePsiFullSwitchConverges) {
+  // Regression: the contraction factor is ≈ ψ, so ψ = 0.9 needs ~300
+  // iterations — past the old 200-iteration cap, which silently returned
+  // the non-converged iterate. The raised cap and ψ-scaled tolerance must
+  // converge and satisfy the fixed-point identity.
+  const std::vector<double> prev = {0.0, 1.0, 0.0};
+  const std::vector<double> target = {0.0, 0.0, 1.0};
+  for (const double psi : {0.5, 0.8, 0.9, 0.99}) {
+    const CostModel model = CostModel::Uniform(psi);
+    const NetWealthSolve solve =
+        SolveNetWealthFactorDetailed(prev, target, model);
+    EXPECT_TRUE(solve.converged) << "psi=" << psi;
+    // Full switch: sell 1 (cost ψ), buy ω (cost ψω) → ω = (1-ψ)/(1+ψ).
+    EXPECT_NEAR(solve.omega, (1.0 - psi) / (1.0 + psi), 1e-9 / (1.0 - psi))
+        << "psi=" << psi;
+    const double c = CostFractionAt(prev, target, solve.omega, model);
+    EXPECT_NEAR(solve.omega, 1.0 - c, 1e-12 / (1.0 - psi)) << "psi=" << psi;
+  }
+}
+
+TEST(CostSolverTest, ExtremePsiAdversarialPortfoliosConverge) {
+  Rng rng(11);
+  for (const double psi : {0.9, 0.99}) {
+    const CostModel model = CostModel::Uniform(psi);
+    for (int trial = 0; trial < 50; ++trial) {
+      const int m = 2 + static_cast<int>(rng.UniformInt(8));
+      // Spiky Dirichlet draws (alpha 0.1): near-vertex portfolios, the
+      // worst case for turnover and thus for the fixed-point contraction.
+      const std::vector<double> prev = rng.Dirichlet(m + 1, 0.1);
+      const std::vector<double> target = rng.Dirichlet(m + 1, 0.1);
+      const NetWealthSolve solve =
+          SolveNetWealthFactorDetailed(prev, target, model);
+      EXPECT_TRUE(solve.converged) << "psi=" << psi << " trial=" << trial;
+      EXPECT_GT(solve.omega, 0.0);
+      EXPECT_LE(solve.omega, 1.0);
+    }
+  }
+}
+
+TEST(CostSolverTest, NormalPsiIterationCountIsSmall) {
+  // The fix must not disturb realistic-rate behaviour: at the paper's
+  // ψ = 0.25% the solve still finishes in a handful of iterations.
+  Rng rng(12);
+  const CostModel model = CostModel::Uniform(0.0025);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::vector<double> prev = rng.Dirichlet(6, 1.0);
+    const std::vector<double> target = rng.Dirichlet(6, 1.0);
+    const NetWealthSolve solve =
+        SolveNetWealthFactorDetailed(prev, target, model);
+    EXPECT_TRUE(solve.converged);
+    EXPECT_LE(solve.iterations, 20);
+  }
+}
+
+TEST(CostSolverTest, SolvesAreCountedInObsRegistry) {
+  obs::ScopedObsEnable enable;
+  obs::ResetAll();
+  const std::vector<double> prev = {0.2, 0.5, 0.3};
+  const std::vector<double> target = {0.1, 0.3, 0.6};
+  SolveNetWealthFactor(prev, target, CostModel::Uniform(0.0025));
+  SolveNetWealthFactor(prev, target, CostModel::Uniform(0.01));
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.at("backtest.solver.calls"), 2.0);
+  ASSERT_EQ(snapshot.histograms.count("backtest.solver.iterations"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("backtest.solver.iterations").count, 2);
+  EXPECT_EQ(snapshot.counters.count("backtest.solver.nonconverged"), 0u);
+  obs::ResetAll();
 }
 
 TEST(CostSolverDeathTest, NonSimplexInputsAbort) {

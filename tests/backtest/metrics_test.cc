@@ -59,13 +59,33 @@ TEST(MetricsTest, NegativeCalmarForLosingRun) {
   EXPECT_LT(metrics.apv, 1.0);
 }
 
-TEST(MetricsTest, ZeroVarianceGivesZeroSharpe) {
+TEST(MetricsTest, ZeroVarianceUsesSignPreservingFloor) {
+  // A zero-variance always-profitable run must not score WORSE than a
+  // noisy one: the SR floors std at 1e-6 (mirroring the CR floor) rather
+  // than reporting 0.
   BacktestRecord record;
   record.log_returns = {0.01, 0.01, 0.01};
   record.wealth_curve = {1.01, 1.02, 1.03};
   const Metrics metrics = ComputeMetrics(record);
-  EXPECT_DOUBLE_EQ(metrics.sr_pct, 0.0);
   EXPECT_DOUBLE_EQ(metrics.std_pct, 0.0);
+  EXPECT_DOUBLE_EQ(metrics.sr_pct, 0.01 / 1e-6 * 100.0);
+}
+
+TEST(MetricsTest, ZeroVarianceLosingRunHasNegativeSharpe) {
+  BacktestRecord record;
+  record.log_returns = {-0.01, -0.01};
+  record.wealth_curve = {std::exp(-0.01), std::exp(-0.02)};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_DOUBLE_EQ(metrics.sr_pct, -0.01 / 1e-6 * 100.0);
+}
+
+TEST(MetricsTest, SharpeFloorDoesNotBindAboveThreshold) {
+  // std > 1e-6: the floored formula is bit-identical to mean/std.
+  BacktestRecord record;
+  record.log_returns = {0.02, 0.0};
+  record.wealth_curve = {std::exp(0.02), std::exp(0.02)};
+  const Metrics metrics = ComputeMetrics(record);
+  EXPECT_DOUBLE_EQ(metrics.sr_pct, 0.01 / 0.01 * 100.0);
 }
 
 TEST(MetricsTest, NoDrawdownUsesFloor) {

@@ -1,0 +1,55 @@
+#include "common/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(ParseInt64Test, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseInt64("0"), 0);
+  EXPECT_EQ(ParseInt64("42"), 42);
+  EXPECT_EQ(ParseInt64("-7"), -7);
+  EXPECT_EQ(ParseInt64("9223372036854775807"), 9223372036854775807ll);
+}
+
+TEST(ParseInt64Test, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseInt64("").has_value());
+  EXPECT_FALSE(ParseInt64("abc").has_value());
+  EXPECT_FALSE(ParseInt64("12x").has_value());   // atoi would give 12.
+  EXPECT_FALSE(ParseInt64(" 12").has_value());   // No whitespace skipping.
+  EXPECT_FALSE(ParseInt64("12 ").has_value());
+  EXPECT_FALSE(ParseInt64("1.5").has_value());
+  EXPECT_FALSE(ParseInt64("+5").has_value());    // from_chars: no '+'.
+  EXPECT_FALSE(ParseInt64("99999999999999999999").has_value());  // Overflow.
+}
+
+TEST(ParseDoubleTest, AcceptsUsualSpellings) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("0.0025"), 0.0025);
+  EXPECT_DOUBLE_EQ(*ParseDouble("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.5E2"), -250.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("7"), 7.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(".5"), 0.5);
+}
+
+TEST(ParseDoubleTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("O.01").has_value());   // The classic typo.
+  EXPECT_FALSE(ParseDouble("0.01x").has_value());  // atof would give 0.01.
+  EXPECT_FALSE(ParseDouble(" 0.01").has_value());
+  EXPECT_FALSE(ParseDouble("0,01").has_value());
+  EXPECT_FALSE(ParseDouble("1e").has_value());
+}
+
+TEST(ParseOrDieTest, ReturnsParsedValues) {
+  EXPECT_EQ(ParseInt64OrDie("5", "PPN_WORKERS"), 5);
+  EXPECT_DOUBLE_EQ(ParseDoubleOrDie("0.01", "--costs"), 0.01);
+}
+
+TEST(ParseOrDieDeathTest, AbortsWithContextInMessage) {
+  EXPECT_DEATH(ParseInt64OrDie("abc", "PPN_WORKERS"), "PPN_WORKERS");
+  EXPECT_DEATH(ParseDoubleOrDie("O.01", "--costs"), "--costs");
+  EXPECT_DEATH(ParseDoubleOrDie("", "--gamma"), "--gamma");
+}
+
+}  // namespace
+}  // namespace ppn

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/stats.h"
+
 namespace ppn::exec {
 namespace {
 
@@ -131,6 +133,32 @@ TEST(ExperimentRunnerTest, WorkerCountDoesNotChangeResults) {
   const std::vector<CellResult> parallel_rows = ExperimentRunner(4).Run(spec);
   ExpectIdenticalRows(inline_rows, serial_rows);
   ExpectIdenticalRows(inline_rows, parallel_rows);
+}
+
+TEST(ExperimentRunnerTest, DeterminismHoldsWithInstrumentationEnabled) {
+  // The obs layer must only OBSERVE: with profiling on, the worker-count
+  // determinism contract still holds bit-for-bit, and the results equal
+  // those of an unprofiled run.
+  const ExperimentSpec spec = SmallClassicSpec();
+  std::vector<CellResult> plain_rows;
+  {
+    obs::ScopedObsEnable disable(false);
+    plain_rows = ExperimentRunner(0).Run(spec);
+  }
+  obs::ScopedObsEnable enable;
+  obs::ResetAll();
+  const std::vector<CellResult> inline_rows = ExperimentRunner(0).Run(spec);
+  const std::vector<CellResult> parallel_rows = ExperimentRunner(4).Run(spec);
+  ExpectIdenticalRows(inline_rows, parallel_rows);
+  ExpectIdenticalRows(plain_rows, inline_rows);
+  // And the instrumentation did actually record the cells.
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.at("exec.cells.completed"),
+            static_cast<double>(2 * inline_rows.size()));
+  ASSERT_EQ(snapshot.histograms.count("exec.cell.seconds"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("exec.cell.seconds").count,
+            static_cast<int64_t>(2 * inline_rows.size()));
+  obs::ResetAll();
 }
 
 TEST(ExperimentRunnerTest, KeepRecordsRetainsWealthCurves) {

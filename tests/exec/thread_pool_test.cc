@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "common/parallel.h"
+#include "obs/stats.h"
 
 namespace ppn::exec {
 namespace {
@@ -136,6 +137,67 @@ TEST(DefaultWorkerCountTest, HonorsEnvironmentVariable) {
     setenv("PPN_WORKERS", saved_value.c_str(), 1);
   }
   EXPECT_GE(DefaultWorkerCount(), 0);
+}
+
+TEST(DefaultWorkerCountDeathTest, MalformedValueAborts) {
+  // Regression: atoi turned PPN_WORKERS=abc into 0, i.e. a silent serial
+  // run. The strict parser must abort with a message naming the variable.
+  const char* saved = std::getenv("PPN_WORKERS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+
+  setenv("PPN_WORKERS", "abc", 1);
+  EXPECT_DEATH(DefaultWorkerCount(), "PPN_WORKERS");
+  setenv("PPN_WORKERS", "4x", 1);
+  EXPECT_DEATH(DefaultWorkerCount(), "PPN_WORKERS");
+  setenv("PPN_WORKERS", "", 1);
+  EXPECT_DEATH(DefaultWorkerCount(), "PPN_WORKERS");
+  setenv("PPN_WORKERS", "-2", 1);
+  EXPECT_DEATH(DefaultWorkerCount(), "PPN_WORKERS");
+
+  if (saved == nullptr) {
+    unsetenv("PPN_WORKERS");
+  } else {
+    setenv("PPN_WORKERS", saved_value.c_str(), 1);
+  }
+}
+
+TEST(ThreadPoolObsTest, RecordsQueueDepthAndTaskTimings) {
+  obs::ScopedObsEnable enable;
+  obs::ResetAll();
+  constexpr int kTasks = 16;
+  {
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        done.fetch_add(1);
+      });
+    }
+    pool.Wait();
+    EXPECT_EQ(done.load(), kTasks);
+  }
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  ASSERT_EQ(snapshot.gauges.count("exec.pool.queue_depth.max"), 1u);
+  EXPECT_GE(snapshot.gauges.at("exec.pool.queue_depth.max"), 1.0);
+  ASSERT_EQ(snapshot.histograms.count("exec.pool.task_run.seconds"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("exec.pool.task_run.seconds").count,
+            kTasks);
+  ASSERT_EQ(snapshot.histograms.count("exec.pool.task_wait.seconds"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("exec.pool.task_wait.seconds").count,
+            kTasks);
+  obs::ResetAll();
+}
+
+TEST(ThreadPoolObsTest, DisabledModeRecordsNothing) {
+  obs::ScopedObsEnable disable(false);
+  obs::ResetAll();
+  ThreadPool pool(2);
+  for (int i = 0; i < 4; ++i) pool.Submit([] {});
+  pool.Wait();
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  EXPECT_EQ(snapshot.histograms.count("exec.pool.task_run.seconds"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("exec.pool.task_wait.seconds"), 0u);
 }
 
 }  // namespace

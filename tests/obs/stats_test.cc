@@ -1,0 +1,240 @@
+#include "obs/stats.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppn::obs {
+namespace {
+
+/// Every test enables profiling and starts from a zeroed registry. Metric
+/// NAMES are still shared process-wide, so each test uses its own prefix.
+class ObsStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ResetAll(); }
+  void TearDown() override { ResetAll(); }
+  ScopedObsEnable enable_;
+};
+
+TEST_F(ObsStatsTest, CounterMergeIsIndependentOfThreadCount) {
+  constexpr double kPerThreadAdds = 1000;
+  auto run = [](int num_threads) {
+    ResetAll();
+    const double adds_per_thread = kPerThreadAdds * 4 / num_threads;
+    std::vector<std::thread> threads;
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back([adds_per_thread] {
+        Counter& counter = GetCounter("t.merge.counter");
+        for (double j = 0; j < adds_per_thread; ++j) counter.Add(1.0);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    return TakeSnapshot().counters.at("t.merge.counter");
+  };
+  const double with_1 = run(1);
+  const double with_2 = run(2);
+  const double with_4 = run(4);
+  EXPECT_EQ(with_1, kPerThreadAdds * 4);
+  EXPECT_EQ(with_1, with_2);
+  EXPECT_EQ(with_1, with_4);
+}
+
+TEST_F(ObsStatsTest, GaugeMergesAsHighWatermark) {
+  std::vector<std::thread> threads;
+  for (int i = 1; i <= 4; ++i) {
+    threads.emplace_back([i] {
+      Gauge& gauge = GetGauge("t.gauge.depth");
+      gauge.UpdateMax(static_cast<double>(i));
+      gauge.UpdateMax(static_cast<double>(i) - 0.5);  // Lower: ignored.
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(TakeSnapshot().gauges.at("t.gauge.depth"), 4.0);
+}
+
+TEST_F(ObsStatsTest, UntouchedGaugeIsAbsentFromSnapshot) {
+  GetGauge("t.gauge.untouched");
+  const Snapshot snapshot = TakeSnapshot();
+  EXPECT_EQ(snapshot.gauges.count("t.gauge.untouched"), 0u);
+}
+
+TEST_F(ObsStatsTest, HistogramCountSumMinMax) {
+  Histogram& histogram = GetHistogram("t.hist.basic");
+  histogram.Observe(3.0);
+  histogram.Observe(0.5);
+  histogram.Observe(10.0);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.hist.basic");
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_DOUBLE_EQ(merged.sum, 13.5);
+  EXPECT_DOUBLE_EQ(merged.min, 0.5);
+  EXPECT_DOUBLE_EQ(merged.max, 10.0);
+  int64_t bucket_total = 0;
+  for (const int64_t count : merged.buckets) bucket_total += count;
+  EXPECT_EQ(bucket_total, 3);
+}
+
+TEST_F(ObsStatsTest, HistogramBucketsAreLog2Spaced) {
+  // Bucket i covers [2^(i-31), 2^(i-30)): 3.0 lands in the bucket with
+  // upper bound 4, 0.5 in the one with upper bound 1.
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(30), 1.0);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(31), 2.0);
+  EXPECT_DOUBLE_EQ(HistogramBucketUpperBound(32), 4.0);
+  Histogram& histogram = GetHistogram("t.hist.buckets");
+  histogram.Observe(3.0);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.hist.buckets");
+  EXPECT_EQ(merged.buckets[32], 1);
+}
+
+TEST_F(ObsStatsTest, HistogramClampsNonPositiveAndHugeValues) {
+  Histogram& histogram = GetHistogram("t.hist.clamp");
+  histogram.Observe(0.0);
+  histogram.Observe(-5.0);
+  histogram.Observe(1e300);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.hist.clamp");
+  EXPECT_EQ(merged.count, 3);
+  EXPECT_EQ(merged.buckets[0], 2);
+  EXPECT_EQ(merged.buckets[kHistogramBuckets - 1], 1);
+}
+
+TEST_F(ObsStatsTest, HistogramMergesAcrossThreads) {
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 3; ++i) {
+    threads.emplace_back([] {
+      Histogram& histogram = GetHistogram("t.hist.threads");
+      histogram.Observe(1.5);
+      histogram.Observe(100.0);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.hist.threads");
+  EXPECT_EQ(merged.count, 6);
+  EXPECT_DOUBLE_EQ(merged.min, 1.5);
+  EXPECT_DOUBLE_EQ(merged.max, 100.0);
+}
+
+TEST_F(ObsStatsTest, ScopedTimerObservesElapsedSeconds) {
+  {
+    ScopedTimer timer("t.timer.span");
+    // Do a little real work so the span is strictly positive.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + std::sqrt(i);
+  }
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.timer.span");
+  EXPECT_EQ(merged.count, 1);
+  EXPECT_GT(merged.sum, 0.0);
+  EXPECT_LT(merged.sum, 60.0);  // Sanity: well under a minute.
+}
+
+TEST_F(ObsStatsTest, DisabledModeRecordsNothing) {
+  ScopedObsEnable disable(false);
+  EXPECT_FALSE(Enabled());
+  {
+    ScopedTimer timer("t.disabled.timer");
+  }
+  // Call sites follow the guard idiom, so metric objects are never even
+  // created while disabled; mimic that here.
+  if (Enabled()) GetCounter("t.disabled.counter").Add(1.0);
+  const Snapshot snapshot = TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.count("t.disabled.counter"), 0u);
+  EXPECT_EQ(snapshot.histograms.count("t.disabled.timer"), 0u);
+}
+
+TEST_F(ObsStatsTest, SetEnabledReturnsPreviousValue) {
+  const bool was = SetEnabled(false);
+  EXPECT_TRUE(was);  // Fixture enabled it.
+  EXPECT_FALSE(SetEnabled(true));
+}
+
+TEST_F(ObsStatsTest, TraceRingKeepsLastCapacityPoints) {
+  TraceRing& ring = GetTraceRing("t.trace.wrap", {{"a", "b", "", ""}}, 4);
+  for (int64_t step = 0; step < 10; ++step) {
+    ring.Append(step, static_cast<double>(step), -1.0);
+  }
+  EXPECT_EQ(ring.total_appended(), 10);
+  const std::vector<TracePoint> points = ring.Points();
+  ASSERT_EQ(points.size(), 4u);
+  // Oldest-first: steps 6, 7, 8, 9.
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].step, static_cast<int64_t>(6 + i));
+    EXPECT_DOUBLE_EQ(points[i].values[0], static_cast<double>(6 + i));
+    EXPECT_DOUBLE_EQ(points[i].values[1], -1.0);
+  }
+}
+
+TEST_F(ObsStatsTest, TraceMergeSortsByStepAcrossThreads) {
+  std::vector<std::thread> threads;
+  // Two threads append disjoint step ranges to same-named rings (each
+  // thread owns its shard's ring); the merged trace must come back
+  // step-sorted regardless of scheduling.
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([i] {
+      TraceRing& ring =
+          GetTraceRing("t.trace.sorted", {{"v", "", "", ""}}, 16);
+      for (int64_t j = 0; j < 5; ++j) {
+        ring.Append(i + 2 * j, static_cast<double>(i + 2 * j));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const TraceSnapshot merged = TakeSnapshot().traces.at("t.trace.sorted");
+  EXPECT_EQ(merged.total_appended, 10);
+  ASSERT_EQ(merged.points.size(), 10u);
+  for (size_t i = 0; i < merged.points.size(); ++i) {
+    EXPECT_EQ(merged.points[i].step, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(merged.fields[0], "v");
+}
+
+TEST_F(ObsStatsTest, ResetAllZeroesEverythingButKeepsHandles) {
+  Counter& counter = GetCounter("t.reset.counter");
+  counter.Add(7.0);
+  GetHistogram("t.reset.hist").Observe(1.0);
+  ResetAll();
+  EXPECT_EQ(counter.value(), 0.0);
+  const Snapshot snapshot = TakeSnapshot();
+  EXPECT_EQ(snapshot.counters.at("t.reset.counter"), 0.0);
+  EXPECT_EQ(snapshot.histograms.count("t.reset.hist"), 0u);
+  counter.Add(2.0);  // Handle still valid after reset.
+  EXPECT_EQ(counter.value(), 2.0);
+}
+
+TEST_F(ObsStatsTest, SnapshotToJsonContainsAllSections) {
+  GetCounter("t.json.counter").Add(3.0);
+  GetGauge("t.json.gauge").UpdateMax(1.5);
+  GetHistogram("t.json.hist").Observe(2.0);
+  GetTraceRing("t.json.trace", {{"x", "", "", ""}}, 8).Append(0, 42.0);
+  const std::string json = SnapshotToJson(TakeSnapshot());
+  EXPECT_NE(json.find("\"t.json.counter\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json.gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json.trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"x\": 42"), std::string::npos);
+}
+
+TEST_F(ObsStatsTest, WriteProfileJsonWritesReadableFile) {
+  GetCounter("t.file.counter").Add(1.0);
+  const std::string path =
+      ::testing::TempDir() + "/obs_stats_test_profile.json";
+  ASSERT_TRUE(WriteProfileJson(path));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("t.file.counter"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ppn::obs

@@ -1,0 +1,128 @@
+// Integration test: the trainer's obs instrumentation must faithfully
+// mirror what the trainer returns, and turning instrumentation on must not
+// change the training trajectory.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "market/generator.h"
+#include "obs/stats.h"
+#include "ppn/trainer.h"
+
+namespace ppn::core {
+namespace {
+
+market::MarketDataset SmallDataset() {
+  market::SyntheticMarketConfig config;
+  config.num_assets = 4;
+  config.num_periods = 400;
+  config.seed = 9;
+  config.late_listing_fraction = 0.0;
+  config.momentum = 0.25;
+  config.lead_lag_strength = 0.5;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.GenerateDataset("tiny", 0.8);
+}
+
+PolicyConfig SmallPolicyConfig() {
+  PolicyConfig config;
+  config.variant = PolicyVariant::kPpn;
+  config.num_assets = 4;
+  config.window = 10;
+  config.lstm_hidden = 4;
+  config.block1_channels = 3;
+  config.block2_channels = 4;
+  config.seed = 3;
+  return config;
+}
+
+TrainerConfig SmallTrainerConfig() {
+  TrainerConfig config;
+  config.batch_size = 8;
+  config.steps = 30;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<double> RunSteps(int steps) {
+  market::MarketDataset dataset = SmallDataset();
+  Rng init(1);
+  Rng dropout(2);
+  auto policy = MakePolicy(SmallPolicyConfig(), &init, &dropout);
+  PolicyGradientTrainer trainer(policy.get(), dataset, SmallTrainerConfig());
+  std::vector<double> rewards;
+  for (int step = 0; step < steps; ++step) {
+    rewards.push_back(trainer.TrainStep());
+  }
+  return rewards;
+}
+
+TEST(TrainerObsTest, RewardTraceMatchesReturnedRewards) {
+  obs::ScopedObsEnable enable;
+  obs::ResetAll();
+  constexpr int kSteps = 12;
+  const std::vector<double> rewards = RunSteps(kSteps);
+
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  const std::string trace_name =
+      "trainer.reward.seed" + std::to_string(SmallTrainerConfig().seed);
+  ASSERT_EQ(snapshot.traces.count(trace_name), 1u)
+      << "trainer did not record its reward trace";
+  const obs::TraceSnapshot& trace = snapshot.traces.at(trace_name);
+  EXPECT_EQ(trace.fields[0], "total");
+  EXPECT_EQ(trace.fields[1], "log_return");
+  EXPECT_EQ(trace.fields[2], "variance");
+  EXPECT_EQ(trace.fields[3], "turnover");
+  EXPECT_EQ(trace.total_appended, kSteps);
+  ASSERT_EQ(trace.points.size(), static_cast<size_t>(kSteps));
+  for (int step = 0; step < kSteps; ++step) {
+    EXPECT_EQ(trace.points[step].step, step);
+    EXPECT_DOUBLE_EQ(trace.points[step].values[0], rewards[step])
+        << "trace total diverges from returned reward at step " << step;
+    // The breakdown reconstructs the total:
+    //   total = mean_log_return − λ·variance − γ·mean_turnover.
+    const RewardConfig reward_config;  // Trainer ran with defaults.
+    const double reconstructed = trace.points[step].values[1] -
+                                 reward_config.lambda *
+                                     trace.points[step].values[2] -
+                                 reward_config.gamma *
+                                     trace.points[step].values[3];
+    // The graph combines the terms in float32, so reconstructing in double
+    // only matches to single precision.
+    EXPECT_NEAR(reconstructed, rewards[step],
+                1e-5 * std::max(1.0, std::fabs(rewards[step])));
+  }
+
+  EXPECT_EQ(snapshot.counters.at("trainer.steps"), kSteps);
+  ASSERT_EQ(snapshot.histograms.count("trainer.step.seconds"), 1u);
+  EXPECT_EQ(snapshot.histograms.at("trainer.step.seconds").count, kSteps);
+  // Training drove the policy's kernels, so the kernel counters are live.
+  EXPECT_GT(snapshot.counters.at("tensor.matmul.calls"), 0.0);
+  EXPECT_GT(snapshot.counters.at("tensor.matmul.flops"), 0.0);
+  obs::ResetAll();
+}
+
+TEST(TrainerObsTest, InstrumentationDoesNotPerturbTraining) {
+  std::vector<double> with_obs;
+  {
+    obs::ScopedObsEnable enable;
+    obs::ResetAll();
+    with_obs = RunSteps(6);
+    obs::ResetAll();
+  }
+  std::vector<double> without_obs;
+  {
+    obs::ScopedObsEnable disable(false);
+    without_obs = RunSteps(6);
+  }
+  ASSERT_EQ(with_obs.size(), without_obs.size());
+  for (size_t i = 0; i < with_obs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(with_obs[i], without_obs[i]) << "step " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ppn::core

@@ -25,11 +25,13 @@
 #include <vector>
 
 #include "backtest/backtester.h"
+#include "common/parse.h"
 #include "common/table_printer.h"
 #include "exec/experiment.h"
 #include "exec/thread_pool.h"
 #include "market/io.h"
 #include "market/presets.h"
+#include "obs/stats.h"
 #include "ppn/strategy_adapter.h"
 #include "ppn/trainer.h"
 #include "strategies/registry.h"
@@ -62,7 +64,8 @@ std::string FlagOr(const Flags& flags, const std::string& key,
 
 double NumFlagOr(const Flags& flags, const std::string& key, double fallback) {
   auto it = flags.find(key);
-  return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  if (it == flags.end()) return fallback;
+  return ParseDoubleOrDie(it->second, "--" + key);
 }
 
 bool DatasetIdFromName(const std::string& name, market::DatasetId* id) {
@@ -261,14 +264,19 @@ int CmdSweep(const Flags& flags) {
   if (flags.count("costs") > 0) {
     spec.cost_rates.clear();
     for (const std::string& rate : SplitCsvList(flags.at("costs"))) {
-      spec.cost_rates.push_back(std::atof(rate.c_str()));
+      spec.cost_rates.push_back(ParseDoubleOrDie(rate, "--costs"));
     }
   }
   if (flags.count("seeds") > 0) {
     spec.seeds.clear();
     for (const std::string& seed : SplitCsvList(flags.at("seeds"))) {
-      spec.seeds.push_back(
-          static_cast<uint64_t>(std::strtoull(seed.c_str(), nullptr, 10)));
+      const int64_t value = ParseInt64OrDie(seed, "--seeds");
+      if (value < 0) {
+        std::fprintf(stderr, "ppn: --seeds entries must be >= 0, got %s\n",
+                     seed.c_str());
+        return 2;
+      }
+      spec.seeds.push_back(static_cast<uint64_t>(value));
     }
   }
 
@@ -328,11 +336,16 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
-  if (command == "generate") return CmdGenerate(flags);
-  if (command == "train") return CmdTrain(flags);
-  if (command == "backtest") return CmdBacktest(flags);
-  if (command == "baselines") return CmdBaselines(flags);
-  if (command == "sweep") return CmdSweep(flags);
-  Usage();
-  return 2;
+  int status = 2;
+  if (command == "generate") status = CmdGenerate(flags);
+  else if (command == "train") status = CmdTrain(flags);
+  else if (command == "backtest") status = CmdBacktest(flags);
+  else if (command == "baselines") status = CmdBaselines(flags);
+  else if (command == "sweep") status = CmdSweep(flags);
+  else Usage();
+  if (ppn::obs::WriteProfileIfRequested()) {
+    std::fprintf(stderr, "profile written to %s\n",
+                 std::getenv("PPN_PROFILE_JSON"));
+  }
+  return status;
 }
