@@ -11,6 +11,7 @@
 #include "nn/conv.h"
 #include "nn/lstm.h"
 #include "tensor/ops.h"
+#include "tensor/pool.h"
 
 namespace ppn {
 namespace {
@@ -106,6 +107,90 @@ void BM_SoftmaxRows(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SoftmaxRows);
+
+// Elementwise: the fused (statically dispatched) kernels against the
+// type-erased std::function path they replaced on the hot autograd ops.
+
+void BM_ElementwiseMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomNormal({n}, 0.0f, 1.0f, &rng);
+  Tensor b = RandomNormal({n}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ElementwiseMul)->Arg(1024)->Arg(65536);
+
+void BM_MapTypeErased(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomNormal({n}, 0.0f, 1.0f, &rng);
+  std::function<float(float)> fn = [](float x) { return x * 1.5f + 2.0f; };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Map(a, fn));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MapTypeErased)->Arg(65536);
+
+void BM_MapFused(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = RandomNormal({n}, 0.0f, 1.0f, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MapFused(a, [](float x) { return x * 1.5f + 2.0f; }));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MapFused)->Arg(65536);
+
+// Allocator: one alloc+free cycle per iteration, distinguishing the
+// zero-filled constructor, the uninitialized fast path, and the pool
+// bypass (what every allocation cost before the pool existed).
+
+void BM_TensorAllocZeroed(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    Tensor t({n});
+    benchmark::DoNotOptimize(t.Data());
+  }
+}
+BENCHMARK(BM_TensorAllocZeroed)->Arg(1024)->Arg(65536);
+
+void BM_TensorAllocUninitialized(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    Tensor t = Tensor::Uninitialized({n});
+    benchmark::DoNotOptimize(t.Data());
+  }
+}
+BENCHMARK(BM_TensorAllocUninitialized)->Arg(1024)->Arg(65536);
+
+void BM_TensorAllocNoPool(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  pool::ScopedPoolDisable disable;
+  for (auto _ : state) {
+    Tensor t({n});
+    benchmark::DoNotOptimize(t.Data());
+  }
+}
+BENCHMARK(BM_TensorAllocNoPool)->Arg(1024)->Arg(65536);
+
+void BM_Concat(benchmark::State& state) {
+  Rng rng(1);
+  // The policy head's shape: per-asset feature blocks glued along the
+  // channel axis.
+  std::vector<Tensor> parts;
+  for (int i = 0; i < 4; ++i) {
+    parts.push_back(RandomNormal({64, 16, 30}, 0.0f, 1.0f, &rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Concat(parts, 1));
+  }
+}
+BENCHMARK(BM_Concat);
 
 void BM_CostFixedPoint(benchmark::State& state) {
   Rng rng(1);

@@ -8,6 +8,11 @@
 # iteration stats, reward traces) is archived next to the results JSON.
 # PPN_WORKERS controls experiment parallelism (default: hardware thread
 # count; 0 forces the serial inline path).
+#
+# google-benchmark binaries (micro_kernels) additionally archive their
+# machine-readable report as "<bench>.json" in bench_results/ — the
+# input format of tools/bench_diff, which compares two archived runs
+# and flags throughput regressions.
 cd /root/repo
 mkdir -p bench_results
 PPN_RESULTS_JSON=/root/repo/bench_results
@@ -15,8 +20,19 @@ export PPN_RESULTS_JSON
 {
   for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
-      echo "===== RUNNING $(basename "$b") ====="
-      PPN_PROFILE_JSON="/root/repo/bench_results/$(basename "$b").profile.json" "$b"
+      name=$(basename "$b")
+      echo "===== RUNNING $name ====="
+      case "$name" in
+        micro_kernels)
+          PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" \
+            "$b" \
+            --benchmark_out="/root/repo/bench_results/$name.json" \
+            --benchmark_out_format=json
+          ;;
+        *)
+          PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" "$b"
+          ;;
+      esac
       echo ""
     fi
   done

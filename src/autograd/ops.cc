@@ -88,8 +88,16 @@ Var MulScalar(const Var& a, float s) {
 
 Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 
+// The activations below use the statically-dispatched MapFused/ZipMapFused
+// kernels (tensor/ops.h) instead of the std::function Map: the functor
+// inlines into the loop. Backward passes additionally fuse the mask/
+// derivative tensor and its multiply with the incoming gradient into one
+// pass. Each fused expression keeps the seed's operation order per element
+// (derivative first, then the multiply by grad), so results are
+// bit-identical to the two-pass versions.
+
 Var Exp(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return std::exp(x); });
+  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::exp(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
     // d exp(x) = exp(x) dx, and self->value() is exp(x).
     MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), self->value()));
@@ -97,7 +105,7 @@ Var Exp(const Var& a) {
 }
 
 Var Log(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return std::log(x); });
+  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::log(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
     MaybeAccumulate(self->parents[0],
                     ppn::Div(self->grad(), self->parents[0]->value()));
@@ -105,63 +113,72 @@ Var Log(const Var& a) {
 }
 
 Var Tanh(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return std::tanh(x); });
+  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::tanh(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor one_minus_y2 = ppn::Map(
-        self->value(), [](float y) { return 1.0f - y * y; });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), one_minus_y2));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->value(),
+        [](float g, float y) { return g * (1.0f - y * y); });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Sigmoid(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) {
+  Tensor out = ppn::MapFused(a->value(), [](float x) {
     return x >= 0.0f ? 1.0f / (1.0f + std::exp(-x))
                      : std::exp(x) / (1.0f + std::exp(x));
   });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dy = ppn::Map(self->value(), [](float y) { return y * (1.0f - y); });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), dy));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->value(),
+        [](float g, float y) { return g * (y * (1.0f - y)); });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Relu(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tensor out =
+      ppn::MapFused(a->value(), [](float x) { return x > 0.0f ? x : 0.0f; });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor mask = ppn::Map(self->parents[0]->value(),
-                           [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), mask));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->parents[0]->value(),
+        [](float g, float x) { return g * (x > 0.0f ? 1.0f : 0.0f); });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Abs(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return std::fabs(x); });
+  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::fabs(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor sign = ppn::Map(self->parents[0]->value(), [](float x) {
-      return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f);
-    });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), sign));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->parents[0]->value(), [](float g, float x) {
+          return g * (x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f));
+        });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Sqrt(const Var& a) {
-  Tensor out = ppn::Map(a->value(), [](float x) { return std::sqrt(x); });
+  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::sqrt(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dy = ppn::Map(self->value(),
-                         [](float y) { return 0.5f / (y > 1e-12f ? y : 1e-12f); });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), dy));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->value(), [](float g, float y) {
+          return g * (0.5f / (y > 1e-12f ? y : 1e-12f));
+        });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Clamp(const Var& a, float lo, float hi) {
   PPN_CHECK_LE(lo, hi);
-  Tensor out = ppn::Map(a->value(), [lo, hi](float x) {
+  Tensor out = ppn::MapFused(a->value(), [lo, hi](float x) {
     return x < lo ? lo : (x > hi ? hi : x);
   });
   return MakeOp(std::move(out), {a}, [lo, hi](Node* self) {
-    Tensor mask = ppn::Map(self->parents[0]->value(), [lo, hi](float x) {
-      return (x > lo && x < hi) ? 1.0f : 0.0f;
-    });
-    MaybeAccumulate(self->parents[0], ppn::Mul(self->grad(), mask));
+    Tensor dx = ppn::ZipMapFused(
+        self->grad(), self->parents[0]->value(), [lo, hi](float g, float x) {
+          return g * ((x > lo && x < hi) ? 1.0f : 0.0f);
+        });
+    MaybeAccumulate(self->parents[0], dx);
   });
 }
 
@@ -270,7 +287,7 @@ Var SoftmaxRows(const Var& a) {
   PPN_CHECK_EQ(a->value().ndim(), 2);
   const int64_t m = a->value().dim(0);
   const int64_t n = a->value().dim(1);
-  Tensor out(a->shape());
+  Tensor out = Tensor::Uninitialized(a->shape());
   const float* pa = a->value().Data();
   float* po = out.MutableData();
   for (int64_t i = 0; i < m; ++i) {
@@ -289,7 +306,7 @@ Var SoftmaxRows(const Var& a) {
     const Var& parent = self->parents[0];
     if (!parent->requires_grad()) return;
     // dx_j = y_j * (dy_j - sum_k dy_k y_k), per row.
-    Tensor dx(parent->shape());
+    Tensor dx = Tensor::Uninitialized(parent->shape());
     const float* y = self->value().Data();
     const float* dy = self->grad().Data();
     float* px = dx.MutableData();
@@ -321,7 +338,7 @@ Tensor PermuteTensor4(const Tensor& a, const std::array<int, 4>& axes) {
   const auto& in_shape = a.shape();
   std::vector<int64_t> out_shape(4);
   for (int i = 0; i < 4; ++i) out_shape[i] = in_shape[axes[i]];
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   // Input strides.
   int64_t in_strides[4];
   in_strides[3] = 1;
@@ -363,7 +380,7 @@ Var Dropout(const Var& a, float p, bool training, Rng* rng) {
   if (!training || p == 0.0f) return a;
   PPN_CHECK(rng != nullptr);
   const float scale = 1.0f / (1.0f - p);
-  Tensor mask(a->shape());
+  Tensor mask = Tensor::Uninitialized(a->shape());
   float* pm = mask.MutableData();
   for (int64_t i = 0; i < mask.numel(); ++i) {
     pm[i] = rng->Bernoulli(p) ? 0.0f : scale;
@@ -408,7 +425,7 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
     out_matrix = ppn::AddRowVector(out_matrix, bias->value());
   }
   // Rearrange [B*OH*OW, C_out] -> [B, C_out, OH, OW].
-  Tensor out({batch, c_out, out_h, out_w});
+  Tensor out = Tensor::Uninitialized({batch, c_out, out_h, out_w});
   {
     const float* pm = out_matrix.Data();
     float* po = out.MutableData();
@@ -441,7 +458,8 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
         const Var& input = self->parents[0];
         const Var& weight = self->parents[1];
         // Inverse rearrangement: grad [B, C_out, OH, OW] -> [B*OH*OW, C_out].
-        Tensor grad_matrix({batch * out_h * out_w, c_out});
+        Tensor grad_matrix =
+            Tensor::Uninitialized({batch * out_h * out_w, c_out});
         {
           const float* pg = self->grad().Data();
           float* pm = grad_matrix.MutableData();

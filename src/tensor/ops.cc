@@ -1,6 +1,7 @@
 #include "tensor/ops.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.h"
 #include "common/parallel.h"
@@ -29,81 +30,136 @@ inline void RecordMatMul(int64_t m, int64_t n, int64_t k) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Blocked matmul kernels.
+//
+// All variants compute out[i][j] = sum_p A(i,p) * B(p,j) where A(i,p) is
+// either a[i*lda + p] (row-major operand) or a[p*lda + i] (the TransA
+// layout), and B rows b + p*ldb are contiguous. Each output element keeps
+// ONE float accumulator that sums its k terms in ascending p order — the
+// exact summation order of the naive i/p/j loops — so register blocking,
+// SIMD over j (lanes are distinct output elements), and OpenMP over row
+// blocks are all bit-identical to the reference kernels. Do not introduce
+// per-element partial sums (k-splitting) here; see DESIGN.md.
+//
+// The register block holds kIB x kJB accumulators on the stack; the j
+// dimension vectorizes (contiguous B and out rows), the i dimension
+// amortizes each B row load across kIB output rows.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kIB = 8;
+constexpr int64_t kJB = 8;
+
+template <bool kATransposed, int IB, int JB>
+inline void MicroKernel(const float* a, int64_t lda, const float* b,
+                        int64_t ldb, float* out, int64_t ldo, int64_t k) {
+  float acc[IB][JB] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * ldb;
+    float av[IB];
+    for (int i = 0; i < IB; ++i) {
+      av[i] = kATransposed ? a[p * lda + i] : a[i * lda + p];
+    }
+    for (int i = 0; i < IB; ++i) {
+      for (int j = 0; j < JB; ++j) acc[i][j] += av[i] * b_row[j];
+    }
+  }
+  for (int i = 0; i < IB; ++i) {
+    for (int j = 0; j < JB; ++j) out[i * ldo + j] = acc[i][j];
+  }
+}
+
+// Variable-size remainder block (right/bottom edges): same accumulator
+// discipline, scalar loops.
+template <bool kATransposed>
+inline void EdgeBlock(const float* a, int64_t lda, const float* b, int64_t ldb,
+                      float* out, int64_t ldo, int64_t k, int64_t ib,
+                      int64_t jb) {
+  float acc[kIB][kJB] = {};
+  for (int64_t p = 0; p < k; ++p) {
+    const float* b_row = b + p * ldb;
+    for (int64_t i = 0; i < ib; ++i) {
+      const float av = kATransposed ? a[p * lda + i] : a[i * lda + p];
+      for (int64_t j = 0; j < jb; ++j) acc[i][j] += av * b_row[j];
+    }
+  }
+  for (int64_t i = 0; i < ib; ++i) {
+    for (int64_t j = 0; j < jb; ++j) out[i * ldo + j] = acc[i][j];
+  }
+}
+
+// out[m,n] = A·B with A(i,p) as described above and B rows contiguous.
+// `a_block` points at A's element (i0, 0) advanced per row block outside;
+// here `a` is the full operand and indexing handles both layouts.
+template <bool kATransposed>
+void BlockedMatMul(const float* a, int64_t lda, const float* b, int64_t ldb,
+                   float* out, int64_t m, int64_t n, int64_t k) {
+  // OpenMP splits row blocks; every output element is computed wholly by
+  // one thread with the same per-element order, so any thread count gives
+  // bit-identical results.
+#ifdef _OPENMP
+#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
+    schedule(static)
+#endif
+  for (int64_t i0 = 0; i0 < m; i0 += kIB) {
+    const int64_t ib = m - i0 < kIB ? m - i0 : kIB;
+    // A's row-block origin: row i0 in the row-major layout, column i0 in
+    // the transposed layout.
+    const float* a_block = kATransposed ? a + i0 : a + i0 * lda;
+    float* out_block = out + i0 * n;
+    int64_t j0 = 0;
+    if (ib == kIB) {
+      for (; j0 + kJB <= n; j0 += kJB) {
+        MicroKernel<kATransposed, kIB, kJB>(a_block, lda, b + j0, ldb,
+                                            out_block + j0, n, k);
+      }
+    }
+    for (; j0 < n; j0 += kJB) {
+      const int64_t jb = n - j0 < kJB ? n - j0 : kJB;
+      EdgeBlock<kATransposed>(a_block, lda, b + j0, ldb, out_block + j0, n, k,
+                              ib, jb);
+    }
+  }
+}
+
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + pb[i];
-  return out;
+  return ZipMapFused(a, b, [](float x, float y) { return x + y; });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] - pb[i];
-  return out;
+  return ZipMapFused(a, b, [](float x, float y) { return x - y; });
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * pb[i];
-  return out;
+  return ZipMapFused(a, b, [](float x, float y) { return x * y; });
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Div");
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] / pb[i];
-  return out;
+  return ZipMapFused(a, b, [](float x, float y) { return x / y; });
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] + s;
-  return out;
+  return MapFused(a, [s](float x) { return x + s; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = pa[i] * s;
-  return out;
+  return MapFused(a, [s](float x) { return x * s; });
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = fn(pa[i]);
-  return out;
+  return MapFused(a, [&fn](float x) { return fn(x); });
 }
 
 Tensor ZipMap(const Tensor& a, const Tensor& b,
               const std::function<float(float, float)>& fn) {
   CheckSameShape(a, b, "ZipMap");
-  Tensor out(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < a.numel(); ++i) po[i] = fn(pa[i], pb[i]);
-  return out;
+  return ZipMapFused(a, b, [&fn](float x, float y) { return fn(x, y); });
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -115,23 +171,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   PPN_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims " << ShapeToString(a.shape())
                             << " x " << ShapeToString(b.shape());
   RecordMatMul(m, n, k);
-  Tensor out({m, n});
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-#ifdef _OPENMP
-#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
-    schedule(static)
-#endif
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_ip = pa[i * k + p];
-      if (a_ip == 0.0f) continue;
-      const float* b_row = pb + p * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += a_ip * b_row[j];
-    }
-  }
+  Tensor out = Tensor::Uninitialized({m, n});
+  BlockedMatMul<false>(a.Data(), k, b.Data(), n, out.MutableData(), m, n, k);
   return out;
 }
 
@@ -143,27 +184,10 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   PPN_CHECK_EQ(k, b.dim(0));
   RecordMatMul(m, n, k);
-  Tensor out({m, n});
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  // Rows of the output are independent, so the parallel loop runs over i
-  // with p inner. Each out[i][j] still accumulates its k terms in
-  // p-ascending order — the same float summation order as the serial
-  // p-outer form — so results are bit-identical at any thread count.
-#ifdef _OPENMP
-#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
-    schedule(static)
-#endif
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = po + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float a_pi = pa[p * m + i];
-      if (a_pi == 0.0f) continue;
-      const float* b_row = pb + p * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += a_pi * b_row[j];
-    }
-  }
+  Tensor out = Tensor::Uninitialized({m, n});
+  // a is [k, m]: A(i,p) = a[p*m + i], contiguous across the register
+  // block's i dimension.
+  BlockedMatMul<true>(a.Data(), m, b.Data(), n, out.MutableData(), m, n, k);
   return out;
 }
 
@@ -175,14 +199,22 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(0);
   PPN_CHECK_EQ(k, b.dim(1));
   RecordMatMul(m, n, k);
-  Tensor out({m, n});
+  // B's rows are the dot-product operands here, so the j-contiguous
+  // blocked kernel needs B^T. The transpose costs n*k against the m*n*k
+  // multiply: a clear win whenever several output rows amortize it. For
+  // very short outputs fall back to direct row dots (same ascending-p
+  // order, so both paths are bit-identical to the naive kernel).
+  if (m >= 4) {
+    Tensor bt = Transpose2D(b);  // [k, n]
+    Tensor out = Tensor::Uninitialized({m, n});
+    BlockedMatMul<false>(a.Data(), k, bt.Data(), n, out.MutableData(), m, n,
+                         k);
+    return out;
+  }
+  Tensor out = Tensor::Uninitialized({m, n});
   const float* pa = a.Data();
   const float* pb = b.Data();
   float* po = out.MutableData();
-#ifdef _OPENMP
-#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
-    schedule(static)
-#endif
   for (int64_t i = 0; i < m; ++i) {
     const float* a_row = pa + i * k;
     float* out_row = po + i * n;
@@ -200,11 +232,20 @@ Tensor Transpose2D(const Tensor& a) {
   PPN_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::Uninitialized({n, m});
   const float* pa = a.Data();
   float* po = out.MutableData();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[j * m + i] = pa[i * n + j];
+  // Tiled to keep both the source rows and the destination rows in cache
+  // for large matrices (pure data movement: no float ops to reorder).
+  constexpr int64_t kTile = 32;
+  for (int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const int64_t i_end = i0 + kTile < m ? i0 + kTile : m;
+    for (int64_t j0 = 0; j0 < n; j0 += kTile) {
+      const int64_t j_end = j0 + kTile < n ? j0 + kTile : n;
+      for (int64_t i = i0; i < i_end; ++i) {
+        for (int64_t j = j0; j < j_end; ++j) po[j * m + i] = pa[i * n + j];
+      }
+    }
   }
   return out;
 }
@@ -225,6 +266,7 @@ Tensor SumRows(const Tensor& a) {
   PPN_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
+  // Accumulates row-by-row into the output: needs the zero init.
   Tensor out({n});
   const float* pa = a.Data();
   float* po = out.MutableData();
@@ -241,7 +283,7 @@ Tensor AddRowVector(const Tensor& a, const Tensor& b) {
   PPN_CHECK_EQ(a.dim(1), b.dim(0));
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  Tensor out(a.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
   const float* pa = a.Data();
   const float* pb = b.Data();
   float* po = out.MutableData();
@@ -270,6 +312,12 @@ int NormalizeAxis(int axis, int ndim) {
   return axis;
 }
 
+inline void CopyFloats(float* dst, const float* src, int64_t count) {
+  if (count > 0) {
+    std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
+  }
+}
+
 }  // namespace
 
 Tensor Concat(const std::vector<Tensor>& parts, int axis) {
@@ -289,11 +337,24 @@ Tensor Concat(const std::vector<Tensor>& parts, int axis) {
     total_axis += part.shape()[axis];
   }
   out_shape[axis] = total_axis;
-  Tensor out(out_shape);
+  // Every element is written exactly once below: one memcpy per part per
+  // outer slice, directly into place (the seed zero-filled the output and
+  // then copied each part a second time through NarrowInto).
+  Tensor out = Tensor::Uninitialized(out_shape);
+  int64_t outer;
+  int64_t axis_len;
+  int64_t inner;
+  AxisSplit(out_shape, axis, &outer, &axis_len, &inner);
+  float* po = out.MutableData();
   int64_t offset = 0;
   for (const Tensor& part : parts) {
-    NarrowInto(&out, part, axis, offset);
-    offset += part.shape()[axis];
+    const int64_t part_axis = part.shape()[axis];
+    const int64_t row = part_axis * inner;
+    const float* ps = part.Data();
+    for (int64_t o = 0; o < outer; ++o) {
+      CopyFloats(po + (o * axis_len + offset) * inner, ps + o * row, row);
+    }
+    offset += part_axis;
   }
   return out;
 }
@@ -305,7 +366,7 @@ Tensor Narrow(const Tensor& a, int axis, int64_t start, int64_t length) {
       << " dim=" << a.shape()[axis];
   std::vector<int64_t> out_shape = a.shape();
   out_shape[axis] = length;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   int64_t outer;
   int64_t axis_len;
   int64_t inner;
@@ -313,9 +374,8 @@ Tensor Narrow(const Tensor& a, int axis, int64_t start, int64_t length) {
   const float* pa = a.Data();
   float* po = out.MutableData();
   for (int64_t o = 0; o < outer; ++o) {
-    const float* src = pa + (o * axis_len + start) * inner;
-    float* dst = po + o * length * inner;
-    for (int64_t i = 0; i < length * inner; ++i) dst[i] = src[i];
+    CopyFloats(po + o * length * inner, pa + (o * axis_len + start) * inner,
+               length * inner);
   }
   return out;
 }
@@ -337,16 +397,15 @@ void NarrowInto(Tensor* dst, const Tensor& src, int axis, int64_t start) {
   const float* ps = src.Data();
   float* pd = dst->MutableData();
   for (int64_t o = 0; o < outer; ++o) {
-    float* out_ptr = pd + (o * axis_len + start) * inner;
-    const float* src_ptr = ps + o * length * inner;
-    for (int64_t i = 0; i < length * inner; ++i) out_ptr[i] = src_ptr[i];
+    CopyFloats(pd + (o * axis_len + start) * inner, ps + o * length * inner,
+               length * inner);
   }
 }
 
 Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
                      Rng* rng) {
   PPN_CHECK(rng != nullptr);
-  Tensor out(std::move(shape));
+  Tensor out = Tensor::Uninitialized(std::move(shape));
   float* po = out.MutableData();
   for (int64_t i = 0; i < out.numel(); ++i) {
     po[i] = static_cast<float>(rng->Uniform(lo, hi));
@@ -357,7 +416,7 @@ Tensor RandomUniform(std::vector<int64_t> shape, float lo, float hi,
 Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
                     Rng* rng) {
   PPN_CHECK(rng != nullptr);
-  Tensor out(std::move(shape));
+  Tensor out = Tensor::Uninitialized(std::move(shape));
   float* po = out.MutableData();
   for (int64_t i = 0; i < out.numel(); ++i) {
     po[i] = static_cast<float>(rng->Normal(mean, stddev));
@@ -381,7 +440,8 @@ Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
         obs::GetCounter("tensor.im2col.calls");
     calls.Add(1.0);
   }
-  Tensor columns({n * out_h * out_w, patch});
+  // Every column element is written (out-of-bounds taps store 0.0f).
+  Tensor columns = Tensor::Uninitialized({n * out_h * out_w, patch});
   const float* pi = input.Data();
   float* pc = columns.MutableData();
 #ifdef _OPENMP
@@ -427,6 +487,7 @@ Tensor Col2Im(const Tensor& columns, const std::vector<int64_t>& input_shape,
   const int64_t patch = c * g.kernel_h * g.kernel_w;
   PPN_CHECK_EQ(columns.dim(0), n * out_h * out_w);
   PPN_CHECK_EQ(columns.dim(1), patch);
+  // Overlapping patches accumulate: the output must start zeroed.
   Tensor image(input_shape);
   const float* pc = columns.Data();
   float* pi = image.MutableData();

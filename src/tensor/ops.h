@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/check.h"
 #include "common/random.h"
 #include "tensor/tensor.h"
 
@@ -11,6 +12,14 @@
 /// Raw (non-differentiable) tensor kernels. The autograd layer composes
 /// these into differentiable operations. All binary elementwise kernels
 /// require identical shapes; broadcasting is handled one level up.
+///
+/// Kernel rules (see DESIGN.md "Memory & kernel architecture"):
+///  - Outputs that are fully overwritten come from `Tensor::Uninitialized`
+///    (skips the zero-fill); accumulating outputs zero-init.
+///  - Every matmul variant accumulates each output element's k terms in
+///    ascending order with a single float accumulator, so blocked /
+///    vectorized / OpenMP versions stay bit-identical to the naive
+///    reference loops at any block size or thread count.
 
 namespace ppn {
 
@@ -28,10 +37,40 @@ Tensor AddScalar(const Tensor& a, float s);
 /// c = a * s.
 Tensor MulScalar(const Tensor& a, float s);
 
-/// Applies `fn` elementwise.
+/// Applies `fn` elementwise with static dispatch: the functor inlines
+/// into the loop (no per-element `std::function` call). This is the hot
+/// path used by the autograd activations.
+template <typename Fn>
+Tensor MapFused(const Tensor& a, Fn fn) {
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.Data();
+  float* po = out.MutableData();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i]);
+  return out;
+}
+
+/// Applies `fn(a_i, b_i)` elementwise with static dispatch (same shape).
+template <typename Fn>
+Tensor ZipMapFused(const Tensor& a, const Tensor& b, Fn fn) {
+  PPN_CHECK(SameShape(a, b))
+      << "ZipMapFused: shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+  Tensor out = Tensor::Uninitialized(a.shape());
+  const float* pa = a.Data();
+  const float* pb = b.Data();
+  float* po = out.MutableData();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = fn(pa[i], pb[i]);
+  return out;
+}
+
+/// Applies `fn` elementwise. Type-erased fallback API: prefer `MapFused`
+/// on hot paths (a `std::function` call per element is ~10x slower).
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn);
 
-/// Applies `fn(a_i, b_i)` elementwise (same shape).
+/// Applies `fn(a_i, b_i)` elementwise (same shape). Type-erased fallback
+/// API: prefer `ZipMapFused` on hot paths.
 Tensor ZipMap(const Tensor& a, const Tensor& b,
               const std::function<float(float, float)>& fn);
 

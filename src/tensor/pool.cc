@@ -1,0 +1,187 @@
+#include "tensor/pool.h"
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/stats.h"
+
+namespace ppn::pool {
+
+namespace {
+
+// Smallest size class: 2^3 = 8 floats (32 bytes). Classes above
+// kMaxClassLog2 would overflow int64 byte counts long before being
+// reachable; ShapeNumel already guards tensor sizes.
+constexpr int kMinClassLog2 = 3;
+constexpr int kMaxClassLog2 = 40;
+constexpr int kNumClasses = kMaxClassLog2 + 1;
+
+// Per-thread cache cap. Training-step working sets here are a few MB;
+// the cap only matters if someone churns huge one-off tensors.
+constexpr int64_t kMaxCachedBytesPerThread = int64_t{256} << 20;
+
+int ClassIndex(int64_t numel) {
+  PPN_DCHECK(numel > 0);
+  const int width = std::bit_width(static_cast<uint64_t>(numel - 1));
+  return width < kMinClassLog2 ? kMinClassLog2 : width;
+}
+
+int64_t ClassBytes(int cls) {
+  return (int64_t{1} << cls) * static_cast<int64_t>(sizeof(float));
+}
+
+float* RawAlloc(int cls) {
+  return static_cast<float*>(
+      ::operator new(static_cast<size_t>(ClassBytes(cls)),
+                     std::align_val_t{64}));
+}
+
+void RawFree(float* ptr) noexcept {
+  ::operator delete(ptr, std::align_val_t{64});
+}
+
+bool EnabledFromEnv() {
+  const char* env = std::getenv("PPN_NO_POOL");
+  const bool no_pool =
+      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+  return !no_pool;
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag{EnabledFromEnv()};
+  return flag;
+}
+
+// Stats are a trivially-destructible aggregate so they stay readable
+// even during thread teardown (unlike the cache below).
+thread_local ThreadStats tls_stats;
+
+struct ThreadCache;
+// Raw mirror of the function-local static below. Trivially destructible,
+// so `Release` can consult it at any point in the thread's lifetime:
+// null before first Acquire and again after the cache is destroyed.
+thread_local ThreadCache* tls_cache = nullptr;
+// Distinguishes "not created yet" from "already destroyed": once true,
+// Release must not resurrect the function-local static.
+thread_local bool tls_cache_destroyed = false;
+
+struct ThreadCache {
+  std::array<std::vector<float*>, kNumClasses> free_lists;
+
+  ThreadCache() { tls_cache = this; }
+  ~ThreadCache() {
+    tls_cache = nullptr;
+    tls_cache_destroyed = true;
+    for (auto& list : free_lists) {
+      for (float* ptr : list) RawFree(ptr);
+      list.clear();
+    }
+    tls_stats.bytes_cached = 0;
+  }
+};
+
+ThreadCache* GetCache() {
+  if (tls_cache == nullptr && !tls_cache_destroyed) {
+    static thread_local ThreadCache cache;
+  }
+  return tls_cache;
+}
+
+void RecordObsAcquire(bool hit) {
+  if (!obs::Enabled()) return;
+  if (hit) {
+    static thread_local obs::Counter& hits = obs::GetCounter("tensor.pool.hit");
+    hits.Add(1.0);
+  } else {
+    static thread_local obs::Counter& misses =
+        obs::GetCounter("tensor.pool.miss");
+    misses.Add(1.0);
+  }
+  static thread_local obs::Gauge& in_use =
+      obs::GetGauge("tensor.pool.bytes_in_use");
+  in_use.UpdateMax(static_cast<double>(tls_stats.bytes_in_use));
+}
+
+void RecordObsRelease(bool cached) {
+  if (!obs::Enabled()) return;
+  if (cached) {
+    static thread_local obs::Counter& count =
+        obs::GetCounter("tensor.pool.release_cached");
+    count.Add(1.0);
+  } else {
+    static thread_local obs::Counter& count =
+        obs::GetCounter("tensor.pool.release_freed");
+    count.Add(1.0);
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+bool SetEnabledForTest(bool enabled) {
+  return EnabledFlag().exchange(enabled, std::memory_order_relaxed);
+}
+
+float* Acquire(int64_t numel) {
+  PPN_CHECK_GE(numel, 0);
+  if (numel == 0) return nullptr;
+  const int cls = ClassIndex(numel);
+  const int64_t bytes = ClassBytes(cls);
+  tls_stats.bytes_in_use += bytes;
+  if (Enabled()) {
+    ThreadCache* cache = GetCache();
+    if (cache != nullptr && !cache->free_lists[cls].empty()) {
+      std::vector<float*>& list = cache->free_lists[cls];
+      float* ptr = list.back();
+      list.pop_back();
+      ++tls_stats.hits;
+      tls_stats.bytes_cached -= bytes;
+      RecordObsAcquire(/*hit=*/true);
+      return ptr;
+    }
+  }
+  ++tls_stats.misses;
+  RecordObsAcquire(/*hit=*/false);
+  return RawAlloc(cls);
+}
+
+void Release(float* ptr, int64_t numel) noexcept {
+  if (ptr == nullptr) return;
+  const int cls = ClassIndex(numel);
+  const int64_t bytes = ClassBytes(cls);
+  tls_stats.bytes_in_use -= bytes;
+  if (Enabled()) {
+    ThreadCache* cache = GetCache();
+    if (cache != nullptr &&
+        tls_stats.bytes_cached + bytes <= kMaxCachedBytesPerThread) {
+      cache->free_lists[cls].push_back(ptr);
+      tls_stats.bytes_cached += bytes;
+      ++tls_stats.releases_cached;
+      RecordObsRelease(/*cached=*/true);
+      return;
+    }
+  }
+  ++tls_stats.releases_freed;
+  RecordObsRelease(/*cached=*/false);
+  RawFree(ptr);
+}
+
+ThreadStats LocalStats() { return tls_stats; }
+
+void TrimThreadCache() {
+  ThreadCache* cache = tls_cache;
+  if (cache == nullptr) return;
+  for (auto& list : cache->free_lists) {
+    for (float* ptr : list) RawFree(ptr);
+    list.clear();
+  }
+  tls_stats.bytes_cached = 0;
+}
+
+}  // namespace ppn::pool

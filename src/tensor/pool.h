@@ -1,0 +1,96 @@
+#ifndef PPN_TENSOR_POOL_H_
+#define PPN_TENSOR_POOL_H_
+
+#include <cstdint>
+
+/// \file
+/// Thread-local size-class buffer pool underneath `Tensor`.
+///
+/// Every tensor allocation in a training step has one of a handful of
+/// shapes, and the autograd tape frees them all again before the next
+/// step. Heap-allocating each one (the seed behaviour:
+/// `std::make_shared<std::vector<float>>`) puts malloc/free and a full
+/// zero-fill on every hot-path op. The pool replaces that with a
+/// per-thread free list keyed by size class (next power of two, floor 8
+/// floats): `Acquire` pops a cached buffer when one is available and
+/// only touches the heap on a miss, `Release` pushes the buffer back to
+/// the *calling* thread's list (buffers may migrate between threads;
+/// both sides stay lock-free because no list is ever shared).
+///
+/// Contracts:
+///  - Buffers from `Acquire` are UNINITIALIZED — recycled buffers keep
+///    their previous contents. `Tensor(shape)` zero-fills on top;
+///    `Tensor::Uninitialized` does not (see tensor.h for when that is
+///    legal).
+///  - `Release(ptr, numel)` must receive the same `numel` the buffer
+///    was acquired with (the size class is recomputed from it).
+///  - Per-thread cached bytes are capped; releases beyond the cap free
+///    to the heap directly.
+///  - `PPN_NO_POOL=1` (env, read once at first use) bypasses caching
+///    entirely: every Acquire/Release is a plain aligned heap
+///    alloc/free. Results are bit-identical either way; the switch
+///    exists to take the allocator out of the picture when debugging.
+///
+/// Observability (when `obs::Enabled()`): counters `tensor.pool.hit`,
+/// `tensor.pool.miss`, `tensor.pool.release_cached`,
+/// `tensor.pool.release_freed`, and high-watermark gauge
+/// `tensor.pool.bytes_in_use`.
+
+namespace ppn::pool {
+
+/// Returns a 64-byte-aligned buffer with room for at least `numel`
+/// floats (rounded up to the size class). Contents are UNINITIALIZED.
+/// Returns nullptr for numel == 0.
+float* Acquire(int64_t numel);
+
+/// Returns a buffer obtained from `Acquire(numel)`. Safe to call from a
+/// different thread than the acquiring one, and during thread teardown
+/// (falls back to a direct free once the cache is gone).
+void Release(float* ptr, int64_t numel) noexcept;
+
+/// True when pooling is active (PPN_NO_POOL unset/0 and no test
+/// override). Buffers allocated while enabled may be released while
+/// disabled and vice versa: both paths share the same underlying heap
+/// allocator, only the caching differs.
+bool Enabled();
+
+/// Flips the pool on/off at runtime; returns the previous value.
+/// Intended for tests and benchmarks (PPN_NO_POOL is the user-facing
+/// switch).
+bool SetEnabledForTest(bool enabled);
+
+/// RAII disable for tests/benchmarks.
+class ScopedPoolDisable {
+ public:
+  ScopedPoolDisable() : previous_(SetEnabledForTest(false)) {}
+  ~ScopedPoolDisable() { SetEnabledForTest(previous_); }
+
+  ScopedPoolDisable(const ScopedPoolDisable&) = delete;
+  ScopedPoolDisable& operator=(const ScopedPoolDisable&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// Allocator statistics for the CALLING thread (plain thread-locals,
+/// always maintained; the obs counters mirror them when profiling is
+/// on).
+struct ThreadStats {
+  int64_t hits = 0;             ///< Acquires served from the free list.
+  int64_t misses = 0;           ///< Acquires that hit the heap.
+  int64_t releases_cached = 0;  ///< Releases that went back to the list.
+  int64_t releases_freed = 0;   ///< Releases freed (cap/pool off).
+  int64_t bytes_in_use = 0;     ///< Size-class bytes currently acquired.
+  int64_t bytes_cached = 0;     ///< Size-class bytes sitting in the list.
+};
+
+/// Snapshot of the calling thread's stats.
+ThreadStats LocalStats();
+
+/// Frees every cached buffer on the calling thread (stats keep their
+/// counts; bytes_cached drops to 0).
+void TrimThreadCache();
+
+}  // namespace ppn::pool
+
+#endif  // PPN_TENSOR_POOL_H_

@@ -1,11 +1,24 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
 #include "common/check.h"
+#include "tensor/pool.h"
 
 namespace ppn {
+
+namespace {
+
+std::shared_ptr<float> AcquireShared(int64_t numel) {
+  if (numel == 0) return nullptr;
+  float* raw = pool::Acquire(numel);
+  return std::shared_ptr<float>(raw,
+                                [numel](float* p) { pool::Release(p, numel); });
+}
+
+}  // namespace
 
 int64_t ShapeNumel(const std::vector<int64_t>& shape) {
   int64_t numel = 1;
@@ -33,21 +46,33 @@ std::string ShapeToString(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor() : Tensor(std::vector<int64_t>{0}) {}
 
-Tensor::Tensor(std::vector<int64_t> shape)
+Tensor::Tensor(UninitTag, std::vector<int64_t> shape)
     : shape_(std::move(shape)),
       numel_(ShapeNumel(shape_)),
-      data_(std::make_shared<std::vector<float>>(numel_, 0.0f)) {}
+      data_(AcquireShared(numel_)) {}
+
+Tensor::Tensor(std::vector<int64_t> shape) : Tensor(UninitTag{}, std::move(shape)) {
+  if (numel_ > 0) {
+    std::memset(data_.get(), 0, static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> values)
-    : shape_(std::move(shape)),
-      numel_(ShapeNumel(shape_)),
-      data_(std::make_shared<std::vector<float>>(std::move(values))) {
-  PPN_CHECK_EQ(numel_, static_cast<int64_t>(data_->size()))
+    : Tensor(UninitTag{}, std::move(shape)) {
+  PPN_CHECK_EQ(numel_, static_cast<int64_t>(values.size()))
       << "value count does not match shape " << ShapeToString(shape_);
+  if (numel_ > 0) {
+    std::memcpy(data_.get(), values.data(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  }
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  return Tensor(UninitTag{}, std::move(shape));
 }
 
 Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   t.Fill(value);
   return t;
 }
@@ -66,7 +91,7 @@ int64_t Tensor::dim(int axis) const {
 
 float Tensor::operator[](int64_t flat_index) const {
   PPN_DCHECK(flat_index >= 0 && flat_index < numel_);
-  return (*data_)[flat_index];
+  return data_.get()[flat_index];
 }
 
 int64_t Tensor::Offset(std::initializer_list<int64_t> indices) const {
@@ -82,15 +107,20 @@ int64_t Tensor::Offset(std::initializer_list<int64_t> indices) const {
 }
 
 float Tensor::At(std::initializer_list<int64_t> indices) const {
-  return (*data_)[Offset(indices)];
+  return data_.get()[Offset(indices)];
 }
 
 void Tensor::Set(std::initializer_list<int64_t> indices, float value) {
-  (*data_)[Offset(indices)] = value;
+  data_.get()[Offset(indices)] = value;
 }
 
 Tensor Tensor::Clone() const {
-  return Tensor(shape_, *data_);
+  Tensor out = Uninitialized(shape_);
+  if (numel_ > 0) {
+    std::memcpy(out.data_.get(), data_.get(),
+                static_cast<size_t>(numel_) * sizeof(float));
+  }
+  return out;
 }
 
 Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
@@ -103,13 +133,16 @@ Tensor Tensor::Reshaped(std::vector<int64_t> new_shape) const {
 }
 
 void Tensor::Fill(float value) {
-  for (float& x : *data_) x = value;
+  float* p = data_.get();
+  for (int64_t i = 0; i < numel_; ++i) p[i] = value;
 }
 
 bool Tensor::AllClose(const Tensor& other, float atol) const {
   if (shape_ != other.shape_) return false;
+  const float* pa = data_.get();
+  const float* pb = other.data_.get();
   for (int64_t i = 0; i < numel_; ++i) {
-    const float delta = (*data_)[i] - (*other.data_)[i];
+    const float delta = pa[i] - pb[i];
     if (std::fabs(delta) > atol || std::isnan(delta)) return false;
   }
   return true;
@@ -122,7 +155,7 @@ std::string Tensor::ToString() const {
     out << " {";
     for (int64_t i = 0; i < numel_; ++i) {
       if (i > 0) out << ", ";
-      out << (*data_)[i];
+      out << data_.get()[i];
     }
     out << "}";
   }

@@ -10,7 +10,8 @@
 /// \file
 /// Dense row-major float32 tensor. This is the storage type underneath the
 /// autograd engine and the neural-network layers; it carries no gradient
-/// information itself.
+/// information itself. Buffers come from the thread-local size-class pool
+/// in `tensor/pool.h` (64-byte aligned, recycled across allocations).
 
 namespace ppn {
 
@@ -28,6 +29,13 @@ class Tensor {
   /// Allocates a zero-initialized tensor of the given shape. All dimensions
   /// must be non-negative.
   explicit Tensor(std::vector<int64_t> shape);
+
+  /// Allocates WITHOUT initializing: recycled pool buffers keep their
+  /// previous contents. Only legal for callers that overwrite every
+  /// element before the tensor can be read (elementwise outputs, matmul
+  /// outputs, copies, …). Ops that *accumulate* into their output (e.g.
+  /// `Col2Im`, `SumRows`) must use the zeroing constructor instead.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
 
   /// Allocates and fills from `values`; `values.size()` must equal the
   /// number of elements implied by `shape`.
@@ -56,11 +64,11 @@ class Tensor {
   /// Total element count.
   int64_t numel() const { return numel_; }
 
-  /// Read-only flat data pointer.
-  const float* Data() const { return data_->data(); }
+  /// Read-only flat data pointer (null iff numel() == 0).
+  const float* Data() const { return data_.get(); }
 
   /// Mutable flat data pointer (writes are visible to all shallow copies).
-  float* MutableData() { return data_->data(); }
+  float* MutableData() { return data_.get(); }
 
   /// Element access by flat index.
   float operator[](int64_t flat_index) const;
@@ -91,9 +99,14 @@ class Tensor {
   std::string ToString() const;
 
  private:
+  struct UninitTag {};
+  Tensor(UninitTag, std::vector<int64_t> shape);
+
   std::vector<int64_t> shape_;
   int64_t numel_ = 0;
-  std::shared_ptr<std::vector<float>> data_;
+  /// Pooled buffer; the deleter returns it to `pool::Release`. Null iff
+  /// numel_ == 0.
+  std::shared_ptr<float> data_;
 };
 
 /// Computes the element count of a shape; checks dims are non-negative.

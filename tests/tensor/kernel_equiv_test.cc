@@ -1,0 +1,208 @@
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+// Pins the blocked/vectorized kernels in tensor/ops.cc to the naive
+// reference loops BIT-FOR-BIT. The production kernels are allowed any
+// blocking, SIMD width, or thread count as long as each output element's
+// k terms accumulate in ascending order into a single float — these
+// tests are the contract's enforcement (see DESIGN.md "Memory & kernel
+// architecture").
+
+namespace ppn {
+namespace {
+
+// Reference implementations: the seed repo's triple loops, one float
+// accumulator per output element, k ascending.
+
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[1];
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a.Data()[i * k + p] * b.Data()[p * n + j];
+      }
+      out.MutableData()[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransA(const Tensor& a, const Tensor& b) {
+  const int64_t k = a.shape()[0], m = a.shape()[1], n = b.shape()[1];
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a.Data()[p * m + i] * b.Data()[p * n + j];
+      }
+      out.MutableData()[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+Tensor NaiveMatMulTransB(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.shape()[0], k = a.shape()[1], n = b.shape()[0];
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a.Data()[i * k + p] * b.Data()[j * k + p];
+      }
+      out.MutableData()[i * n + j] = acc;
+    }
+  }
+  return out;
+}
+
+// EXPECT-style bitwise tensor equality. AllClose would hide both
+// rounding drift and NaN-payload differences; bit_cast hides nothing.
+void ExpectBitIdentical(const Tensor& got, const Tensor& want,
+                        const char* label) {
+  ASSERT_EQ(got.shape(), want.shape()) << label;
+  const float* pg = got.Data();
+  const float* pw = want.Data();
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    EXPECT_EQ(std::bit_cast<uint32_t>(pg[i]), std::bit_cast<uint32_t>(pw[i]))
+        << label << ": element " << i << " got " << pg[i] << " want " << pw[i];
+  }
+}
+
+// Random matrix with a sprinkling of exact zeros (the seed kernels had a
+// `== 0.0f` fast path; zeros must still round-trip bit-identically) and
+// negative values (exercises -0.0-adjacent products).
+Tensor TestMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t = RandomUniform({rows, cols}, -2.0f, 2.0f, &rng);
+  float* p = t.MutableData();
+  for (int64_t i = 0; i < t.numel(); i += 7) p[i] = 0.0f;
+  return t;
+}
+
+struct Dims {
+  int64_t m, k, n;
+};
+
+// Odd shapes chosen to hit every edge path of the blocked driver: unit,
+// sub-block, exact-block, non-multiple-of-block, tall/skinny in each
+// dimension, and one size big enough to trip the OpenMP branch.
+const Dims kShapes[] = {
+    {1, 1, 1},   {1, 5, 1},  {5, 9, 7},    {13, 21, 17}, {37, 3, 65},
+    {3, 64, 2},  {8, 8, 8},  {16, 16, 16}, {64, 64, 64}, {2, 100, 9},
+    {100, 2, 3}, {9, 7, 100}, {48, 48, 48},
+};
+
+TEST(KernelEquivalenceTest, MatMulBitIdenticalToNaive) {
+  for (const Dims& d : kShapes) {
+    Tensor a = TestMatrix(d.m, d.k, 101 + d.m);
+    Tensor b = TestMatrix(d.k, d.n, 202 + d.n);
+    ExpectBitIdentical(MatMul(a, b), NaiveMatMul(a, b), "MatMul");
+  }
+}
+
+TEST(KernelEquivalenceTest, MatMulTransABitIdenticalToNaive) {
+  for (const Dims& d : kShapes) {
+    Tensor a = TestMatrix(d.k, d.m, 303 + d.m);
+    Tensor b = TestMatrix(d.k, d.n, 404 + d.n);
+    ExpectBitIdentical(MatMulTransA(a, b), NaiveMatMulTransA(a, b),
+                       "MatMulTransA");
+  }
+}
+
+TEST(KernelEquivalenceTest, MatMulTransBBitIdenticalToNaive) {
+  for (const Dims& d : kShapes) {
+    Tensor a = TestMatrix(d.m, d.k, 505 + d.m);
+    Tensor b = TestMatrix(d.n, d.k, 606 + d.n);
+    ExpectBitIdentical(MatMulTransB(a, b), NaiveMatMulTransB(a, b),
+                       "MatMulTransB");
+  }
+}
+
+// The fused elementwise kernels must match the type-erased API exactly
+// (same functor, same order, just statically dispatched).
+TEST(KernelEquivalenceTest, FusedMapMatchesTypeErasedMap) {
+  Tensor a = TestMatrix(17, 23, 707);
+  auto fn = [](float x) { return std::tanh(x) + 0.5f * x; };
+  ExpectBitIdentical(MapFused(a, fn), Map(a, fn), "MapFused");
+}
+
+TEST(KernelEquivalenceTest, FusedZipMapMatchesTypeErasedZipMap) {
+  Tensor a = TestMatrix(17, 23, 808);
+  Tensor b = TestMatrix(17, 23, 909);
+  auto fn = [](float x, float y) { return x * y + (x > 0.0f ? y : -y); };
+  ExpectBitIdentical(ZipMapFused(a, b, fn), ZipMap(a, b, fn), "ZipMapFused");
+}
+
+// Regression for the seed's `a_ip == 0.0f` skip, which silently dropped
+// the 0 * Inf = NaN and 0 * NaN = NaN terms required by IEEE 754. A
+// non-finite value anywhere in the reduction must poison the output.
+constexpr float kInf = std::numeric_limits<float>::infinity();
+constexpr float kQNaN = std::numeric_limits<float>::quiet_NaN();
+
+TEST(NonFinitePropagationTest, ZeroTimesInfIsNaNInMatMul) {
+  // a row contains an explicit 0 lined up against Inf in b.
+  Tensor a({2, 3}, {0.0f, 1.0f, 2.0f,  //
+                    1.0f, 0.0f, 1.0f});
+  Tensor b({3, 2}, {kInf, 1.0f,  //
+                    1.0f, kInf,  //
+                    1.0f, 1.0f});
+  Tensor c = MatMul(a, b);
+  // Row 0: 0*Inf + 1*1 + 2*1 = NaN ; 0*1 + 1*Inf + 2*1 = Inf.
+  EXPECT_TRUE(std::isnan(c.Data()[0]));
+  EXPECT_TRUE(std::isinf(c.Data()[1]));
+  // Row 1: 1*Inf + 0*1 + 1*1 = Inf ; 1*1 + 0*Inf + 1*1 = NaN.
+  EXPECT_TRUE(std::isinf(c.Data()[2]));
+  EXPECT_TRUE(std::isnan(c.Data()[3]));
+}
+
+TEST(NonFinitePropagationTest, NaNAgainstZeroPropagatesInAllVariants) {
+  // A NaN in `a` must reach every output element its row/column feeds,
+  // even where the other operand is zero.
+  Tensor a({2, 2}, {kQNaN, 1.0f, 1.0f, 1.0f});
+  Tensor zeros({2, 2}, {0.0f, 0.0f, 0.0f, 0.0f});
+  for (float v : {MatMul(a, zeros).Data()[0], MatMul(zeros, a).Data()[0],
+                  MatMulTransA(a, zeros).Data()[0],
+                  MatMulTransB(zeros, a).Data()[0]}) {
+    EXPECT_TRUE(std::isnan(v));
+  }
+}
+
+TEST(NonFinitePropagationTest, MatchesNaiveReferenceOnNonFiniteInputs) {
+  // Beyond "is NaN": the full non-finite pattern must match the naive
+  // loops (which never had the skip).
+  Rng rng(42);
+  Tensor a = RandomUniform({9, 11}, -1.0f, 1.0f, &rng);
+  Tensor b = RandomUniform({11, 6}, -1.0f, 1.0f, &rng);
+  a.MutableData()[3] = kInf;
+  a.MutableData()[25] = 0.0f;
+  b.MutableData()[7] = kQNaN;
+  b.MutableData()[30] = -kInf;
+  Tensor got = MatMul(a, b);
+  Tensor want = NaiveMatMul(a, b);
+  const float* pg = got.Data();
+  const float* pw = want.Data();
+  for (int64_t i = 0; i < got.numel(); ++i) {
+    if (std::isnan(pw[i])) {
+      EXPECT_TRUE(std::isnan(pg[i])) << "element " << i;
+    } else {
+      EXPECT_EQ(std::bit_cast<uint32_t>(pg[i]), std::bit_cast<uint32_t>(pw[i]))
+          << "element " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,182 @@
+#include "tensor/pool.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "market/generator.h"
+#include "obs/stats.h"
+#include "ppn/policy_module.h"
+#include "ppn/trainer.h"
+#include "tensor/tensor.h"
+
+namespace ppn {
+namespace {
+
+// All tests below reason in DELTAS of pool::LocalStats(): the pool is
+// thread-local and the stats accumulate across tests in this binary.
+
+TEST(PoolTest, AcquireReleaseRoundTripsThroughFreeList) {
+  pool::TrimThreadCache();
+  const pool::ThreadStats before = pool::LocalStats();
+
+  float* p = pool::Acquire(100);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u) << "64-byte alignment";
+  pool::Release(p, 100);
+
+  // Same size class (128 floats) must be served from the list...
+  float* q = pool::Acquire(128);
+  EXPECT_EQ(q, p);
+  pool::Release(q, 128);
+
+  const pool::ThreadStats after = pool::LocalStats();
+  EXPECT_EQ(after.misses - before.misses, 1);
+  EXPECT_EQ(after.hits - before.hits, 1);
+  EXPECT_EQ(after.releases_cached - before.releases_cached, 2);
+}
+
+TEST(PoolTest, ZeroNumelIsNull) {
+  EXPECT_EQ(pool::Acquire(0), nullptr);
+  pool::Release(nullptr, 0);  // Must be a safe no-op.
+}
+
+TEST(PoolTest, TensorBuffersAreRecycled) {
+  pool::TrimThreadCache();
+  const float* first;
+  {
+    Tensor t({4, 8});
+    first = t.Data();
+  }
+  Tensor u({4, 8});
+  EXPECT_EQ(u.Data(), first);
+}
+
+TEST(PoolTest, ZeroingConstructorClearsRecycledBuffer) {
+  pool::TrimThreadCache();
+  {
+    Tensor garbage({3, 5});
+    for (int64_t i = 0; i < garbage.numel(); ++i) {
+      garbage.MutableData()[i] = 1e30f;
+    }
+  }
+  Tensor t({3, 5});
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t.Data()[i], 0.0f) << "element " << i;
+  }
+}
+
+TEST(PoolTest, UninitializedKeepsRecycledContents) {
+  pool::TrimThreadCache();
+  const float kSentinel = 123.5f;
+  const float* recycled;
+  {
+    Tensor t({16});
+    for (int64_t i = 0; i < t.numel(); ++i) t.MutableData()[i] = kSentinel;
+    recycled = t.Data();
+  }
+  Tensor u = Tensor::Uninitialized({16});
+  // Same buffer came back and was NOT zero-filled — this is the whole
+  // point of the Uninitialized path (callers overwrite every element).
+  ASSERT_EQ(u.Data(), recycled);
+  for (int64_t i = 0; i < u.numel(); ++i) {
+    EXPECT_EQ(u.Data()[i], kSentinel);
+  }
+}
+
+TEST(PoolTest, ScopedDisableBypassesCaching) {
+  pool::TrimThreadCache();
+  pool::ScopedPoolDisable disable;
+  EXPECT_FALSE(pool::Enabled());
+
+  const pool::ThreadStats before = pool::LocalStats();
+  float* p = pool::Acquire(64);
+  ASSERT_NE(p, nullptr);
+  pool::Release(p, 64);
+  float* q = pool::Acquire(64);
+  ASSERT_NE(q, nullptr);
+  pool::Release(q, 64);
+  const pool::ThreadStats after = pool::LocalStats();
+
+  EXPECT_EQ(after.hits - before.hits, 0);
+  EXPECT_EQ(after.misses - before.misses, 2);
+  EXPECT_EQ(after.releases_freed - before.releases_freed, 2);
+  EXPECT_EQ(after.bytes_cached, before.bytes_cached);
+}
+
+TEST(PoolTest, TrimThreadCacheDropsCachedBytes) {
+  { Tensor t({64, 64}); }
+  EXPECT_GT(pool::LocalStats().bytes_cached, 0);
+  pool::TrimThreadCache();
+  EXPECT_EQ(pool::LocalStats().bytes_cached, 0);
+}
+
+TEST(PoolTest, BytesInUseTracksLiveBuffers) {
+  pool::TrimThreadCache();
+  const int64_t base = pool::LocalStats().bytes_in_use;
+  {
+    Tensor t({32});  // Size class 32 floats = 128 bytes.
+    EXPECT_EQ(pool::LocalStats().bytes_in_use - base, 128);
+  }
+  EXPECT_EQ(pool::LocalStats().bytes_in_use - base, 0);
+}
+
+TEST(PoolObsTest, CountersExportedWhenObsEnabled) {
+  obs::ScopedObsEnable enable;
+  obs::ResetAll();
+  pool::TrimThreadCache();
+
+  { Tensor t({10, 10}); }  // miss + release_cached
+  { Tensor t({10, 10}); }  // hit + release_cached
+
+  obs::Snapshot snapshot = obs::TakeSnapshot();
+  EXPECT_GE(snapshot.counters["tensor.pool.miss"], 1.0);
+  EXPECT_GE(snapshot.counters["tensor.pool.hit"], 1.0);
+  EXPECT_GE(snapshot.counters["tensor.pool.release_cached"], 2.0);
+  EXPECT_GT(snapshot.gauges["tensor.pool.bytes_in_use"], 0.0);
+}
+
+// The payoff test: after warm-up, a training step's whole tensor churn
+// is served from the free list — zero new heap allocations.
+TEST(PoolTrainerTest, TrainingStepsStopAllocatingAfterWarmup) {
+  market::SyntheticMarketConfig market_config;
+  market_config.num_assets = 4;
+  market_config.num_periods = 300;
+  market_config.seed = 9;
+  market_config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(market_config);
+  market::MarketDataset dataset = generator.GenerateDataset("tiny", 0.8);
+
+  core::PolicyConfig policy_config;
+  policy_config.variant = core::PolicyVariant::kPpn;
+  policy_config.num_assets = 4;
+  policy_config.window = 10;
+  policy_config.lstm_hidden = 4;
+  policy_config.block1_channels = 3;
+  policy_config.block2_channels = 4;
+  policy_config.seed = 3;
+
+  core::TrainerConfig trainer_config;
+  trainer_config.batch_size = 8;
+  trainer_config.steps = 30;
+  trainer_config.seed = 5;
+
+  Rng init(1);
+  Rng dropout(2);
+  auto policy = core::MakePolicy(policy_config, &init, &dropout);
+  core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
+
+  // Warm-up: first steps populate the free list (and Adam state).
+  for (int step = 0; step < 6; ++step) trainer.TrainStep();
+
+  const int64_t misses_before = pool::LocalStats().misses;
+  for (int step = 0; step < 5; ++step) trainer.TrainStep();
+  const int64_t misses_after = pool::LocalStats().misses;
+
+  EXPECT_EQ(misses_after - misses_before, 0)
+      << "warm training steps should be fully served by the buffer pool";
+}
+
+}  // namespace
+}  // namespace ppn

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two archived google-benchmark JSON reports.
+
+Usage:
+    tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+
+Prints a per-benchmark table of wall-time deltas (negative = faster) and
+exits non-zero when any benchmark common to both files regressed by more
+than the threshold (default 10% slower real time). Benchmarks present in
+only one file are listed but never fail the run — the suite is allowed
+to grow.
+
+The inputs are what run_benches.sh archives in bench_results/ (the
+--benchmark_out=... --benchmark_out_format=json report of
+bench/micro_kernels). Aggregate rows (mean/median/stddev/cv, present
+when a run used --benchmark_repetitions) are preferred over raw
+iteration rows when available: only the "median" aggregate is compared,
+everything else is skipped.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: real_time_ns} for the comparable rows of a report."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as error:
+        sys.exit(f"bench_diff: cannot read {path}: {error}")
+    rows = report.get("benchmarks", [])
+    if not rows:
+        sys.exit(f"bench_diff: {path} has no 'benchmarks' array")
+
+    have_aggregates = any(r.get("run_type") == "aggregate" for r in rows)
+    out = {}
+    for row in rows:
+        if have_aggregates:
+            if row.get("aggregate_name") != "median":
+                continue
+            name = row["run_name"]
+        else:
+            if row.get("run_type") == "aggregate":
+                continue
+            name = row["name"]
+        # Normalize to nanoseconds so reports with different time_unit
+        # settings stay comparable.
+        unit = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(
+            row.get("time_unit", "ns"), 1.0)
+        out[name] = float(row["real_time"]) * unit
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="baseline benchmark JSON")
+    parser.add_argument("candidate", help="candidate benchmark JSON")
+    parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="fractional real-time increase that counts as a regression "
+             "(default 0.10 = 10%%)")
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cand = load_benchmarks(args.candidate)
+
+    common = sorted(set(base) & set(cand))
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
+
+    if not common:
+        sys.exit("bench_diff: no benchmarks in common")
+
+    name_width = max(len(n) for n in common)
+    print(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
+          f"{'candidate':>12}  {'delta':>8}")
+    regressions = []
+    for name in common:
+        old, new = base[name], cand[name]
+        delta = (new - old) / old if old > 0 else 0.0
+        flag = ""
+        if delta > args.threshold:
+            regressions.append((name, delta))
+            flag = "  REGRESSION"
+        print(f"{name:<{name_width}}  {old:>10.0f}ns  {new:>10.0f}ns  "
+              f"{delta:>+7.1%}{flag}")
+
+    for name in only_base:
+        print(f"{name}: removed (baseline only)")
+    for name in only_cand:
+        print(f"{name}: new (candidate only)")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1%}")
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%} "
+          f"({len(common)} compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
