@@ -1,0 +1,141 @@
+#include "ckpt/binio.h"
+
+#include <array>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace ppn::ckpt {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+void Crc32::Update(const void* data, size_t size) {
+  const auto& table = CrcTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = state_;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+uint32_t Crc32Of(const void* data, size_t size) {
+  Crc32 crc;
+  crc.Update(data, size);
+  return crc.value();
+}
+
+// ------------------------------------------------------------ BinWriter --
+
+BinWriter::BinWriter(std::ostream* out) : out_(out) {
+  PPN_CHECK(out != nullptr);
+}
+
+void BinWriter::WriteBytes(const void* data, size_t size) {
+  if (size == 0) return;
+  out_->write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  crc_.Update(data, size);
+  bytes_written_ += size;
+}
+
+void BinWriter::WriteU8(uint8_t value) { WriteBytes(&value, sizeof(value)); }
+void BinWriter::WriteU32(uint32_t value) { WriteBytes(&value, sizeof(value)); }
+void BinWriter::WriteU64(uint64_t value) { WriteBytes(&value, sizeof(value)); }
+
+void BinWriter::WriteI64(int64_t value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  WriteU64(bits);
+}
+
+void BinWriter::WriteF32(float value) { WriteBytes(&value, sizeof(value)); }
+void BinWriter::WriteF64(double value) { WriteBytes(&value, sizeof(value)); }
+
+void BinWriter::WriteString(const std::string& text) {
+  WriteU64(text.size());
+  WriteBytes(text.data(), text.size());
+}
+
+void BinWriter::WriteF32Array(const float* data, int64_t count) {
+  PPN_CHECK_GE(count, 0);
+  WriteBytes(data, static_cast<size_t>(count) * sizeof(float));
+}
+
+void BinWriter::WriteF64Array(const double* data, int64_t count) {
+  PPN_CHECK_GE(count, 0);
+  WriteBytes(data, static_cast<size_t>(count) * sizeof(double));
+}
+
+// ------------------------------------------------------------ BinReader --
+
+BinReader::BinReader(const void* data, size_t size)
+    : data_(static_cast<const unsigned char*>(data)), size_(size) {
+  PPN_CHECK(data != nullptr || size == 0);
+}
+
+bool BinReader::ReadBytes(void* out, size_t size) {
+  if (failed_ || size > size_ - offset_) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(out, data_ + offset_, size);
+  offset_ += size;
+  return true;
+}
+
+bool BinReader::ReadU8(uint8_t* out) { return ReadBytes(out, sizeof(*out)); }
+bool BinReader::ReadU32(uint32_t* out) { return ReadBytes(out, sizeof(*out)); }
+bool BinReader::ReadU64(uint64_t* out) { return ReadBytes(out, sizeof(*out)); }
+
+bool BinReader::ReadI64(int64_t* out) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(out, &bits, sizeof(*out));
+  return true;
+}
+
+bool BinReader::ReadF32(float* out) { return ReadBytes(out, sizeof(*out)); }
+bool BinReader::ReadF64(double* out) { return ReadBytes(out, sizeof(*out)); }
+
+bool BinReader::ReadString(std::string* out) {
+  uint64_t length = 0;
+  if (!ReadU64(&length)) return false;
+  if (length > remaining()) {
+    failed_ = true;
+    return false;
+  }
+  out->resize(static_cast<size_t>(length));
+  return ReadBytes(out->data(), static_cast<size_t>(length));
+}
+
+bool BinReader::ReadF32Array(float* out, int64_t count) {
+  PPN_CHECK_GE(count, 0);
+  return ReadBytes(out, static_cast<size_t>(count) * sizeof(float));
+}
+
+bool BinReader::ReadF64Array(double* out, int64_t count) {
+  PPN_CHECK_GE(count, 0);
+  return ReadBytes(out, static_cast<size_t>(count) * sizeof(double));
+}
+
+}  // namespace ppn::ckpt

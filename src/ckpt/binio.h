@@ -1,0 +1,108 @@
+#ifndef PPN_CKPT_BINIO_H_
+#define PPN_CKPT_BINIO_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+/// \file
+/// Binary serialization primitives for the checkpoint format: a CRC-32
+/// accumulator, a little-endian stream writer that tracks its own CRC and
+/// byte count, and a bounds-checked reader over an in-memory buffer.
+///
+/// All multi-byte values are little-endian on disk. The library targets
+/// little-endian hosts (x86-64, AArch64), so scalar encoding is a plain
+/// byte copy; the static_assert below turns a big-endian port into a
+/// compile error instead of silent corruption. Floats are serialized as
+/// their IEEE-754 bit patterns, so NaN/±Inf and every finite value
+/// round-trip exactly — unlike the legacy text format.
+
+namespace ppn::ckpt {
+
+static_assert(std::endian::native == std::endian::little,
+              "the checkpoint format assumes a little-endian host");
+
+/// Running CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+class Crc32 {
+ public:
+  void Update(const void* data, size_t size);
+  /// The checksum of everything fed so far.
+  uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+ private:
+  uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot CRC-32 of a buffer.
+uint32_t Crc32Of(const void* data, size_t size);
+
+/// Little-endian writer over an ostream; tracks the CRC and byte count of
+/// everything written (the checkpoint footer is derived from both).
+class BinWriter {
+ public:
+  /// `out` must outlive the writer.
+  explicit BinWriter(std::ostream* out);
+
+  void WriteBytes(const void* data, size_t size);
+  void WriteU8(uint8_t value);
+  void WriteU32(uint32_t value);
+  void WriteU64(uint64_t value);
+  void WriteI64(int64_t value);
+  void WriteF32(float value);
+  void WriteF64(double value);
+  /// u64 length followed by the raw bytes.
+  void WriteString(const std::string& text);
+  void WriteF32Array(const float* data, int64_t count);
+  void WriteF64Array(const double* data, int64_t count);
+
+  /// CRC-32 of all bytes written through this writer.
+  uint32_t crc() const { return crc_.value(); }
+  /// Total bytes written through this writer.
+  uint64_t bytes_written() const { return bytes_written_; }
+  /// True while the underlying stream accepted every write.
+  bool ok() const { return out_->good(); }
+
+ private:
+  std::ostream* out_;
+  Crc32 crc_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Bounds-checked little-endian reader over an in-memory buffer (the
+/// checkpoint reader loads and CRC-verifies the whole file up front).
+/// Every `Read*` returns false on exhaustion and the reader stays failed
+/// from then on, so a sequence of reads needs only one final check.
+class BinReader {
+ public:
+  /// `data` must outlive the reader.
+  BinReader(const void* data, size_t size);
+
+  bool ReadBytes(void* out, size_t size);
+  bool ReadU8(uint8_t* out);
+  bool ReadU32(uint32_t* out);
+  bool ReadU64(uint64_t* out);
+  bool ReadI64(int64_t* out);
+  bool ReadF32(float* out);
+  bool ReadF64(double* out);
+  /// Rejects lengths larger than the remaining payload.
+  bool ReadString(std::string* out);
+  bool ReadF32Array(float* out, int64_t count);
+  bool ReadF64Array(double* out, int64_t count);
+
+  size_t remaining() const { return size_ - offset_; }
+  size_t offset() const { return offset_; }
+  /// True once any read has failed.
+  bool failed() const { return failed_; }
+
+ private:
+  const unsigned char* data_;
+  size_t size_;
+  size_t offset_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace ppn::ckpt
+
+#endif  // PPN_CKPT_BINIO_H_

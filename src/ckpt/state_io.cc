@@ -1,0 +1,50 @@
+#include "ckpt/state_io.h"
+
+#include "common/check.h"
+
+namespace ppn::ckpt {
+
+void WriteRng(BinWriter* writer, const Rng& rng) {
+  PPN_CHECK(writer != nullptr);
+  const Rng::State state = rng.GetState();
+  for (const uint64_t word : state.words) writer->WriteU64(word);
+  writer->WriteF64(state.spare_normal);
+  writer->WriteU8(state.has_spare_normal ? 1 : 0);
+}
+
+bool ReadRng(BinReader* reader, Rng* rng) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(rng != nullptr);
+  Rng::State state;
+  for (uint64_t& word : state.words) {
+    if (!reader->ReadU64(&word)) return false;
+  }
+  uint8_t has_spare = 0;
+  if (!reader->ReadF64(&state.spare_normal) || !reader->ReadU8(&has_spare)) {
+    return false;
+  }
+  state.has_spare_normal = has_spare != 0;
+  rng->SetState(state);
+  return true;
+}
+
+void WriteDoubleVector(BinWriter* writer,
+                       const std::vector<double>& values) {
+  PPN_CHECK(writer != nullptr);
+  writer->WriteI64(static_cast<int64_t>(values.size()));
+  writer->WriteF64Array(values.data(), static_cast<int64_t>(values.size()));
+}
+
+bool ReadDoubleVector(BinReader* reader, std::vector<double>* values) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(values != nullptr);
+  int64_t size = 0;
+  if (!reader->ReadI64(&size) || size < 0 ||
+      static_cast<size_t>(size) * sizeof(double) > reader->remaining()) {
+    return false;
+  }
+  values->resize(static_cast<size_t>(size));
+  return reader->ReadF64Array(values->data(), size);
+}
+
+}  // namespace ppn::ckpt

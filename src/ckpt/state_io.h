@@ -1,0 +1,31 @@
+#ifndef PPN_CKPT_STATE_IO_H_
+#define PPN_CKPT_STATE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "ckpt/binio.h"
+#include "common/random.h"
+
+/// \file
+/// Serialization helpers for common training-state pieces shared by the
+/// PPN and DDPG trainers: RNG streams and (m+1)-dim portfolio vectors.
+
+namespace ppn::ckpt {
+
+/// Writes the complete generator state (xoshiro words + Box–Muller spare).
+void WriteRng(BinWriter* writer, const Rng& rng);
+
+/// Restores a stream written by `WriteRng`; false on short read.
+bool ReadRng(BinReader* reader, Rng* rng);
+
+/// Writes a double vector as i64 length + raw payload.
+void WriteDoubleVector(BinWriter* writer, const std::vector<double>& values);
+
+/// Reads a vector written by `WriteDoubleVector`; false on short read or
+/// a length exceeding the remaining payload.
+bool ReadDoubleVector(BinReader* reader, std::vector<double>* values);
+
+}  // namespace ppn::ckpt
+
+#endif  // PPN_CKPT_STATE_IO_H_

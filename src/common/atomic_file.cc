@@ -1,0 +1,41 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+
+namespace ppn {
+
+AtomicFileWriter::AtomicFileWriter(std::string path)
+    : path_(std::move(path)), temp_path_(path_ + ".tmp") {
+  out_.open(temp_path_, std::ios::binary | std::ios::trunc);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) {
+    if (out_.is_open()) out_.close();
+    std::remove(temp_path_.c_str());
+  }
+}
+
+bool AtomicFileWriter::Commit() {
+  if (committed_) return false;
+  committed_ = true;  // The destructor must not remove after a rename.
+  if (!out_.is_open() || !out_.good()) {
+    if (out_.is_open()) out_.close();
+    std::remove(temp_path_.c_str());
+    return false;
+  }
+  out_.flush();
+  const bool flushed = out_.good();
+  out_.close();
+  if (!flushed) {
+    std::remove(temp_path_.c_str());
+    return false;
+  }
+  if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    std::remove(temp_path_.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace ppn

@@ -1,17 +1,47 @@
 #include "common/csv.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+
 namespace ppn {
+
+namespace {
+
+/// Parses one CSV cell as a double, requiring the whole cell (modulo
+/// surrounding whitespace, including a trailing '\r' from CRLF files) to
+/// be consumed: "1.5abc" or "1.5 2.5" is a malformed cell, not 1.5.
+bool ParseCell(const std::string& cell, double* value) {
+  size_t begin = 0;
+  size_t end = cell.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(cell[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(cell[end - 1]))) {
+    --end;
+  }
+  if (begin == end) return false;
+  const std::string trimmed = cell.substr(begin, end - begin);
+  char* parse_end = nullptr;
+  *value = std::strtod(trimmed.c_str(), &parse_end);
+  return parse_end == trimmed.c_str() + trimmed.size();
+}
+
+}  // namespace
 
 bool WriteCsv(const std::string& path, const CsvTable& table) {
   for (const auto& row : table.rows) {
     if (row.size() != table.header.size()) return false;
   }
-  std::ofstream out(path);
-  if (!out) return false;
+  // Temp-then-rename: a crash mid-write never leaves a truncated CSV where
+  // a previous complete one existed.
+  AtomicFileWriter file(path);
+  if (!file.ok()) return false;
+  std::ostream& out = file.stream();
   for (size_t i = 0; i < table.header.size(); ++i) {
     if (i > 0) out << ",";
     out << table.header[i];
@@ -25,7 +55,7 @@ bool WriteCsv(const std::string& path, const CsvTable& table) {
     }
     out << "\n";
   }
-  return static_cast<bool>(out);
+  return file.Commit();
 }
 
 bool ReadCsv(const std::string& path, CsvTable* table) {
@@ -47,9 +77,8 @@ bool ReadCsv(const std::string& path, CsvTable* table) {
     std::stringstream ss(line);
     std::string cell;
     while (std::getline(ss, cell, ',')) {
-      char* end = nullptr;
-      const double value = std::strtod(cell.c_str(), &end);
-      if (end == cell.c_str()) {
+      double value = 0.0;
+      if (!ParseCell(cell, &value)) {
         table->header.clear();
         table->rows.clear();
         return false;

@@ -138,6 +138,20 @@ std::vector<int64_t> Rng::Permutation(int64_t n) {
   return perm;
 }
 
+Rng::State Rng::GetState() const {
+  State state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.spare_normal = spare_normal_;
+  state.has_spare_normal = has_spare_normal_;
+  return state;
+}
+
+void Rng::SetState(const State& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  spare_normal_ = state.spare_normal;
+  has_spare_normal_ = state.has_spare_normal;
+}
+
 Rng Rng::Split(uint64_t tag) {
   const uint64_t child_seed = NextUint64() ^ (tag * 0x9E3779B97F4A7C15ULL);
   return Rng(child_seed);

@@ -58,6 +58,18 @@ class Rng {
   /// with distinct tags have decorrelated streams.
   Rng Split(uint64_t tag);
 
+  /// Complete generator state, exposed for checkpointing: the four
+  /// xoshiro256** words plus the cached Box–Muller spare. Restoring it
+  /// with `SetState` resumes the stream exactly where it was captured.
+  struct State {
+    uint64_t words[4] = {0, 0, 0, 0};
+    double spare_normal = 0.0;
+    bool has_spare_normal = false;
+  };
+
+  State GetState() const;
+  void SetState(const State& state);
+
  private:
   uint64_t state_[4];
   double spare_normal_ = 0.0;

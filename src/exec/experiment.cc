@@ -1,12 +1,16 @@
 #include "exec/experiment.h"
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <utility>
 
 #include "backtest/backtester.h"
+#include "ckpt/checkpoint.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 #include "exec/thread_pool.h"
 #include "obs/stats.h"
@@ -49,6 +53,122 @@ std::string JsonEscape(const std::string& text) {
     out.push_back(c);
   }
   return out;
+}
+
+// ------------------------------------------------- cell checkpoints ----
+//
+// One finished cell is one small checkpoint file named by the cell's
+// derived seed (a pure function of the cell key, so the same cell in a
+// restarted sweep maps to the same file regardless of spec ordering). The
+// single "cell" section echoes the full key for validation, then carries
+// the metrics and, optionally, the backtest record.
+
+std::string CellCheckpointPath(const std::string& dir, uint64_t derived_seed) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "cell-%016llx.ckpt",
+                static_cast<unsigned long long>(derived_seed));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+void SaveCellCheckpoint(const std::string& path, const CellResult& result) {
+  ckpt::CheckpointWriter writer(path);
+  writer.BeginSection("cell");
+  ckpt::BinWriter& out = writer.writer();
+  out.WriteString(result.key.strategy);
+  out.WriteString(result.key.dataset);
+  out.WriteF64(result.key.cost_rate);
+  out.WriteU64(result.key.seed);
+  out.WriteU64(result.derived_seed);
+  out.WriteF64(result.wall_seconds);
+  out.WriteF64(result.metrics.apv);
+  out.WriteF64(result.metrics.sr_pct);
+  out.WriteF64(result.metrics.std_pct);
+  out.WriteF64(result.metrics.mdd_pct);
+  out.WriteF64(result.metrics.cr);
+  out.WriteF64(result.metrics.turnover);
+  const bool has_record = !result.record.wealth_curve.empty();
+  out.WriteU8(has_record ? 1 : 0);
+  if (has_record) {
+    ckpt::WriteDoubleVector(&out, result.record.wealth_curve);
+    ckpt::WriteDoubleVector(&out, result.record.log_returns);
+    ckpt::WriteDoubleVector(&out, result.record.cost_fractions);
+    ckpt::WriteDoubleVector(&out, result.record.turnover_terms);
+    out.WriteI64(static_cast<int64_t>(result.record.actions.size()));
+    for (const std::vector<double>& action : result.record.actions) {
+      ckpt::WriteDoubleVector(&out, action);
+    }
+  }
+  std::string error;
+  if (!writer.Commit(&error)) {
+    std::fprintf(stderr, "[exec] cell checkpoint write failed: %s\n",
+                 error.c_str());
+  }
+}
+
+/// Restores a finished cell from `path` into `*result` (whose `key` and
+/// `derived_seed` are already set and are validated against the stored
+/// echo). False — with the reason in *error — when the file is absent,
+/// corrupt, for a different cell, or lacks a record the spec needs.
+bool TryLoadCellCheckpoint(const std::string& path, bool need_record,
+                           CellResult* result, std::string* error) {
+  ckpt::CheckpointReader reader;
+  if (!reader.Open(path, error)) return false;
+  if (!reader.EnterSection("cell", error)) return false;
+  ckpt::BinReader& in = reader.reader();
+  std::string strategy;
+  std::string dataset;
+  double cost_rate = 0.0;
+  uint64_t seed = 0;
+  uint64_t derived_seed = 0;
+  if (!in.ReadString(&strategy) || !in.ReadString(&dataset) ||
+      !in.ReadF64(&cost_rate) || !in.ReadU64(&seed) ||
+      !in.ReadU64(&derived_seed)) {
+    *error = "cell checkpoint: short read in key echo";
+    return false;
+  }
+  if (strategy != result->key.strategy || dataset != result->key.dataset ||
+      cost_rate != result->key.cost_rate || seed != result->key.seed ||
+      derived_seed != result->derived_seed) {
+    *error = "cell checkpoint: key mismatch (stored \"" + strategy + "|" +
+             dataset + "\", expected \"" + result->key.strategy + "|" +
+             result->key.dataset + "\")";
+    return false;
+  }
+  uint8_t has_record = 0;
+  if (!in.ReadF64(&result->wall_seconds) || !in.ReadF64(&result->metrics.apv) ||
+      !in.ReadF64(&result->metrics.sr_pct) ||
+      !in.ReadF64(&result->metrics.std_pct) ||
+      !in.ReadF64(&result->metrics.mdd_pct) ||
+      !in.ReadF64(&result->metrics.cr) ||
+      !in.ReadF64(&result->metrics.turnover) || !in.ReadU8(&has_record)) {
+    *error = "cell checkpoint: short read in metrics";
+    return false;
+  }
+  if (need_record && has_record == 0) {
+    // Written by a keep_records=false sweep; the record must be recomputed.
+    *error = "cell checkpoint: record requested but not stored";
+    return false;
+  }
+  if (has_record != 0) {
+    int64_t num_actions = 0;
+    if (!ckpt::ReadDoubleVector(&in, &result->record.wealth_curve) ||
+        !ckpt::ReadDoubleVector(&in, &result->record.log_returns) ||
+        !ckpt::ReadDoubleVector(&in, &result->record.cost_fractions) ||
+        !ckpt::ReadDoubleVector(&in, &result->record.turnover_terms) ||
+        !in.ReadI64(&num_actions) || num_actions < 0) {
+      *error = "cell checkpoint: short read in record";
+      return false;
+    }
+    result->record.actions.resize(static_cast<size_t>(num_actions));
+    for (std::vector<double>& action : result->record.actions) {
+      if (!ckpt::ReadDoubleVector(&in, &action)) {
+        *error = "cell checkpoint: short read in record actions";
+        return false;
+      }
+    }
+    if (!need_record) result->record = backtest::BacktestRecord{};
+  }
+  return reader.Finish(error);
 }
 
 }  // namespace
@@ -199,6 +319,13 @@ std::vector<CellResult> ExperimentRunner::Run(
     }
   }
 
+  if (!spec.checkpoint_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.checkpoint_dir, ec);
+    PPN_CHECK(!ec) << "cannot create checkpoint dir " << spec.checkpoint_dir
+                   << ": " << ec.message();
+  }
+
   ResultSink sink(static_cast<int64_t>(cells.size()));
   ThreadPool pool(num_workers_);
   for (const Cell& cell : cells) {
@@ -219,6 +346,29 @@ std::vector<CellResult> ExperimentRunner::Run(
       // any worker count reproduces the same bits.
       result.derived_seed = CellSeed(result.key);
       cell_spec.seed = result.derived_seed;
+      const std::string cell_ckpt_path =
+          spec.checkpoint_dir.empty()
+              ? std::string()
+              : CellCheckpointPath(spec.checkpoint_dir, result.derived_seed);
+      if (!cell_ckpt_path.empty()) {
+        std::string load_error;
+        if (TryLoadCellCheckpoint(cell_ckpt_path, spec.keep_records, &result,
+                                  &load_error)) {
+          if (obs::Enabled()) {
+            static thread_local obs::Counter& restored =
+                obs::GetCounter("exec.cells.restored");
+            restored.Add(1.0);
+          }
+          sink.Set(cell.index, std::move(result));
+          return;
+        }
+        // Fall through to a fresh run; a missing file is the normal cold
+        // path, anything else is worth a note.
+        if (std::filesystem::exists(cell_ckpt_path)) {
+          std::fprintf(stderr, "[exec] ignoring cell checkpoint %s: %s\n",
+                       cell_ckpt_path.c_str(), load_error.c_str());
+        }
+      }
       const std::unique_ptr<backtest::Strategy> strategy =
           strategies::MakeStrategy(cell_spec, dataset);
       backtest::BacktestRecord record =
@@ -229,6 +379,9 @@ std::vector<CellResult> ExperimentRunner::Run(
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
               .count();
+      if (!cell_ckpt_path.empty()) {
+        SaveCellCheckpoint(cell_ckpt_path, result);
+      }
       if (obs::Enabled()) {
         static thread_local obs::Counter& completed =
             obs::GetCounter("exec.cells.completed");

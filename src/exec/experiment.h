@@ -42,6 +42,13 @@ struct ExperimentSpec {
   double train_cost_rate = -1.0;
   /// Retain each cell's full `BacktestRecord` (wealth curves etc.).
   bool keep_records = false;
+  /// When non-empty, each finished cell is checkpointed to
+  /// `<checkpoint_dir>/cell-<derived_seed hex>.ckpt` and a rerun of the
+  /// same spec restores finished cells instead of recomputing them — a
+  /// killed sweep restarted with the same spec only runs the unfinished
+  /// cells. Because cell seeds derive from cell keys (never scheduling),
+  /// restored and recomputed cells carry bit-identical metrics.
+  std::string checkpoint_dir;
 };
 
 /// Identity of one cell within a sweep.

@@ -1,7 +1,9 @@
 #include "nn/module.h"
 
+#include <cstdlib>
 #include <fstream>
 
+#include "common/atomic_file.h"
 #include "common/check.h"
 
 namespace ppn::nn {
@@ -46,8 +48,75 @@ int64_t Module::ParameterCount() const {
   return count;
 }
 
+void Module::SaveState(ckpt::BinWriter* writer) const {
+  PPN_CHECK(writer != nullptr);
+  const auto named = NamedParameters();
+  writer->WriteU64(named.size());
+  for (const auto& [name, var] : named) {
+    writer->WriteString(name);
+    writer->WriteI64(var->numel());
+    writer->WriteF32Array(var->value().Data(), var->numel());
+  }
+}
+
+bool Module::LoadState(ckpt::BinReader* reader, std::string* error) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(error != nullptr);
+  const auto named = NamedParameters();
+  uint64_t count = 0;
+  if (!reader->ReadU64(&count)) {
+    *error = "module state: short read on parameter count";
+    return false;
+  }
+  if (count != named.size()) {
+    *error = "module state: expected " + std::to_string(named.size()) +
+             " parameters, found " + std::to_string(count);
+    return false;
+  }
+  for (const auto& [name, var] : named) {
+    std::string stored_name;
+    int64_t numel = 0;
+    if (!reader->ReadString(&stored_name) || !reader->ReadI64(&numel)) {
+      *error = "module state: short read at parameter '" + name + "'";
+      return false;
+    }
+    if (stored_name != name) {
+      *error = "module state: expected parameter '" + name + "', found '" +
+               stored_name + "'";
+      return false;
+    }
+    if (numel != var->numel()) {
+      *error = "module state: parameter '" + name + "' has " +
+               std::to_string(numel) + " values, module expects " +
+               std::to_string(var->numel());
+      return false;
+    }
+    if (!reader->ReadF32Array(var->mutable_value()->MutableData(), numel)) {
+      *error = "module state: short read in payload of '" + name + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Strict float token parse that, unlike `operator>>`, accepts the
+/// non-finite tokens (`nan`, `inf`, `-inf`) `operator<<` emits — the old
+/// extraction-based loader failed part-way through any file holding a
+/// non-finite weight that saved "successfully".
+bool ParseFloatToken(const std::string& token, float* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtof(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+}  // namespace
+
 bool Module::SaveParameters(const std::string& path) const {
-  std::ofstream out(path);
+  AtomicFileWriter file(path);
+  std::ofstream& out = file.stream();
   if (!out) return false;
   out.precision(9);
   for (const auto& [name, var] : NamedParameters()) {
@@ -59,7 +128,7 @@ bool Module::SaveParameters(const std::string& path) const {
     }
     out << "\n";
   }
-  return static_cast<bool>(out);
+  return file.Commit();
 }
 
 bool Module::LoadParameters(const std::string& path) {
@@ -71,8 +140,9 @@ bool Module::LoadParameters(const std::string& path) {
     if (!(in >> file_name >> numel)) return false;
     if (file_name != name || numel != var->numel()) return false;
     float* data = var->mutable_value()->MutableData();
+    std::string token;
     for (int64_t i = 0; i < numel; ++i) {
-      if (!(in >> data[i])) return false;
+      if (!(in >> token) || !ParseFloatToken(token, &data[i])) return false;
     }
   }
   return true;

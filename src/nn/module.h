@@ -6,11 +6,13 @@
 #include <vector>
 
 #include "autograd/variable.h"
+#include "ckpt/binio.h"
 
 /// \file
 /// Base class for neural-network layers: a tree of modules with a recursive
-/// parameter registry, a shared training/eval flag, and text serialization
-/// of all parameters.
+/// parameter registry, a shared training/eval flag, and parameter
+/// serialization — binary (exact bits, used by checkpoints) and a legacy
+/// text format.
 
 namespace ppn::nn {
 
@@ -44,11 +46,28 @@ class Module {
   /// Total number of scalar parameters in the subtree.
   int64_t ParameterCount() const;
 
-  /// Writes all parameters to a text file. Returns false on IO failure.
+  /// Serializes every named parameter (name, size, raw float32 payload)
+  /// into `writer`. Exact: NaN/±Inf and all finite values round-trip
+  /// bit-for-bit, unlike the text format.
+  void SaveState(ckpt::BinWriter* writer) const;
+
+  /// Restores parameters written by `SaveState`. The module tree must
+  /// match (same names and sizes in order); returns false with a
+  /// contextual message in *error on any mismatch or short read. The
+  /// module is only partially updated on failure — callers treat a failed
+  /// load as fatal for the target module.
+  bool LoadState(ckpt::BinReader* reader, std::string* error);
+
+  /// Writes all parameters to a text file (atomically: temp + rename).
+  /// Returns false on IO failure. Prefer the binary `SaveState` path for
+  /// checkpoints; this human-readable dump loses no values (non-finite
+  /// tokens included) but rounds to 9 significant digits.
   bool SaveParameters(const std::string& path) const;
 
   /// Loads parameters written by `SaveParameters`. The module tree must
   /// have the same named shapes. Returns false on IO/shape mismatch.
+  /// Accepts the non-finite tokens (`nan`, `inf`, `-inf`) the writer
+  /// emits.
   bool LoadParameters(const std::string& path);
 
   /// Copies parameter values elementwise from `source`, which must have an

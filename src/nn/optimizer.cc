@@ -84,6 +84,51 @@ Adam::Adam(std::vector<ag::Var> parameters, float learning_rate, float beta1,
   }
 }
 
+void Adam::SaveState(ckpt::BinWriter* writer) const {
+  PPN_CHECK(writer != nullptr);
+  writer->WriteI64(step_count_);
+  writer->WriteU64(first_moment_.size());
+  for (size_t i = 0; i < first_moment_.size(); ++i) {
+    writer->WriteI64(static_cast<int64_t>(first_moment_[i].size()));
+    writer->WriteF32Array(first_moment_[i].data(), first_moment_[i].size());
+    writer->WriteF32Array(second_moment_[i].data(), second_moment_[i].size());
+  }
+}
+
+bool Adam::LoadState(ckpt::BinReader* reader, std::string* error) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(error != nullptr);
+  int64_t step_count = 0;
+  uint64_t slots = 0;
+  if (!reader->ReadI64(&step_count) || !reader->ReadU64(&slots)) {
+    *error = "adam state: short read on header";
+    return false;
+  }
+  if (step_count < 0 || slots != first_moment_.size()) {
+    *error = "adam state: stored " + std::to_string(slots) +
+             " parameter slots, optimizer has " +
+             std::to_string(first_moment_.size());
+    return false;
+  }
+  for (size_t i = 0; i < first_moment_.size(); ++i) {
+    int64_t numel = 0;
+    if (!reader->ReadI64(&numel) ||
+        numel != static_cast<int64_t>(first_moment_[i].size())) {
+      *error = "adam state: moment size mismatch at slot " +
+               std::to_string(i);
+      return false;
+    }
+    if (!reader->ReadF32Array(first_moment_[i].data(), numel) ||
+        !reader->ReadF32Array(second_moment_[i].data(), numel)) {
+      *error = "adam state: short read in moments at slot " +
+               std::to_string(i);
+      return false;
+    }
+  }
+  step_count_ = step_count;
+  return true;
+}
+
 void Adam::Step() {
   ++step_count_;
   const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(step_count_));

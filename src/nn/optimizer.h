@@ -1,9 +1,11 @@
 #ifndef PPN_NN_OPTIMIZER_H_
 #define PPN_NN_OPTIMIZER_H_
 
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "ckpt/binio.h"
 
 /// \file
 /// First-order optimizers. An optimizer holds handles to the parameters it
@@ -63,6 +65,15 @@ class Adam : public Optimizer {
 
   /// Steps taken so far.
   int64_t step_count() const { return step_count_; }
+
+  /// Serializes the optimizer state (step count + both moment vectors)
+  /// exactly; together with `Module::SaveState` this makes a resumed run
+  /// bit-identical to an uninterrupted one.
+  void SaveState(ckpt::BinWriter* writer) const;
+
+  /// Restores state written by `SaveState`. The optimizer must manage an
+  /// identically shaped parameter list; false with *error otherwise.
+  bool LoadState(ckpt::BinReader* reader, std::string* error);
 
  private:
   float learning_rate_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "backtest/costs.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 
 namespace ppn::core {
@@ -92,7 +93,10 @@ DdpgTrainer::DdpgTrainer(PolicyModule* actor,
       first_period_(actor->config().window),
       last_period_(dataset.train_end),
       rng_(config_.seed),
-      dropout_rng_(config_.seed ^ 0xD00DULL) {
+      dropout_rng_(config_.seed ^ 0xD00DULL),
+      env_period_(actor->config().window),
+      previous_action_(actor->config().num_assets + 1,
+                       1.0 / (actor->config().num_assets + 1)) {
   config_.Validate();
   PPN_CHECK(actor != nullptr);
   PPN_CHECK_EQ(dataset.panel.num_assets(), num_assets_);
@@ -240,85 +244,255 @@ void DdpgTrainer::LearnStep() {
   target_critic_->PolyakUpdateFrom(*critic_, config_.tau);
 }
 
-double DdpgTrainer::Train() {
+double DdpgTrainer::TrainStep() {
   const backtest::CostModel costs =
       backtest::CostModel::Uniform(config_.cost_rate);
-  std::vector<double> previous_action(num_assets_ + 1,
-                                      1.0 / (num_assets_ + 1));
-  int64_t t = first_period_;
-  double tail_sum = 0.0;
-  int64_t tail_count = 0;
+  const int64_t step = steps_done_;
+  const int64_t t = env_period_;
+
+  // --- Environment step with exploration. ------------------------------
+  actor_->SetTraining(false);
+  Tensor w = WindowsFor({t});
+  Tensor prev({1, num_assets_});
+  for (int64_t i = 0; i < num_assets_; ++i) {
+    prev.MutableData()[i] = static_cast<float>(previous_action_[i + 1]);
+  }
+  ag::Var policy_action =
+      actor_->Forward(ag::Constant(w), ag::Constant(prev));
+  const double progress =
+      static_cast<double>(step) / std::max<int64_t>(config_.steps - 1, 1);
+  const double epsilon = config_.explore_start +
+                         (config_.explore_end - config_.explore_start) *
+                             progress;
+  const std::vector<double> noise =
+      rng_.Dirichlet(static_cast<int>(num_assets_) + 1, 0.5);
+  std::vector<double> action(num_assets_ + 1);
+  double total = 0.0;
+  for (int64_t i = 0; i <= num_assets_; ++i) {
+    action[i] = (1.0 - epsilon) * policy_action->value()[i] +
+                epsilon * noise[i];
+    total += action[i];
+  }
+  for (double& v : action) v /= total;
+
+  std::vector<double> prev_hat = previous_action_;
+  if (t >= 2) {
+    prev_hat = backtest::DriftPortfolio(previous_action_, relatives_[t - 1]);
+  }
+  const double omega =
+      backtest::SolveNetWealthFactor(prev_hat, action, costs);
+  double gross = 0.0;
+  for (int64_t i = 0; i <= num_assets_; ++i) {
+    gross += action[i] * relatives_[t][i];
+  }
+  const double reward = std::log(gross * omega);
   const int64_t tail_start =
       config_.steps - std::max<int64_t>(config_.steps / 10, 1);
+  if (step >= tail_start && step < config_.steps) {
+    tail_sum_ += reward;
+    ++tail_count_;
+  }
 
-  for (int64_t step = 0; step < config_.steps; ++step) {
-    // --- Environment step with exploration. ----------------------------
-    actor_->SetTraining(false);
-    Tensor w = WindowsFor({t});
-    Tensor prev({1, num_assets_});
-    for (int64_t i = 0; i < num_assets_; ++i) {
-      prev.MutableData()[i] = static_cast<float>(previous_action[i + 1]);
-    }
-    ag::Var policy_action =
-        actor_->Forward(ag::Constant(w), ag::Constant(prev));
-    const double progress =
-        static_cast<double>(step) / std::max<int64_t>(config_.steps - 1, 1);
-    const double epsilon = config_.explore_start +
-                           (config_.explore_end - config_.explore_start) *
-                               progress;
-    const std::vector<double> noise =
-        rng_.Dirichlet(static_cast<int>(num_assets_) + 1, 0.5);
-    std::vector<double> action(num_assets_ + 1);
-    double total = 0.0;
-    for (int64_t i = 0; i <= num_assets_; ++i) {
-      action[i] = (1.0 - epsilon) * policy_action->value()[i] +
-                  epsilon * noise[i];
-      total += action[i];
-    }
-    for (double& v : action) v /= total;
+  Transition transition;
+  transition.period = t;
+  transition.prev = previous_action_;
+  transition.action = action;
+  transition.reward = reward;
+  transition.has_next = (t + 1) < last_period_;
+  if (static_cast<int64_t>(buffer_.size()) < config_.buffer_capacity) {
+    buffer_.push_back(std::move(transition));
+  } else {
+    buffer_[buffer_next_ % config_.buffer_capacity] = std::move(transition);
+  }
+  ++buffer_next_;
 
-    std::vector<double> prev_hat = previous_action;
-    if (t >= 2) {
-      prev_hat = backtest::DriftPortfolio(previous_action, relatives_[t - 1]);
-    }
-    const double omega =
-        backtest::SolveNetWealthFactor(prev_hat, action, costs);
-    double gross = 0.0;
-    for (int64_t i = 0; i <= num_assets_; ++i) {
-      gross += action[i] * relatives_[t][i];
-    }
-    const double reward = std::log(gross * omega);
-    if (step >= tail_start) {
-      tail_sum += reward;
-      ++tail_count;
-    }
+  previous_action_ = action;
+  ++env_period_;
+  if (env_period_ >= last_period_) {
+    env_period_ = first_period_;
+    previous_action_.assign(num_assets_ + 1, 1.0 / (num_assets_ + 1));
+  }
 
-    Transition transition;
-    transition.period = t;
-    transition.prev = previous_action;
-    transition.action = action;
-    transition.reward = reward;
-    transition.has_next = (t + 1) < last_period_;
-    if (static_cast<int64_t>(buffer_.size()) < config_.buffer_capacity) {
-      buffer_.push_back(std::move(transition));
-    } else {
-      buffer_[buffer_next_ % config_.buffer_capacity] = std::move(transition);
-    }
-    ++buffer_next_;
+  // --- Learning. --------------------------------------------------------
+  if (static_cast<int64_t>(buffer_.size()) >= config_.warmup) {
+    LearnStep();
+  }
+  ++steps_done_;
+  return reward;
+}
 
-    previous_action = action;
-    ++t;
-    if (t >= last_period_) {
-      t = first_period_;
-      previous_action.assign(num_assets_ + 1, 1.0 / (num_assets_ + 1));
-    }
+double DdpgTrainer::Train() {
+  while (steps_done_ < config_.steps) TrainStep();
+  return tail_mean();
+}
 
-    // --- Learning. ------------------------------------------------------
-    if (static_cast<int64_t>(buffer_.size()) >= config_.warmup) {
-      LearnStep();
+void DdpgTrainer::SaveState(ckpt::CheckpointWriter* writer,
+                            const Rng* actor_dropout_rng) const {
+  PPN_CHECK(writer != nullptr);
+  writer->BeginSection("actor");
+  actor_->SaveState(&writer->writer());
+  writer->BeginSection("critic");
+  critic_->SaveState(&writer->writer());
+  writer->BeginSection("target_actor");
+  target_actor_->SaveState(&writer->writer());
+  writer->BeginSection("target_critic");
+  target_critic_->SaveState(&writer->writer());
+  writer->BeginSection("actor_opt");
+  actor_optimizer_->SaveState(&writer->writer());
+  writer->BeginSection("critic_opt");
+  critic_optimizer_->SaveState(&writer->writer());
+
+  writer->BeginSection("rng");
+  ckpt::WriteRng(&writer->writer(), rng_);
+  ckpt::WriteRng(&writer->writer(), dropout_rng_);
+  writer->writer().WriteU8(actor_dropout_rng != nullptr ? 1 : 0);
+  if (actor_dropout_rng != nullptr) {
+    ckpt::WriteRng(&writer->writer(), *actor_dropout_rng);
+  }
+
+  writer->BeginSection("buffer");
+  writer->writer().WriteI64(buffer_next_);
+  writer->writer().WriteI64(static_cast<int64_t>(buffer_.size()));
+  for (const Transition& tr : buffer_) {
+    writer->writer().WriteI64(tr.period);
+    ckpt::WriteDoubleVector(&writer->writer(), tr.prev);
+    ckpt::WriteDoubleVector(&writer->writer(), tr.action);
+    writer->writer().WriteF64(tr.reward);
+    writer->writer().WriteU8(tr.has_next ? 1 : 0);
+  }
+
+  writer->BeginSection("trainer");
+  writer->writer().WriteI64(config_.batch_size);
+  writer->writer().WriteI64(config_.steps);
+  writer->writer().WriteU64(config_.seed);
+  writer->writer().WriteI64(env_period_);
+  ckpt::WriteDoubleVector(&writer->writer(), previous_action_);
+  writer->writer().WriteI64(steps_done_);
+  writer->writer().WriteF64(tail_sum_);
+  writer->writer().WriteI64(tail_count_);
+}
+
+bool DdpgTrainer::LoadState(ckpt::CheckpointReader* reader,
+                            Rng* actor_dropout_rng, std::string* error) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(error != nullptr);
+  struct NamedModule {
+    const char* section;
+    nn::Module* module;
+  };
+  const NamedModule modules[] = {
+      {"actor", actor_},
+      {"critic", critic_.get()},
+      {"target_actor", target_actor_.get()},
+      {"target_critic", target_critic_.get()},
+  };
+  for (const NamedModule& m : modules) {
+    if (!reader->EnterSection(m.section, error)) return false;
+    if (!m.module->LoadState(&reader->reader(), error)) {
+      *error = std::string(m.section) + ": " + *error;
+      return false;
     }
   }
-  return tail_count > 0 ? tail_sum / tail_count : 0.0;
+  if (!reader->EnterSection("actor_opt", error)) return false;
+  if (!actor_optimizer_->LoadState(&reader->reader(), error)) return false;
+  if (!reader->EnterSection("critic_opt", error)) return false;
+  if (!critic_optimizer_->LoadState(&reader->reader(), error)) return false;
+
+  if (!reader->EnterSection("rng", error)) return false;
+  uint8_t has_actor_dropout = 0;
+  if (!ckpt::ReadRng(&reader->reader(), &rng_) ||
+      !ckpt::ReadRng(&reader->reader(), &dropout_rng_) ||
+      !reader->reader().ReadU8(&has_actor_dropout)) {
+    *error = "ddpg state: short read in rng section";
+    return false;
+  }
+  if ((has_actor_dropout != 0) != (actor_dropout_rng != nullptr)) {
+    *error = has_actor_dropout != 0
+                 ? "ddpg state: checkpoint has an actor dropout rng stream "
+                   "but none was supplied"
+                 : "ddpg state: actor dropout rng supplied but the "
+                   "checkpoint has no stream for it";
+    return false;
+  }
+  if (actor_dropout_rng != nullptr &&
+      !ckpt::ReadRng(&reader->reader(), actor_dropout_rng)) {
+    *error = "ddpg state: short read in actor dropout rng stream";
+    return false;
+  }
+
+  if (!reader->EnterSection("buffer", error)) return false;
+  int64_t buffer_next = 0;
+  int64_t buffer_size = 0;
+  if (!reader->reader().ReadI64(&buffer_next) ||
+      !reader->reader().ReadI64(&buffer_size)) {
+    *error = "ddpg state: short read in buffer header";
+    return false;
+  }
+  if (buffer_size < 0 || buffer_size > config_.buffer_capacity ||
+      buffer_next < buffer_size) {
+    *error = "ddpg state: implausible replay buffer header";
+    return false;
+  }
+  std::vector<Transition> buffer(static_cast<size_t>(buffer_size));
+  for (Transition& tr : buffer) {
+    uint8_t has_next = 0;
+    if (!reader->reader().ReadI64(&tr.period) ||
+        !ckpt::ReadDoubleVector(&reader->reader(), &tr.prev) ||
+        !ckpt::ReadDoubleVector(&reader->reader(), &tr.action) ||
+        !reader->reader().ReadF64(&tr.reward) ||
+        !reader->reader().ReadU8(&has_next)) {
+      *error = "ddpg state: short read in replay buffer";
+      return false;
+    }
+    if (tr.prev.size() != static_cast<size_t>(num_assets_) + 1 ||
+        tr.action.size() != static_cast<size_t>(num_assets_) + 1) {
+      *error = "ddpg state: replay transition dimension mismatch";
+      return false;
+    }
+    tr.has_next = has_next != 0;
+  }
+
+  if (!reader->EnterSection("trainer", error)) return false;
+  int64_t batch_size = 0;
+  int64_t steps = 0;
+  uint64_t seed = 0;
+  int64_t env_period = 0;
+  std::vector<double> previous_action;
+  int64_t steps_done = 0;
+  double tail_sum = 0.0;
+  int64_t tail_count = 0;
+  if (!reader->reader().ReadI64(&batch_size) ||
+      !reader->reader().ReadI64(&steps) || !reader->reader().ReadU64(&seed) ||
+      !reader->reader().ReadI64(&env_period) ||
+      !ckpt::ReadDoubleVector(&reader->reader(), &previous_action) ||
+      !reader->reader().ReadI64(&steps_done) ||
+      !reader->reader().ReadF64(&tail_sum) ||
+      !reader->reader().ReadI64(&tail_count)) {
+    *error = "ddpg state: short read in trainer section";
+    return false;
+  }
+  if (batch_size != config_.batch_size || steps != config_.steps ||
+      seed != config_.seed) {
+    *error = "ddpg state: config mismatch (checkpoint written with "
+             "batch_size=" +
+             std::to_string(batch_size) + " steps=" + std::to_string(steps) +
+             " seed=" + std::to_string(seed) + ")";
+    return false;
+  }
+  if (env_period < first_period_ || env_period >= last_period_ ||
+      previous_action.size() != static_cast<size_t>(num_assets_) + 1 ||
+      steps_done < 0 || steps_done > config_.steps || tail_count < 0) {
+    *error = "ddpg state: implausible trainer counters";
+    return false;
+  }
+  buffer_ = std::move(buffer);
+  buffer_next_ = buffer_next;
+  env_period_ = env_period;
+  previous_action_ = std::move(previous_action);
+  steps_done_ = steps_done;
+  tail_sum_ = tail_sum;
+  tail_count_ = tail_count;
+  return reader->Finish(error);
 }
 
 }  // namespace ppn::core

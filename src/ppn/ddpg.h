@@ -2,8 +2,10 @@
 #define PPN_PPN_DDPG_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "market/dataset.h"
 #include "nn/conv.h"
 #include "nn/linear.h"
@@ -75,9 +77,38 @@ class DdpgTrainer {
               DdpgConfig config);
   ~DdpgTrainer();
 
-  /// Runs the full training loop. Returns the mean reward of the last 10%
-  /// of environment steps.
+  /// Runs one environment step (plus a learning step once the replay
+  /// buffer has warmed up); returns the per-period reward.
+  double TrainStep();
+
+  /// Runs steps until `steps_done() == config.steps` (the remainder after
+  /// `LoadState`). Returns the mean reward of the last 10% of environment
+  /// steps.
   double Train();
+
+  /// Environment steps taken so far (survives checkpoint/restore).
+  int64_t steps_done() const { return steps_done_; }
+
+  /// Mean reward over the completed tail-window steps (0 before any).
+  double tail_mean() const {
+    return tail_count_ > 0 ? tail_sum_ / tail_count_ : 0.0;
+  }
+
+  /// Serializes the complete DDPG state — actor/critic and both target
+  /// networks, both Adam optimizers, the RNG streams (exploration, the
+  /// internally owned target-net dropout stream, and the externally owned
+  /// actor dropout stream, if any), the replay buffer, and the environment
+  /// cursor — so a restored trainer continues bit-identically.
+  /// `actor_dropout_rng` is the stream the actor was built with (consumed
+  /// by its dropout layers during learn steps); nullptr when the actor has
+  /// no dropout.
+  void SaveState(ckpt::CheckpointWriter* writer,
+                 const Rng* actor_dropout_rng) const;
+
+  /// Restores state written by `SaveState`; false with a contextual
+  /// `*error` on any shape or config mismatch.
+  bool LoadState(ckpt::CheckpointReader* reader, Rng* actor_dropout_rng,
+                 std::string* error);
 
  private:
   struct Transition {
@@ -111,6 +142,14 @@ class DdpgTrainer {
   std::vector<std::vector<double>> relatives_;
   std::vector<Transition> buffer_;
   int64_t buffer_next_ = 0;
+
+  /// Environment cursor and step counters — members (not Train() locals)
+  /// so they are part of the checkpointed state.
+  int64_t env_period_;
+  std::vector<double> previous_action_;
+  int64_t steps_done_ = 0;
+  double tail_sum_ = 0.0;
+  int64_t tail_count_ = 0;
 };
 
 }  // namespace ppn::core

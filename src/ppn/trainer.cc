@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "backtest/costs.h"
+#include "ckpt/state_io.h"
 #include "common/check.h"
 #include "obs/stats.h"
 
@@ -144,23 +145,144 @@ double PolicyGradientTrainer::TrainStep() {
         .Append(steps_done_, breakdown.total, breakdown.mean_log_return,
                 breakdown.variance, breakdown.mean_turnover);
   }
+  // Accumulate the convergence tail (final 10% of the configured run) in
+  // members so the indicator is part of the checkpointed state.
+  const int64_t tail_start =
+      config_.steps - std::max<int64_t>(config_.steps / 10, 1);
+  if (steps_done_ >= tail_start && steps_done_ < config_.steps) {
+    tail_sum_ += breakdown.total;
+    ++tail_count_;
+  }
   ++steps_done_;
   return breakdown.total;
 }
 
 double PolicyGradientTrainer::Train() {
-  const int64_t tail_start = config_.steps - std::max<int64_t>(
-      config_.steps / 10, 1);
+  while (steps_done_ < config_.steps) TrainStep();
+  return tail_mean();
+}
+
+void PolicyGradientTrainer::SaveState(ckpt::CheckpointWriter* writer,
+                                      const Rng* dropout_rng) const {
+  PPN_CHECK(writer != nullptr);
+  writer->BeginSection("module");
+  policy_->SaveState(&writer->writer());
+
+  writer->BeginSection("optimizer");
+  optimizer_->SaveState(&writer->writer());
+
+  writer->BeginSection("rng");
+  ckpt::WriteRng(&writer->writer(), rng_);
+  writer->writer().WriteU8(dropout_rng != nullptr ? 1 : 0);
+  if (dropout_rng != nullptr) {
+    ckpt::WriteRng(&writer->writer(), *dropout_rng);
+  }
+
+  writer->BeginSection("pvm");
+  writer->writer().WriteI64(pvm_.num_periods());
+  writer->writer().WriteI64(pvm_.num_assets());
+  for (int64_t t = 0; t < pvm_.num_periods(); ++t) {
+    ckpt::WriteDoubleVector(&writer->writer(), pvm_.Get(t));
+  }
+
+  writer->BeginSection("trainer");
+  // Config echo: a checkpoint only makes sense against the run that wrote
+  // it, so the load path cross-checks these against the live config.
+  writer->writer().WriteI64(config_.batch_size);
+  writer->writer().WriteI64(config_.steps);
+  writer->writer().WriteU64(config_.seed);
+  writer->writer().WriteI64(steps_done_);
+  writer->writer().WriteF64(tail_sum_);
+  writer->writer().WriteI64(tail_count_);
+}
+
+bool PolicyGradientTrainer::LoadState(ckpt::CheckpointReader* reader,
+                                      Rng* dropout_rng, std::string* error) {
+  PPN_CHECK(reader != nullptr);
+  PPN_CHECK(error != nullptr);
+  if (!reader->EnterSection("module", error)) return false;
+  if (!policy_->LoadState(&reader->reader(), error)) return false;
+
+  if (!reader->EnterSection("optimizer", error)) return false;
+  if (!optimizer_->LoadState(&reader->reader(), error)) return false;
+
+  if (!reader->EnterSection("rng", error)) return false;
+  uint8_t has_dropout = 0;
+  if (!ckpt::ReadRng(&reader->reader(), &rng_) ||
+      !reader->reader().ReadU8(&has_dropout)) {
+    *error = "trainer state: short read in rng section";
+    return false;
+  }
+  if ((has_dropout != 0) != (dropout_rng != nullptr)) {
+    *error = has_dropout != 0
+                 ? "trainer state: checkpoint has a dropout rng stream but "
+                   "none was supplied"
+                 : "trainer state: dropout rng supplied but the checkpoint "
+                   "has no stream for it";
+    return false;
+  }
+  if (dropout_rng != nullptr &&
+      !ckpt::ReadRng(&reader->reader(), dropout_rng)) {
+    *error = "trainer state: short read in dropout rng stream";
+    return false;
+  }
+
+  if (!reader->EnterSection("pvm", error)) return false;
+  int64_t num_periods = 0;
+  int64_t num_assets = 0;
+  if (!reader->reader().ReadI64(&num_periods) ||
+      !reader->reader().ReadI64(&num_assets)) {
+    *error = "trainer state: short read in pvm header";
+    return false;
+  }
+  if (num_periods != pvm_.num_periods() || num_assets != pvm_.num_assets()) {
+    *error = "trainer state: pvm shape mismatch (stored " +
+             std::to_string(num_periods) + "x" + std::to_string(num_assets) +
+             ", live " + std::to_string(pvm_.num_periods()) + "x" +
+             std::to_string(pvm_.num_assets()) + ")";
+    return false;
+  }
+  for (int64_t t = 0; t < num_periods; ++t) {
+    std::vector<double> action;
+    if (!ckpt::ReadDoubleVector(&reader->reader(), &action) ||
+        action.size() != static_cast<size_t>(num_assets) + 1) {
+      *error = "trainer state: bad pvm entry at period " + std::to_string(t);
+      return false;
+    }
+    pvm_.Set(t, std::move(action));
+  }
+
+  if (!reader->EnterSection("trainer", error)) return false;
+  int64_t batch_size = 0;
+  int64_t steps = 0;
+  uint64_t seed = 0;
+  int64_t steps_done = 0;
   double tail_sum = 0.0;
   int64_t tail_count = 0;
-  for (int64_t step = 0; step < config_.steps; ++step) {
-    const double reward = TrainStep();
-    if (step >= tail_start) {
-      tail_sum += reward;
-      ++tail_count;
-    }
+  if (!reader->reader().ReadI64(&batch_size) ||
+      !reader->reader().ReadI64(&steps) || !reader->reader().ReadU64(&seed) ||
+      !reader->reader().ReadI64(&steps_done) ||
+      !reader->reader().ReadF64(&tail_sum) ||
+      !reader->reader().ReadI64(&tail_count)) {
+    *error = "trainer state: short read in trainer section";
+    return false;
   }
-  return tail_count > 0 ? tail_sum / tail_count : 0.0;
+  if (batch_size != config_.batch_size || steps != config_.steps ||
+      seed != config_.seed) {
+    *error = "trainer state: config mismatch (checkpoint written with "
+             "batch_size=" +
+             std::to_string(batch_size) + " steps=" + std::to_string(steps) +
+             " seed=" + std::to_string(seed) + ")";
+    return false;
+  }
+  if (steps_done < 0 || steps_done > config_.steps || tail_count < 0) {
+    *error = "trainer state: implausible step counters";
+    return false;
+  }
+  steps_done_ = steps_done;
+  tail_sum_ = tail_sum;
+  tail_count_ = tail_count;
+  return reader->Finish(error);
 }
 
 }  // namespace ppn::core

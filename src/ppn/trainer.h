@@ -2,8 +2,10 @@
 #define PPN_PPN_TRAINER_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
 #include "market/dataset.h"
 #include "nn/optimizer.h"
 #include "ppn/policy_module.h"
@@ -51,9 +53,31 @@ class PolicyGradientTrainer {
   /// Runs one gradient step on a sampled batch; returns the reward value.
   double TrainStep();
 
-  /// Runs `config.steps` steps; returns the mean reward of the last 10% of
-  /// steps (a convergence indicator).
+  /// Runs steps until `steps_done() == config.steps` (all of them on a
+  /// fresh trainer, the remainder after `LoadState`); returns the mean
+  /// reward of the last 10% of steps (a convergence indicator).
   double Train();
+
+  /// Gradient steps taken so far (survives checkpoint/restore).
+  int64_t steps_done() const { return steps_done_; }
+
+  /// Mean reward over the completed tail-window steps (0 before any).
+  double tail_mean() const {
+    return tail_count_ > 0 ? tail_sum_ / tail_count_ : 0.0;
+  }
+
+  /// Serializes the complete training state — policy parameters, Adam
+  /// moments, RNG streams, PVM contents, and step counters — into sections
+  /// of `writer`. `dropout_rng` is the externally owned dropout stream
+  /// (nullptr when the policy has no dropout); it is captured alongside so
+  /// a resumed run draws the identical noise sequence.
+  void SaveState(ckpt::CheckpointWriter* writer, const Rng* dropout_rng) const;
+
+  /// Restores state written by `SaveState` into this trainer (which must
+  /// have been constructed with the same policy shape, dataset, and
+  /// config). Returns false with a contextual `*error` on any mismatch.
+  bool LoadState(ckpt::CheckpointReader* reader, Rng* dropout_rng,
+                 std::string* error);
 
   /// Portfolio vector memory (exposed for tests).
   const PortfolioVectorMemory& pvm() const { return pvm_; }
@@ -79,6 +103,11 @@ class PolicyGradientTrainer {
   std::unique_ptr<nn::Adam> optimizer_;
   /// Steps taken so far; indexes the obs reward-breakdown trace ring.
   int64_t steps_done_ = 0;
+  /// Running sum/count of rewards inside the final-10% tail window; kept as
+  /// members (not Train() locals) so the convergence indicator survives a
+  /// checkpoint/restore cycle.
+  double tail_sum_ = 0.0;
+  int64_t tail_count_ = 0;
   /// windows_[t - first_period_] is the normalized window for a decision at
   /// period t (data through t-1).
   std::vector<Tensor> windows_;

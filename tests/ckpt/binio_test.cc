@@ -1,0 +1,149 @@
+#include "ckpt/binio.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ppn::ckpt {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // The canonical CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32Of(data, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  const std::string text = "incremental CRC must equal one-shot CRC";
+  Crc32 crc;
+  crc.Update(text.data(), 10);
+  crc.Update(text.data() + 10, text.size() - 10);
+  EXPECT_EQ(crc.value(), Crc32Of(text.data(), text.size()));
+}
+
+TEST(Crc32Test, EmptyInput) {
+  EXPECT_EQ(Crc32Of(nullptr, 0), 0x00000000u);
+}
+
+TEST(BinIoTest, ScalarRoundTrip) {
+  std::ostringstream out;
+  BinWriter writer(&out);
+  writer.WriteU8(0xAB);
+  writer.WriteU32(0xDEADBEEFu);
+  writer.WriteU64(0x0123456789ABCDEFull);
+  writer.WriteI64(-42);
+  writer.WriteF32(1.5f);
+  writer.WriteF64(-2.25);
+  writer.WriteString("hello");
+  ASSERT_TRUE(writer.ok());
+
+  const std::string bytes = out.str();
+  EXPECT_EQ(writer.bytes_written(), bytes.size());
+  BinReader reader(bytes.data(), bytes.size());
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  float f32 = 0.0f;
+  double f64 = 0.0;
+  std::string text;
+  EXPECT_TRUE(reader.ReadU8(&u8));
+  EXPECT_TRUE(reader.ReadU32(&u32));
+  EXPECT_TRUE(reader.ReadU64(&u64));
+  EXPECT_TRUE(reader.ReadI64(&i64));
+  EXPECT_TRUE(reader.ReadF32(&f32));
+  EXPECT_TRUE(reader.ReadF64(&f64));
+  EXPECT_TRUE(reader.ReadString(&text));
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f32, 1.5f);
+  EXPECT_EQ(f64, -2.25);
+  EXPECT_EQ(text, "hello");
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_FALSE(reader.failed());
+}
+
+TEST(BinIoTest, NonFiniteFloatsRoundTripExactly) {
+  std::ostringstream out;
+  BinWriter writer(&out);
+  writer.WriteF32(std::numeric_limits<float>::quiet_NaN());
+  writer.WriteF32(std::numeric_limits<float>::infinity());
+  writer.WriteF32(-std::numeric_limits<float>::infinity());
+  writer.WriteF64(std::numeric_limits<double>::quiet_NaN());
+  const std::string bytes = out.str();
+
+  BinReader reader(bytes.data(), bytes.size());
+  float f = 0.0f;
+  EXPECT_TRUE(reader.ReadF32(&f));
+  EXPECT_TRUE(std::isnan(f));
+  EXPECT_TRUE(reader.ReadF32(&f));
+  EXPECT_EQ(f, std::numeric_limits<float>::infinity());
+  EXPECT_TRUE(reader.ReadF32(&f));
+  EXPECT_EQ(f, -std::numeric_limits<float>::infinity());
+  double d = 0.0;
+  EXPECT_TRUE(reader.ReadF64(&d));
+  EXPECT_TRUE(std::isnan(d));
+}
+
+TEST(BinIoTest, ArrayRoundTrip) {
+  const std::vector<float> f32s = {1.0f, -2.5f, 3.25f};
+  const std::vector<double> f64s = {-0.125, 9.75};
+  std::ostringstream out;
+  BinWriter writer(&out);
+  writer.WriteF32Array(f32s.data(), static_cast<int64_t>(f32s.size()));
+  writer.WriteF64Array(f64s.data(), static_cast<int64_t>(f64s.size()));
+  const std::string bytes = out.str();
+
+  BinReader reader(bytes.data(), bytes.size());
+  std::vector<float> f32_in(f32s.size());
+  std::vector<double> f64_in(f64s.size());
+  EXPECT_TRUE(
+      reader.ReadF32Array(f32_in.data(), static_cast<int64_t>(f32s.size())));
+  EXPECT_TRUE(
+      reader.ReadF64Array(f64_in.data(), static_cast<int64_t>(f64s.size())));
+  EXPECT_EQ(f32_in, f32s);
+  EXPECT_EQ(f64_in, f64s);
+}
+
+TEST(BinIoTest, ReaderFailsOnExhaustionAndStaysFailed) {
+  const char bytes[4] = {1, 2, 3, 4};
+  BinReader reader(bytes, sizeof(bytes));
+  uint64_t value = 0;
+  EXPECT_FALSE(reader.ReadU64(&value));  // 8 bytes from a 4-byte buffer.
+  EXPECT_TRUE(reader.failed());
+  uint8_t byte = 0;
+  // Sticky failure: even an in-bounds read refuses after a failure.
+  EXPECT_FALSE(reader.ReadU8(&byte));
+}
+
+TEST(BinIoTest, ReadStringRejectsOversizedLength) {
+  // A (huge length, tiny payload) prefix must not trigger a giant resize.
+  std::ostringstream out;
+  BinWriter writer(&out);
+  writer.WriteU64(1ull << 40);
+  writer.WriteU8('x');
+  const std::string bytes = out.str();
+  BinReader reader(bytes.data(), bytes.size());
+  std::string text;
+  EXPECT_FALSE(reader.ReadString(&text));
+  EXPECT_TRUE(reader.failed());
+}
+
+TEST(BinIoTest, WriterTracksCrcOfWrittenBytes) {
+  std::ostringstream out;
+  BinWriter writer(&out);
+  writer.WriteU32(0x12345678u);
+  writer.WriteString("crc");
+  const std::string bytes = out.str();
+  EXPECT_EQ(writer.crc(), Crc32Of(bytes.data(), bytes.size()));
+}
+
+}  // namespace
+}  // namespace ppn::ckpt

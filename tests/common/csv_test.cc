@@ -1,6 +1,7 @@
 #include "common/csv.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -79,6 +80,64 @@ TEST(CsvTest, WriteFailsOnBadPath) {
   CsvTable table;
   table.header = {"a"};
   EXPECT_FALSE(WriteCsv("/nonexistent_dir/zzz/file.csv", table));
+}
+
+TEST(CsvTest, ReadRejectsTrailingGarbageInCell) {
+  // Regression: strtod("1.5abc") parses 1.5 and the old reader accepted
+  // it, silently truncating malformed data. A cell must be fully numeric.
+  const std::string path = TempPath("trailing_garbage.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1.5abc,2.0\n";
+  }
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(path, &table));
+  EXPECT_TRUE(table.rows.empty());
+}
+
+TEST(CsvTest, ReadRejectsEmbeddedSecondNumber) {
+  const std::string path = TempPath("two_numbers.csv");
+  {
+    std::ofstream out(path);
+    out << "a\n1.5 2.5\n";
+  }
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(path, &table));
+}
+
+TEST(CsvTest, ReadAcceptsSurroundingWhitespaceAndCrlf) {
+  // Whitespace padding and DOS line endings are benign formatting, not
+  // data corruption; the strict parse must still accept them.
+  const std::string path = TempPath("whitespace.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n 1.5 ,2.5\r\n";
+  }
+  CsvTable table;
+  ASSERT_TRUE(ReadCsv(path, &table));
+  ASSERT_EQ(table.rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.rows[0][0], 1.5);
+  EXPECT_DOUBLE_EQ(table.rows[0][1], 2.5);
+}
+
+TEST(CsvTest, ReadRejectsWhitespaceOnlyCell) {
+  const std::string path = TempPath("blank_cell.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\n1.0,  \n";
+  }
+  CsvTable table;
+  EXPECT_FALSE(ReadCsv(path, &table));
+}
+
+TEST(CsvTest, WriteIsAtomic) {
+  CsvTable table;
+  table.header = {"a"};
+  table.rows = {{1.0}};
+  const std::string path = TempPath("atomic.csv");
+  ASSERT_TRUE(WriteCsv(path, table));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
 }  // namespace

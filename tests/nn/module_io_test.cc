@@ -1,0 +1,151 @@
+// Module parameter persistence: the legacy text format must round-trip
+// non-finite values (regression: the reader used iostream `>>`, which
+// rejects the "nan"/"inf" tokens the writer emits), writes must be atomic
+// (temp + rename, no partial files), and the binary SaveState/LoadState
+// path must round-trip exact bits with contextual mismatch errors.
+
+#include "nn/module.h"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/binio.h"
+#include "common/random.h"
+#include "nn/linear.h"
+
+namespace ppn::nn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/module_io_" + name;
+}
+
+Linear MakeLinear(uint64_t seed = 1) {
+  Rng rng(seed);
+  return Linear(3, 2, &rng);
+}
+
+void ExpectBitIdentical(const Module& a, const Module& b) {
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->numel(), pb[i]->numel());
+    EXPECT_EQ(std::memcmp(pa[i]->value().Data(), pb[i]->value().Data(),
+                          sizeof(float) * pa[i]->numel()),
+              0)
+        << "parameter " << i;
+  }
+}
+
+TEST(ModuleTextIoTest, FiniteRoundTrip) {
+  Linear source = MakeLinear(1);
+  const std::string path = TempPath("finite.weights");
+  ASSERT_TRUE(source.SaveParameters(path));
+  Linear loaded = MakeLinear(2);
+  ASSERT_TRUE(loaded.LoadParameters(path));
+  // Text rounds to 9 significant digits, which is exact for float32.
+  ExpectBitIdentical(source, loaded);
+}
+
+TEST(ModuleTextIoTest, NonFiniteValuesRoundTrip) {
+  // Regression: training that diverged to NaN/Inf produced weight files
+  // the loader refused ("failed loading weights"), because operator>>
+  // rejects the very tokens operator<< emits for non-finite floats.
+  Linear source = MakeLinear(1);
+  float* data = source.Parameters()[0]->mutable_value()->MutableData();
+  data[0] = std::numeric_limits<float>::quiet_NaN();
+  data[1] = std::numeric_limits<float>::infinity();
+  data[2] = -std::numeric_limits<float>::infinity();
+  const std::string path = TempPath("nonfinite.weights");
+  ASSERT_TRUE(source.SaveParameters(path));
+
+  Linear loaded = MakeLinear(2);
+  ASSERT_TRUE(loaded.LoadParameters(path));
+  const float* in = loaded.Parameters()[0]->value().Data();
+  EXPECT_TRUE(std::isnan(in[0]));
+  EXPECT_EQ(in[1], std::numeric_limits<float>::infinity());
+  EXPECT_EQ(in[2], -std::numeric_limits<float>::infinity());
+}
+
+TEST(ModuleTextIoTest, SaveIsAtomic) {
+  const std::string path = TempPath("atomic.weights");
+  Linear source = MakeLinear(1);
+  ASSERT_TRUE(source.SaveParameters(path));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(ModuleTextIoTest, SaveToBadPathFailsCleanly) {
+  Linear source = MakeLinear(1);
+  EXPECT_FALSE(source.SaveParameters("/nonexistent_dir/zzz/x.weights"));
+}
+
+TEST(ModuleTextIoTest, LoadRejectsShapeMismatch) {
+  Linear source = MakeLinear(1);
+  const std::string path = TempPath("shape.weights");
+  ASSERT_TRUE(source.SaveParameters(path));
+  Rng rng(2);
+  Linear other(4, 2, &rng);  // Different input width.
+  EXPECT_FALSE(other.LoadParameters(path));
+}
+
+TEST(ModuleBinaryIoTest, ExactBitRoundTrip) {
+  Linear source = MakeLinear(1);
+  float* data = source.Parameters()[0]->mutable_value()->MutableData();
+  data[0] = std::numeric_limits<float>::quiet_NaN();
+  data[1] = std::nextafterf(1.0f, 2.0f);  // Needs all 24 mantissa bits.
+
+  std::ostringstream out;
+  ckpt::BinWriter writer(&out);
+  source.SaveState(&writer);
+  const std::string bytes = out.str();
+
+  Linear loaded = MakeLinear(2);
+  ckpt::BinReader reader(bytes.data(), bytes.size());
+  std::string error;
+  ASSERT_TRUE(loaded.LoadState(&reader, &error)) << error;
+  ExpectBitIdentical(source, loaded);
+  EXPECT_EQ(reader.remaining(), 0u);
+}
+
+TEST(ModuleBinaryIoTest, LoadReportsNameMismatch) {
+  Linear source = MakeLinear(1);
+  std::ostringstream out;
+  ckpt::BinWriter writer(&out);
+  source.SaveState(&writer);
+  const std::string bytes = out.str();
+
+  // A module tree with different parameter shapes must refuse with a
+  // message naming what it found (NOT Linear(2,3): its transposed weight
+  // has the same numel and would wrongly pass a count-only check).
+  Rng rng(2);
+  Linear other(4, 4, &rng);
+  ckpt::BinReader reader(bytes.data(), bytes.size());
+  std::string error;
+  EXPECT_FALSE(other.LoadState(&reader, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ModuleBinaryIoTest, LoadFailsOnTruncatedPayload) {
+  Linear source = MakeLinear(1);
+  std::ostringstream out;
+  ckpt::BinWriter writer(&out);
+  source.SaveState(&writer);
+  const std::string bytes = out.str().substr(0, out.str().size() / 2);
+
+  Linear loaded = MakeLinear(2);
+  ckpt::BinReader reader(bytes.data(), bytes.size());
+  std::string error;
+  EXPECT_FALSE(loaded.LoadState(&reader, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace ppn::nn

@@ -3,28 +3,40 @@
 //   ppn_cli generate  --dataset crypto-a --out data/run1
 //   ppn_cli train     --dataset crypto-a --variant PPN --steps 600
 //                     [--gamma 1e-3 --lambda 1e-4 --cost 0.0025
-//                      --weights ppn.weights]
+//                      --weights ppn.weights --checkpoint-dir ckpt
+//                      --checkpoint-every 50 --resume 1]
 //   ppn_cli backtest  --dataset crypto-a --variant PPN --weights ppn.weights
 //   ppn_cli baselines --dataset crypto-a
 //   ppn_cli sweep     --datasets crypto-a,crypto-b
 //                     [--strategies UBAH,EIIE,PPN --costs 0.0025,0.01
 //                      --seeds 1,2 --steps 400 --gamma 1e-3 --lambda 1e-4
-//                      --workers 4 --json results.json]
+//                      --workers 4 --json results.json
+//                      --checkpoint-dir ckpt]
 //
 // `--dataset` accepts crypto-a/b/c/d and sp500 (generated presets honoring
 // PPN_SCALE), or `--data <prefix>` to load a panel saved by `generate`.
 // `sweep` fans the (strategy × dataset × cost × seed) grid across a worker
 // pool (default: PPN_WORKERS or the hardware thread count) with results
 // bit-identical at any worker count.
+//
+// Checkpointing: `train --checkpoint-dir` snapshots the full training
+// state (parameters, Adam moments, RNG streams, PVM, step counters) every
+// `--checkpoint-every` steps (default 50, atomically, newest 3 retained);
+// `--resume 1` restores the newest intact snapshot and continues to a
+// final policy bit-identical to an uninterrupted run. `sweep
+// --checkpoint-dir` checkpoints each finished cell; rerunning the same
+// sweep after a kill recomputes only the unfinished cells.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "backtest/backtester.h"
+#include "ckpt/checkpoint.h"
 #include "common/parse.h"
 #include "common/table_printer.h"
 #include "exec/experiment.h"
@@ -155,7 +167,63 @@ int CmdTrain(const Flags& flags) {
   trainer_config.reward.lambda = NumFlagOr(flags, "lambda", 1e-4);
   trainer_config.reward.cost_rate = NumFlagOr(flags, "cost", 0.0025);
   core::PolicyGradientTrainer trainer(policy.get(), dataset, trainer_config);
-  const double tail = trainer.Train();
+
+  const std::string checkpoint_dir = FlagOr(flags, "checkpoint-dir", "");
+  const int64_t checkpoint_every =
+      static_cast<int64_t>(NumFlagOr(flags, "checkpoint-every", 50));
+  const bool resume = NumFlagOr(flags, "resume", 0) != 0;
+  if (resume && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--resume 1 requires --checkpoint-dir\n");
+    return 2;
+  }
+  std::unique_ptr<ckpt::Checkpointer> checkpointer;
+  if (!checkpoint_dir.empty()) {
+    if (checkpoint_every <= 0) {
+      std::fprintf(stderr, "--checkpoint-every must be > 0\n");
+      return 2;
+    }
+    checkpointer = std::make_unique<ckpt::Checkpointer>(
+        ckpt::Checkpointer::Options{checkpoint_dir, /*retain=*/3});
+  }
+  if (resume) {
+    int64_t restored_step = 0;
+    std::string error;
+    if (checkpointer->RestoreLatest(
+            [&](ckpt::CheckpointReader* reader, std::string* load_error) {
+              return trainer.LoadState(reader, &dropout, load_error);
+            },
+            &restored_step, &error)) {
+      std::printf("resumed from step %lld\n",
+                  static_cast<long long>(restored_step));
+    } else if (error.rfind("no snapshots", 0) != 0) {
+      // An empty directory is a normal first run; anything else is fatal.
+      std::fprintf(stderr, "resume failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  double tail;
+  if (checkpointer != nullptr) {
+    while (trainer.steps_done() < trainer_config.steps) {
+      trainer.TrainStep();
+      if (trainer.steps_done() % checkpoint_every == 0 ||
+          trainer.steps_done() == trainer_config.steps) {
+        std::string error;
+        if (!checkpointer->WriteSnapshot(
+                trainer.steps_done(),
+                [&](ckpt::CheckpointWriter* writer) {
+                  trainer.SaveState(writer, &dropout);
+                },
+                &error)) {
+          std::fprintf(stderr, "checkpoint write failed: %s\n", error.c_str());
+          return 1;
+        }
+      }
+    }
+    tail = trainer.tail_mean();
+  } else {
+    tail = trainer.Train();
+  }
   std::printf("tail mean reward: %.6f\n", tail);
   const std::string weights = FlagOr(flags, "weights", "policy.weights");
   if (!policy->SaveParameters(weights)) {
@@ -279,6 +347,8 @@ int CmdSweep(const Flags& flags) {
       spec.seeds.push_back(static_cast<uint64_t>(value));
     }
   }
+
+  spec.checkpoint_dir = FlagOr(flags, "checkpoint-dir", "");
 
   const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
   const exec::ExperimentRunner runner(
