@@ -9,6 +9,7 @@
 #include "common/csv.h"
 #include "exec/thread_pool.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::bench {
 
@@ -72,6 +73,10 @@ BenchContext::~BenchContext() {
     std::fprintf(stderr, "profile written to %s\n",
                  std::getenv("PPN_PROFILE_JSON"));
   }
+  if (obs::WriteTraceIfRequested()) {
+    std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
+                 std::getenv("PPN_TRACE_JSON"));
+  }
 }
 
 const market::MarketDataset& BenchContext::dataset(market::DatasetId id) {
@@ -86,6 +91,14 @@ std::vector<exec::CellResult> BenchContext::Run(
     exec::ExperimentSpec spec) const {
   spec.scale = scale_;
   if (spec.title.empty()) spec.title = title_;
+  // `PPN_RUNLOG_DIR=<dir>` streams one per-step JSONL run log per trained
+  // cell there (see obs/run_log.h; summarize with `ppn_cli report`).
+  if (spec.telemetry_dir.empty()) {
+    if (const char* dir = std::getenv("PPN_RUNLOG_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      spec.telemetry_dir = dir;
+    }
+  }
   std::vector<exec::CellResult> rows = runner_.Run(spec);
   if (const char* dir = std::getenv("PPN_RESULTS_JSON");
       dir != nullptr && dir[0] != '\0') {
@@ -107,6 +120,17 @@ std::vector<exec::CellResult> BenchContext::Run(
                     {row.wall_seconds}, 3);
     }
     std::printf("%s\n", timing.ToString().c_str());
+    // Distribution summary across every cell the process has run so far
+    // (the merged exec.cell.seconds histogram; ±2× bucket resolution).
+    const obs::Snapshot snapshot = obs::TakeSnapshot();
+    if (const auto it = snapshot.histograms.find("exec.cell.seconds");
+        it != snapshot.histograms.end() && it->second.count > 0) {
+      std::printf(
+          "cell seconds: n=%lld p50=%.3f p95=%.3f p99=%.3f max=%.3f\n\n",
+          static_cast<long long>(it->second.count),
+          it->second.Percentile(0.50), it->second.Percentile(0.95),
+          it->second.Percentile(0.99), it->second.max);
+    }
   }
   return rows;
 }

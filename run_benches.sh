@@ -11,12 +11,22 @@
 #
 # google-benchmark binaries (micro_kernels) additionally archive their
 # machine-readable report as "<bench>.json" in bench_results/ — the
-# input format of tools/bench_diff, which compares two archived runs
+# input format of tools/bench_diff.py, which compares two archived runs
 # and flags throughput regressions.
+#
+# Regression gate: PPN_BENCH_GATE=1 turns bench_diff.py into a gate.
+# Before running micro_kernels the previous archived report (the newest
+# bench_results/micro_kernels.json) is kept as
+# micro_kernels.baseline.json; afterwards the two are diffed and the
+# script exits non-zero when any benchmark's median regressed by more
+# than 10%. PPN_BENCH_REPS (default 3) sets --benchmark_repetitions so
+# the reports carry median aggregates (bench_diff compares medians when
+# present, making the gate robust to single-run jitter).
 cd /root/repo
 mkdir -p bench_results
 PPN_RESULTS_JSON=/root/repo/bench_results
 export PPN_RESULTS_JSON
+gate_status=0
 {
   for b in build/bench/*; do
     if [ -f "$b" ] && [ -x "$b" ]; then
@@ -24,10 +34,26 @@ export PPN_RESULTS_JSON
       echo "===== RUNNING $name ====="
       case "$name" in
         micro_kernels)
+          baseline=""
+          if [ "${PPN_BENCH_GATE:-0}" = "1" ] && \
+             [ -f "/root/repo/bench_results/$name.json" ]; then
+            cp "/root/repo/bench_results/$name.json" \
+               "/root/repo/bench_results/$name.baseline.json"
+            baseline="/root/repo/bench_results/$name.baseline.json"
+          fi
           PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" \
             "$b" \
+            --benchmark_repetitions="${PPN_BENCH_REPS:-3}" \
             --benchmark_out="/root/repo/bench_results/$name.json" \
             --benchmark_out_format=json
+          if [ -n "$baseline" ]; then
+            echo "===== BENCH GATE ($name vs previous archive) ====="
+            if ! python3 /root/repo/tools/bench_diff.py "$baseline" \
+                 "/root/repo/bench_results/$name.json"; then
+              echo "BENCH_GATE_FAILED: $name"
+              gate_status=1
+            fi
+          fi
           ;;
         *)
           PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" "$b"
@@ -38,3 +64,4 @@ export PPN_RESULTS_JSON
   done
   echo "ALL_BENCHES_DONE"
 } > /root/repo/bench_output.txt 2>&1
+exit "$gate_status"

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::ag {
 
@@ -415,6 +416,9 @@ Var Conv2d(const Var& input, const Var& weight, const Var& bias,
     flops.Add(2.0 * static_cast<double>(batch * out_h * out_w) *
               static_cast<double>(patch) * static_cast<double>(c_out));
   }
+  obs::Span span("nn.conv2d.forward", /*min_duration_us=*/20.0);
+  span.AddArg("batch", static_cast<double>(batch));
+  span.AddArg("c_out", static_cast<double>(c_out));
 
   Tensor columns = Im2Col(input->value(), geometry);  // [B*OH*OW, patch]
   Tensor weight_matrix = weight->value().Reshaped({c_out, patch});

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/math_utils.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::backtest {
 
@@ -45,6 +46,10 @@ NetWealthSolve SolveNetWealthFactorDetailed(const std::vector<double>& prev_hat,
   const double max_rate = std::max(model.purchase_rate, model.sale_rate);
   const double tolerance = std::max(1e-14, 1e-15 / (1.0 - max_rate));
   constexpr int kMaxIterations = 50000;
+  // Solver calls are per-period — far too frequent to trace individually,
+  // so only solves slow enough to matter (≥20µs: high ψ or pathological
+  // targets) make it into the timeline.
+  obs::Span span("backtest.solver.fixed_point", /*min_duration_us=*/20.0);
   NetWealthSolve solve;
   solve.converged = false;
   double omega = 1.0;
@@ -61,6 +66,7 @@ NetWealthSolve SolveNetWealthFactorDetailed(const std::vector<double>& prev_hat,
   }
   if (!solve.converged) solve.iterations = kMaxIterations;
   solve.omega = omega;
+  span.AddArg("iterations", static_cast<double>(solve.iterations));
   if (obs::Enabled()) {
     static thread_local obs::Counter& calls =
         obs::GetCounter("backtest.solver.calls");

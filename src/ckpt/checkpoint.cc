@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/parse.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::ckpt {
 
@@ -57,6 +58,10 @@ void CheckpointWriter::BeginSection(const std::string& name) {
 bool CheckpointWriter::Commit(std::string* error) {
   PPN_CHECK(!committed_) << "checkpoint committed twice: " << path_;
   committed_ = true;
+  // Spans the stream flush + atomic rename (the I/O tail of the write; the
+  // section payloads stream into the buffered file before this).
+  obs::Span span("ckpt.commit");
+  span.AddArg("bytes", static_cast<double>(writer_->bytes_written()));
   // The footer is the CRC of everything before it, excluded from itself.
   const uint32_t crc = writer_->crc();
   const uint64_t payload_bytes = writer_->bytes_written();

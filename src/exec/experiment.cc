@@ -14,6 +14,7 @@
 #include "common/check.h"
 #include "exec/thread_pool.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::exec {
 
@@ -66,6 +67,15 @@ std::string JsonEscape(const std::string& text) {
 std::string CellCheckpointPath(const std::string& dir, uint64_t derived_seed) {
   char name[32];
   std::snprintf(name, sizeof(name), "cell-%016llx.ckpt",
+                static_cast<unsigned long long>(derived_seed));
+  return (std::filesystem::path(dir) / name).string();
+}
+
+/// Per-cell run-log path, named by the derived seed like the checkpoint so
+/// a rerun of the same spec overwrites in place.
+std::string CellRunLogPath(const std::string& dir, uint64_t derived_seed) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "cell-%016llx.runlog.jsonl",
                 static_cast<unsigned long long>(derived_seed));
   return (std::filesystem::path(dir) / name).string();
 }
@@ -325,11 +335,20 @@ std::vector<CellResult> ExperimentRunner::Run(
     PPN_CHECK(!ec) << "cannot create checkpoint dir " << spec.checkpoint_dir
                    << ": " << ec.message();
   }
+  if (!spec.telemetry_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec.telemetry_dir, ec);
+    PPN_CHECK(!ec) << "cannot create telemetry dir " << spec.telemetry_dir
+                   << ": " << ec.message();
+  }
 
   ResultSink sink(static_cast<int64_t>(cells.size()));
   ThreadPool pool(num_workers_);
   for (const Cell& cell : cells) {
     pool.Submit([&spec, &datasets, &sink, cell] {
+      obs::Span cell_span("exec.cell");
+      cell_span.AddArg("index", static_cast<double>(cell.index));
+      cell_span.AddArg("cost_rate", cell.cost_rate);
       const auto start = std::chrono::steady_clock::now();
       const market::MarketDataset& dataset = datasets[cell.dataset_index];
       strategies::StrategySpec cell_spec = spec.strategies[cell.strategy_index];
@@ -346,6 +365,10 @@ std::vector<CellResult> ExperimentRunner::Run(
       // any worker count reproduces the same bits.
       result.derived_seed = CellSeed(result.key);
       cell_spec.seed = result.derived_seed;
+      if (!spec.telemetry_dir.empty()) {
+        cell_spec.runlog_path =
+            CellRunLogPath(spec.telemetry_dir, result.derived_seed);
+      }
       const std::string cell_ckpt_path =
           spec.checkpoint_dir.empty()
               ? std::string()

@@ -49,6 +49,15 @@ struct ExperimentSpec {
   /// cells. Because cell seeds derive from cell keys (never scheduling),
   /// restored and recomputed cells carry bit-identical metrics.
   std::string checkpoint_dir;
+  /// When non-empty AND obs is enabled, each NEURAL cell streams one
+  /// run-log record per training step to
+  /// `<telemetry_dir>/cell-<derived_seed hex>.runlog.jsonl` (see
+  /// obs/run_log.h; `ppn_cli report --dir` summarizes the directory).
+  /// Like cell checkpoints, files are named by the derived seed — a pure
+  /// function of the cell key — so reruns overwrite in place and names
+  /// never depend on scheduling. Telemetry only: results stay
+  /// bit-identical with or without it, at any worker count.
+  std::string telemetry_dir;
 };
 
 /// Identity of one cell within a sweep.

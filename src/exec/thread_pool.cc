@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "common/parse.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::exec {
 
@@ -46,6 +47,10 @@ void ThreadPool::Submit(std::function<void()> task) {
   QueuedTask queued;
   queued.fn = std::move(task);
   if (profiling) queued.enqueued = std::chrono::steady_clock::now();
+  // Flow arrow from this submit to the worker slice that runs the task
+  // (returns 0 when tracing is off). Inline mode has no cross-thread hop,
+  // so no flow (the task already nests under the caller's span).
+  queued.flow_id = obs::BeginFlow("exec.pool.task");
   size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
@@ -91,6 +96,11 @@ void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
                          .count());
       }
       obs::ScopedTimer run_timer("exec.pool.task_run.seconds");
+      // The flow terminates inside this span (bp:"e" in the export binds
+      // the arrow to the enclosing slice), so the submit→run handoff is
+      // visible per task in the timeline.
+      obs::Span run_span("exec.pool.task_run");
+      obs::EndFlow(task.flow_id, "exec.pool.task");
       task.fn();
     } else {
       task.fn();

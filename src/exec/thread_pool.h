@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -50,10 +51,13 @@ class ThreadPool {
  private:
   /// A queued task plus its enqueue timestamp (feeds the obs
   /// `exec.pool.task_wait.seconds` histogram; the clock read is skipped
-  /// when profiling is off).
+  /// when profiling is off) and trace flow id (stitches the submitting
+  /// thread's timeline to the worker slice that ran the task; 0 when
+  /// tracing is off).
   struct QueuedTask {
     std::function<void()> fn;
     std::chrono::steady_clock::time_point enqueued;
+    uint64_t flow_id = 0;
   };
 
   void WorkerLoop(bool allow_inner_parallel);

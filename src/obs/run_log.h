@@ -1,0 +1,145 @@
+#ifndef PPN_OBS_RUN_LOG_H_
+#define PPN_OBS_RUN_LOG_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/atomic_file.h"
+
+/// \file
+/// Streaming per-step training telemetry: `obs::RunLog` records EVERY
+/// training step's scalars — the cost-sensitive reward total and its
+/// λ-variance / γ-turnover components, gradient norm, PVM staleness,
+/// cost-solver iterations, step wall time — as one JSONL line per step,
+/// one file per experiment cell. This replaces the capped 4-field
+/// `TraceRing` as the substrate for training-dynamics analysis (Table 6
+/// turnover trajectories, Table 7 variance suppression): nothing is
+/// downsampled and nothing wraps.
+///
+/// Architecture: `Append` pushes onto a bounded in-memory queue and a
+/// background writer thread formats and streams the records, so the
+/// training loop never blocks on disk — until the queue fills, at which
+/// point `Append` BLOCKS (backpressure) rather than dropping: a gap in a
+/// dynamics curve is worse than a slow step. The file is written through
+/// `common/atomic_file.h`, so a crash mid-run leaves no partial file at
+/// the target path; `Close()` (or destruction) drains, commits, and
+/// renames.
+///
+/// File format (schema-versioned): first line is a header object
+///   {"schema": "ppn.runlog.v1", "run": "<id>", ...metadata...}
+/// and every following line is one step record
+///   {"step": 0, "reward_total": ..., "reward_log_return": ...,
+///    "reward_variance": ..., "reward_turnover": ..., "grad_norm": ...,
+///    "pvm_staleness": ..., "solver_iterations": ..., "step_seconds": ...}
+/// Doubles are printed with %.17g, so the file round-trips bit-exactly:
+/// `ppn_cli report` reproduces the trainer's returned metrics EXACTLY,
+/// not approximately.
+///
+/// Gating follows the rest of `src/obs`: `Open` returns null when
+/// `obs::Enabled()` is false (training code holds a null-tolerant
+/// pointer), and the whole class is a no-op stub under
+/// -DPPN_OBS_COMPILED=OFF. Determinism contract: a RunLog only observes
+/// values already computed by the trainer; it feeds nothing back.
+
+namespace ppn::obs {
+
+/// One training step's scalars. Fields that do not apply to a given
+/// trainer (e.g. PVM staleness for DDPG) stay 0.
+struct RunLogRecord {
+  int64_t step = 0;
+  double reward_total = 0.0;
+  double reward_log_return = 0.0;
+  double reward_variance = 0.0;    ///< λ-weighted term's raw variance.
+  double reward_turnover = 0.0;    ///< γ-weighted term's raw turnover.
+  double grad_norm = 0.0;          ///< Pre-clip global gradient norm.
+  double pvm_staleness = 0.0;      ///< Mean steps since batch rows' PVM write.
+  double solver_iterations = 0.0;  ///< Cost-solver fixed-point iterations.
+  double step_seconds = 0.0;       ///< Wall time of this step.
+};
+
+/// Key/value metadata stamped into the header line (strategy, dataset,
+/// γ/λ/cost-rate, seed, planned steps).
+struct RunLogMeta {
+  std::string run_id;
+  std::string strategy;
+  std::string dataset;
+  double gamma = 0.0;
+  double lambda = 0.0;
+  double cost_rate = 0.0;
+  int64_t seed = 0;
+  int64_t steps = 0;
+};
+
+#ifndef PPN_OBS_DISABLED
+
+class RunLog {
+ public:
+  /// Opens a run log writing to `path` (atomically, via a .tmp sibling).
+  /// Returns null — callers must tolerate it — when `obs::Enabled()` is
+  /// false or the file cannot be opened. The header line is written
+  /// immediately.
+  static std::unique_ptr<RunLog> Open(const std::string& path,
+                                      const RunLogMeta& meta);
+
+  /// Drains and commits if `Close` was not called.
+  ~RunLog();
+
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
+  /// Enqueues one step record. Blocks when the queue is full
+  /// (backpressure — records are never dropped). Thread-compatible: one
+  /// producer per RunLog, which is how trainers use it.
+  void Append(const RunLogRecord& record);
+
+  /// Drains the queue, joins the writer, commits the file (atomic
+  /// rename). Returns false if any write failed. Idempotent.
+  bool Close();
+
+  /// Final target path.
+  const std::string& path() const { return path_; }
+
+ private:
+  RunLog(std::string path, const RunLogMeta& meta);
+
+  void WriterLoop();
+
+  std::string path_;
+  std::unique_ptr<AtomicFileWriter> file_;
+
+  std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<RunLogRecord> queue_;
+  bool closing_ = false;
+  bool closed_ = false;
+  bool ok_ = true;
+  std::thread writer_;
+};
+
+#else  // PPN_OBS_DISABLED: the logger compiles to nothing.
+
+class RunLog {
+ public:
+  static std::unique_ptr<RunLog> Open(const std::string&,
+                                      const RunLogMeta&) {
+    return nullptr;
+  }
+  void Append(const RunLogRecord&) {}
+  bool Close() { return true; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+#endif  // PPN_OBS_DISABLED
+
+}  // namespace ppn::obs
+
+#endif  // PPN_OBS_RUN_LOG_H_

@@ -16,10 +16,14 @@ namespace internal {
 
 std::atomic<bool>& EnabledFlag() {
   // First use decides the default from the environment: an explicit
-  // profile destination or PPN_OBS != "0" turns instrumentation on.
+  // telemetry destination (profile, trace, or run-log) or PPN_OBS != "0"
+  // turns instrumentation on.
   static std::atomic<bool> flag{[] {
-    const char* profile = std::getenv("PPN_PROFILE_JSON");
-    if (profile != nullptr && profile[0] != '\0') return true;
+    for (const char* var :
+         {"PPN_PROFILE_JSON", "PPN_TRACE_JSON", "PPN_RUNLOG_DIR"}) {
+      const char* value = std::getenv(var);
+      if (value != nullptr && value[0] != '\0') return true;
+    }
     const char* obs = std::getenv("PPN_OBS");
     return obs != nullptr && obs[0] != '\0' &&
            !(obs[0] == '0' && obs[1] == '\0');
@@ -133,6 +137,29 @@ struct HistogramAccess {
     }
   }
 };
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count <= 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank in (0, count]; find the bucket whose cumulative count reaches it.
+  const double rank = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double next = cumulative + static_cast<double>(buckets[i]);
+    if (next >= rank) {
+      const double hi = HistogramBucketUpperBound(i);
+      const double lo = hi * 0.5;
+      const double fraction =
+          (rank - cumulative) / static_cast<double>(buckets[i]);
+      const double value = lo + fraction * (hi - lo);
+      return std::min(std::max(value, min), max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
 
 TraceRing::TraceRing(std::array<std::string, 4> fields, int64_t capacity)
     : fields_(std::move(fields)), capacity_(capacity) {
@@ -306,12 +333,15 @@ Snapshot TakeSnapshot() {
     }
   }
   // Same-named rings on several threads concatenate in shard-registration
-  // order; sort by step so the snapshot is independent of thread count.
+  // order, which follows thread start order — not deterministic. Sort by
+  // step AND values so equal-step points also land in a fixed order and
+  // profile files diff cleanly across runs and worker counts.
   for (auto& [name, trace] : snapshot.traces) {
-    std::stable_sort(trace.points.begin(), trace.points.end(),
-                     [](const TracePoint& a, const TracePoint& b) {
-                       return a.step < b.step;
-                     });
+    std::sort(trace.points.begin(), trace.points.end(),
+              [](const TracePoint& a, const TracePoint& b) {
+                if (a.step != b.step) return a.step < b.step;
+                return a.values < b.values;
+              });
   }
   // Drop empty histogram entries (created but never observed).
   for (auto it = snapshot.histograms.begin();
@@ -398,6 +428,12 @@ std::string SnapshotToJson(const Snapshot& snapshot) {
     AppendNumber(&out, histogram.min);
     out << ", \"max\": ";
     AppendNumber(&out, histogram.max);
+    out << ", \"p50\": ";
+    AppendNumber(&out, histogram.Percentile(0.50));
+    out << ", \"p95\": ";
+    AppendNumber(&out, histogram.Percentile(0.95));
+    out << ", \"p99\": ";
+    AppendNumber(&out, histogram.Percentile(0.99));
     out << ", \"buckets\": [";
     bool first_bucket = true;
     for (int i = 0; i < kHistogramBuckets; ++i) {

@@ -213,6 +213,13 @@ struct HistogramSnapshot {
   double min = 0.0;
   double max = 0.0;
   std::array<int64_t, kHistogramBuckets> buckets{};
+
+  /// Percentile estimate for quantile `q` in [0, 1]: finds the log2
+  /// bucket containing rank q·count, interpolates linearly inside it,
+  /// and clamps to the observed [min, max] (so p0 = min, p100 = max and
+  /// single-value histograms report that value at every quantile).
+  /// Resolution is bounded by the 2× bucket width. Returns 0 when empty.
+  double Percentile(double q) const;
 };
 
 /// Merged view of one trace (same-named rings concatenate, sorted by

@@ -1,10 +1,12 @@
 #include "ppn/ddpg.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "backtest/costs.h"
 #include "ckpt/state_io.h"
 #include "common/check.h"
+#include "obs/trace.h"
 
 namespace ppn::core {
 
@@ -236,7 +238,7 @@ void DdpgTrainer::LearnStep() {
     ag::Var q = critic_->Forward(w, p, a);
     ag::Var loss = ag::Neg(ag::MeanAll(q));
     ag::Backward(loss);
-    actor_optimizer_->ClipGradNorm(5.0);
+    last_actor_grad_norm_ = actor_optimizer_->ClipGradNorm(5.0);
     actor_optimizer_->Step();
   }
 
@@ -245,6 +247,11 @@ void DdpgTrainer::LearnStep() {
 }
 
 double DdpgTrainer::TrainStep() {
+  obs::Span step_span("ddpg.step");
+  step_span.AddArg("step", static_cast<double>(steps_done_));
+  const bool logging = run_log_ != nullptr;
+  const auto step_start = logging ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   const backtest::CostModel costs =
       backtest::CostModel::Uniform(config_.cost_rate);
   const int64_t step = steps_done_;
@@ -279,8 +286,12 @@ double DdpgTrainer::TrainStep() {
   if (t >= 2) {
     prev_hat = backtest::DriftPortfolio(previous_action_, relatives_[t - 1]);
   }
-  const double omega =
-      backtest::SolveNetWealthFactor(prev_hat, action, costs);
+  const backtest::NetWealthSolve solve =
+      backtest::SolveNetWealthFactorDetailed(prev_hat, action, costs);
+  PPN_CHECK(solve.converged)
+      << "net-wealth fixed point did not converge after " << solve.iterations
+      << " iterations";
+  const double omega = solve.omega;
   double gross = 0.0;
   for (int64_t i = 0; i <= num_assets_; ++i) {
     gross += action[i] * relatives_[t][i];
@@ -316,6 +327,19 @@ double DdpgTrainer::TrainStep() {
   // --- Learning. --------------------------------------------------------
   if (static_cast<int64_t>(buffer_.size()) >= config_.warmup) {
     LearnStep();
+  }
+  step_span.AddArg("reward", reward);
+  if (logging) {
+    obs::RunLogRecord record;
+    record.step = steps_done_;
+    record.reward_total = reward;
+    record.reward_log_return = reward;
+    record.grad_norm = last_actor_grad_norm_;
+    record.solver_iterations = static_cast<double>(solve.iterations);
+    record.step_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - step_start)
+                              .count();
+    run_log_->Append(record);
   }
   ++steps_done_;
   return reward;

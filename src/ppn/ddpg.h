@@ -10,6 +10,7 @@
 #include "nn/conv.h"
 #include "nn/linear.h"
 #include "nn/optimizer.h"
+#include "obs/run_log.h"
 #include "ppn/policy_module.h"
 #include "ppn/reward.h"
 
@@ -94,6 +95,14 @@ class DdpgTrainer {
     return tail_count_ > 0 ? tail_sum_ / tail_count_ : 0.0;
   }
 
+  /// Attaches a per-step telemetry sink (nullptr detaches). NOT owned;
+  /// must outlive the trainer or be detached first. The per-period reward
+  /// is logged as both total and log-return (Eq. 1's batch-statistic
+  /// variance/turnover terms have no per-period analogue here and stay
+  /// 0); grad_norm is the actor's pre-clip norm from the latest learn
+  /// step. Purely observational — never changes training results.
+  void AttachRunLog(obs::RunLog* run_log) { run_log_ = run_log; }
+
   /// Serializes the complete DDPG state — actor/critic and both target
   /// networks, both Adam optimizers, the RNG streams (exploration, the
   /// internally owned target-net dropout stream, and the externally owned
@@ -150,6 +159,11 @@ class DdpgTrainer {
   int64_t steps_done_ = 0;
   double tail_sum_ = 0.0;
   int64_t tail_count_ = 0;
+
+  /// Telemetry only (not checkpointed): the actor's pre-clip gradient
+  /// norm from the most recent LearnStep, and the attached run log.
+  double last_actor_grad_norm_ = 0.0;
+  obs::RunLog* run_log_ = nullptr;
 };
 
 }  // namespace ppn::core

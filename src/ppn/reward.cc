@@ -30,16 +30,21 @@ ag::Var CostSensitiveReward(const ag::Var& actions, const RewardInputs& inputs,
   Tensor omega_rows({periods, width});  // ω̄_t broadcast across columns.
   std::vector<double> action_row(width);
   std::vector<double> prev_row(width);
+  int64_t solver_iterations = 0;
   for (int64_t t = 0; t < periods; ++t) {
     for (int64_t i = 0; i < width; ++i) {
       action_row[i] = actions->value()[t * width + i];
       prev_row[i] = inputs.prev_hat[t * width + i];
     }
-    const double omega =
-        backtest::SolveNetWealthFactor(prev_row, action_row, costs);
-    if (omegas != nullptr) omegas->push_back(omega);
+    const backtest::NetWealthSolve solve =
+        backtest::SolveNetWealthFactorDetailed(prev_row, action_row, costs);
+    PPN_CHECK(solve.converged)
+        << "net-wealth fixed point did not converge after " << solve.iterations
+        << " iterations";
+    solver_iterations += solve.iterations;
+    if (omegas != nullptr) omegas->push_back(solve.omega);
     for (int64_t i = 0; i < width; ++i) {
-      omega_rows.MutableData()[t * width + i] = static_cast<float>(omega);
+      omega_rows.MutableData()[t * width + i] = static_cast<float>(solve.omega);
     }
   }
 
@@ -88,6 +93,7 @@ ag::Var CostSensitiveReward(const ag::Var& actions, const RewardInputs& inputs,
     breakdown->variance = ag::ScalarValue(variance_term);
     breakdown->mean_turnover = ag::ScalarValue(turnover_term);
     breakdown->total = ag::ScalarValue(reward);
+    breakdown->solver_iterations = solver_iterations;
   }
   return reward;
 }

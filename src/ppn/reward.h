@@ -50,6 +50,10 @@ struct RewardBreakdown {
   double variance = 0.0;
   double mean_turnover = 0.0;
   double total = 0.0;
+  /// Total cost-solver fixed-point iterations across the batch's periods
+  /// (telemetry: a drift upward means actions are moving further from
+  /// â_{t-1} and the ω_t solve is working harder).
+  int64_t solver_iterations = 0;
 };
 
 /// Builds the scalar reward node from the policy's batched actions

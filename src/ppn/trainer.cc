@@ -1,11 +1,13 @@
 #include "ppn/trainer.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "backtest/costs.h"
 #include "ckpt/state_io.h"
 #include "common/check.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn::core {
 
@@ -30,6 +32,7 @@ PolicyGradientTrainer::PolicyGradientTrainer(
       first_period_(policy->config().window),
       last_period_(dataset.train_end),
       pvm_(dataset.panel.num_periods(), policy->config().num_assets),
+      pvm_write_step_(static_cast<size_t>(dataset.panel.num_periods()), -1),
       rng_(config_.seed) {
   config_.Validate();
   PPN_CHECK(policy != nullptr);
@@ -67,6 +70,13 @@ Tensor PolicyGradientTrainer::BatchWindows(int64_t t0) const {
 
 double PolicyGradientTrainer::TrainStep() {
   obs::ScopedTimer step_timer("trainer.step.seconds");
+  obs::Span step_span("trainer.step");
+  step_span.AddArg("step", static_cast<double>(steps_done_));
+  // The wall clock for the run log is read explicitly (not via the
+  // ScopedTimer) so the record carries this step's own duration.
+  const bool logging = run_log_ != nullptr;
+  const auto step_start = logging ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
   const int64_t batch = config_.batch_size;
   const int64_t min_start = first_period_;
   const int64_t max_start = last_period_ - batch;  // Inclusive.
@@ -121,8 +131,20 @@ double PolicyGradientTrainer::TrainStep() {
                                        &breakdown);
   ag::Var loss = ag::Neg(reward);
   ag::Backward(loss);
-  optimizer_->ClipGradNorm(config_.grad_clip);
+  const double grad_norm = optimizer_->ClipGradNorm(config_.grad_clip);
   optimizer_->Step();
+
+  // Staleness of the recursive a_{t-1} inputs this batch consumed: how
+  // many steps ago each row's PVM entry was last rewritten (reads the
+  // pre-update write steps, so it describes what Forward actually saw).
+  double pvm_staleness = 0.0;
+  if (logging) {
+    for (int64_t b = 0; b < batch; ++b) {
+      pvm_staleness += static_cast<double>(
+          steps_done_ - pvm_write_step_[static_cast<size_t>(t0 + b - 1)]);
+    }
+    pvm_staleness /= static_cast<double>(batch);
+  }
 
   // Refresh the portfolio vector memory with the new actions.
   for (int64_t b = 0; b < batch; ++b) {
@@ -131,6 +153,7 @@ double PolicyGradientTrainer::TrainStep() {
       action[i] = actions->value()[b * (num_assets_ + 1) + i];
     }
     pvm_.Set(t0 + b, std::move(action));
+    pvm_write_step_[static_cast<size_t>(t0 + b)] = steps_done_;
   }
   if (obs::Enabled()) {
     static thread_local obs::Counter& steps =
@@ -152,6 +175,23 @@ double PolicyGradientTrainer::TrainStep() {
   if (steps_done_ >= tail_start && steps_done_ < config_.steps) {
     tail_sum_ += breakdown.total;
     ++tail_count_;
+  }
+  step_span.AddArg("reward", breakdown.total);
+  step_span.AddArg("grad_norm", grad_norm);
+  if (logging) {
+    obs::RunLogRecord record;
+    record.step = steps_done_;
+    record.reward_total = breakdown.total;
+    record.reward_log_return = breakdown.mean_log_return;
+    record.reward_variance = breakdown.variance;
+    record.reward_turnover = breakdown.mean_turnover;
+    record.grad_norm = grad_norm;
+    record.pvm_staleness = pvm_staleness;
+    record.solver_iterations = static_cast<double>(breakdown.solver_iterations);
+    record.step_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - step_start)
+                              .count();
+    run_log_->Append(record);
   }
   ++steps_done_;
   return breakdown.total;

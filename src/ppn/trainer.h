@@ -8,6 +8,7 @@
 #include "ckpt/checkpoint.h"
 #include "market/dataset.h"
 #include "nn/optimizer.h"
+#include "obs/run_log.h"
 #include "ppn/policy_module.h"
 #include "ppn/pvm.h"
 #include "ppn/reward.h"
@@ -79,6 +80,13 @@ class PolicyGradientTrainer {
   bool LoadState(ckpt::CheckpointReader* reader, Rng* dropout_rng,
                  std::string* error);
 
+  /// Attaches a per-step telemetry sink (nullptr detaches). NOT owned;
+  /// must outlive the trainer or be detached first. When attached, every
+  /// TrainStep appends one RunLogRecord — reward decomposition, pre-clip
+  /// gradient norm, PVM staleness, solver iterations, wall time. Purely
+  /// observational: attaching a log never changes training results.
+  void AttachRunLog(obs::RunLog* run_log) { run_log_ = run_log; }
+
   /// Portfolio vector memory (exposed for tests).
   const PortfolioVectorMemory& pvm() const { return pvm_; }
 
@@ -99,6 +107,12 @@ class PolicyGradientTrainer {
   int64_t first_period_;
   int64_t last_period_;
   PortfolioVectorMemory pvm_;
+  /// pvm_write_step_[t] is the value of steps_done_ when period t's PVM
+  /// row was last rewritten (-1 = still the uniform initialization).
+  /// Telemetry only — feeds the run log's pvm_staleness field; not part
+  /// of the checkpointed state (staleness restarts after a resume).
+  std::vector<int64_t> pvm_write_step_;
+  obs::RunLog* run_log_ = nullptr;
   Rng rng_;
   std::unique_ptr<nn::Adam> optimizer_;
   /// Steps taken so far; indexes the obs reward-breakdown trace ring.

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/run_log.h"
 #include "ppn/ddpg.h"
 #include "ppn/strategy_adapter.h"
 #include "ppn/trainer.h"
@@ -40,6 +41,27 @@ class OwningPolicyStrategy : public backtest::Strategy {
   TrainedPolicy trained_;
   std::unique_ptr<backtest::Strategy> inner_;
 };
+
+/// Opens the per-step telemetry stream for a training run when the spec
+/// asks for one. Null (and silently so) when the spec has no runlog path,
+/// obs is disabled, or the path cannot be opened — training must never
+/// fail because telemetry could not attach.
+std::unique_ptr<obs::RunLog> OpenRunLog(const StrategySpec& spec,
+                                        const market::MarketDataset& dataset,
+                                        int64_t trainer_seed,
+                                        int64_t trainer_steps) {
+  if (spec.runlog_path.empty()) return nullptr;
+  obs::RunLogMeta meta;
+  meta.run_id = spec.display();
+  meta.strategy = spec.name;
+  meta.dataset = dataset.name;
+  meta.gamma = spec.gamma;
+  meta.lambda = spec.lambda;
+  meta.cost_rate = spec.cost_rate;
+  meta.seed = trainer_seed;
+  meta.steps = trainer_steps;
+  return obs::RunLog::Open(spec.runlog_path, meta);
+}
 
 std::unique_ptr<backtest::Strategy> MakeClassic(const std::string& name) {
   if (name == "UBAH") return std::make_unique<UbahStrategy>();
@@ -83,7 +105,11 @@ TrainedPolicy TrainPolicyGradient(const StrategySpec& spec,
   // reward's differentiable cost + explicit L1 constraint.
   tc.reward.differentiable_cost = variant != core::PolicyVariant::kEiie;
   core::PolicyGradientTrainer trainer(policy.get(), dataset, tc);
+  std::unique_ptr<obs::RunLog> run_log =
+      OpenRunLog(spec, dataset, static_cast<int64_t>(tc.seed), tc.steps);
+  if (run_log != nullptr) trainer.AttachRunLog(run_log.get());
   trainer.Train();
+  if (run_log != nullptr) run_log->Close();
   return TrainedPolicy(std::move(dropout), std::move(policy));
 }
 
@@ -102,7 +128,11 @@ TrainedPolicy TrainActorCritic(const StrategySpec& spec,
   config.cost_rate = spec.cost_rate;
   config.seed = spec.seed * 5 + 1;
   core::DdpgTrainer trainer(actor.get(), dataset, config);
+  std::unique_ptr<obs::RunLog> run_log = OpenRunLog(
+      spec, dataset, static_cast<int64_t>(config.seed), config.steps);
+  if (run_log != nullptr) trainer.AttachRunLog(run_log.get());
   trainer.Train();
+  if (run_log != nullptr) run_log->Close();
   return TrainedPolicy(std::move(dropout), std::move(actor));
 }
 

@@ -43,6 +43,12 @@ struct StrategySpec {
   uint64_t seed = 1;          ///< Root seed of every RNG stream in the run.
   RunScale scale = RunScale::kQuick;  ///< Budget tier (see run_scale.h).
 
+  /// When non-empty AND obs is enabled, training streams one
+  /// `obs::RunLogRecord` per step to this JSONL path (see
+  /// obs/run_log.h). Telemetry only — never affects training results.
+  /// Ignored for classic baselines (nothing trains).
+  std::string runlog_path;
+
   /// The label used in tables and cell keys.
   const std::string& display() const { return label.empty() ? name : label; }
 

@@ -6,6 +6,7 @@
 #include "common/check.h"
 #include "common/parallel.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 
 namespace ppn {
 
@@ -171,6 +172,12 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   PPN_CHECK_EQ(k, b.dim(0)) << "MatMul inner dims " << ShapeToString(a.shape())
                             << " x " << ShapeToString(b.shape());
   RecordMatMul(m, n, k);
+  // Matmuls run at very high frequency; only trace the ones big enough to
+  // show up on a timeline.
+  obs::Span span("tensor.matmul", /*min_duration_us=*/20.0);
+  span.AddArg("m", static_cast<double>(m));
+  span.AddArg("n", static_cast<double>(n));
+  span.AddArg("k", static_cast<double>(k));
   Tensor out = Tensor::Uninitialized({m, n});
   BlockedMatMul<false>(a.Data(), k, b.Data(), n, out.MutableData(), m, n, k);
   return out;
@@ -184,6 +191,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(1);
   PPN_CHECK_EQ(k, b.dim(0));
   RecordMatMul(m, n, k);
+  obs::Span span("tensor.matmul_ta", /*min_duration_us=*/20.0);
   Tensor out = Tensor::Uninitialized({m, n});
   // a is [k, m]: A(i,p) = a[p*m + i], contiguous across the register
   // block's i dimension.
@@ -199,6 +207,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t n = b.dim(0);
   PPN_CHECK_EQ(k, b.dim(1));
   RecordMatMul(m, n, k);
+  obs::Span span("tensor.matmul_tb", /*min_duration_us=*/20.0);
   // B's rows are the dot-product operands here, so the j-contiguous
   // blocked kernel needs B^T. The transpose costs n*k against the m*n*k
   // multiply: a clear win whenever several output rows amortize it. For
@@ -440,6 +449,7 @@ Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
         obs::GetCounter("tensor.im2col.calls");
     calls.Add(1.0);
   }
+  obs::Span span("tensor.im2col", /*min_duration_us=*/20.0);
   // Every column element is written (out-of-bounds taps store 0.0f).
   Tensor columns = Tensor::Uninitialized({n * out_h * out_w, patch});
   const float* pi = input.Data();

@@ -201,6 +201,9 @@ TEST(CostSolverTest, NormalPsiIterationCountIsSmall) {
 }
 
 TEST(CostSolverTest, SolvesAreCountedInObsRegistry) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   obs::ScopedObsEnable enable;
   obs::ResetAll();
   const std::vector<double> prev = {0.2, 0.5, 0.3};

@@ -1,0 +1,79 @@
+#include "common/json.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace ppn {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson("null", &value));
+  EXPECT_TRUE(value.is_null());
+  ASSERT_TRUE(ParseJson("true", &value));
+  EXPECT_TRUE(value.AsBool());
+  ASSERT_TRUE(ParseJson("false", &value));
+  EXPECT_FALSE(value.AsBool());
+  ASSERT_TRUE(ParseJson("42", &value));
+  EXPECT_DOUBLE_EQ(value.AsNumber(), 42.0);
+  ASSERT_TRUE(ParseJson("-1.5e-3", &value));
+  EXPECT_DOUBLE_EQ(value.AsNumber(), -1.5e-3);
+  ASSERT_TRUE(ParseJson("\"hi\"", &value));
+  EXPECT_EQ(value.AsString(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedContainers) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(
+      R"({"a": [1, 2, {"b": "x"}], "c": {"d": null}, "e": -0.25})", &value));
+  ASSERT_TRUE(value.is_object());
+  const JsonValue* a = value.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->AsArray().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->AsArray()[0].AsNumber(), 1.0);
+  EXPECT_EQ(a->AsArray()[2].StringOr("b", ""), "x");
+  EXPECT_TRUE(value.Find("c")->Find("d")->is_null());
+  EXPECT_DOUBLE_EQ(value.NumberOr("e", 0.0), -0.25);
+  EXPECT_DOUBLE_EQ(value.NumberOr("missing", 7.0), 7.0);
+}
+
+TEST(JsonTest, ParsesStringEscapes) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(R"("a\"b\\c\n\tA")", &value));
+  EXPECT_EQ(value.AsString(), "a\"b\\c\n\tA");
+}
+
+TEST(JsonTest, RoundTripsSeventeenDigitDoubles) {
+  // The RunLog writes %.17g; the parser must read those back bit-exactly.
+  const double original = 0.1234567890123456789;
+  char text[64];
+  std::snprintf(text, sizeof(text), "%.17g", original);
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(text, &value));
+  EXPECT_EQ(value.AsNumber(), original);
+}
+
+TEST(JsonTest, RejectsMalformedInput) {
+  JsonValue value;
+  std::string error;
+  EXPECT_FALSE(ParseJson("", &value, &error));
+  EXPECT_FALSE(ParseJson("{", &value, &error));
+  EXPECT_FALSE(ParseJson("[1, ]", &value, &error));
+  EXPECT_FALSE(ParseJson("{\"a\" 1}", &value, &error));
+  EXPECT_FALSE(ParseJson("nulL", &value, &error));
+  EXPECT_FALSE(ParseJson("1 2", &value, &error));  // Trailing garbage.
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonTest, FindChecksObjectAndReturnsFirstMatch) {
+  JsonValue value;
+  ASSERT_TRUE(ParseJson(R"({"k": 1, "k": 2})", &value));
+  ASSERT_NE(value.Find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(value.Find("k")->AsNumber(), 1.0);
+  EXPECT_EQ(value.Find("absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace ppn

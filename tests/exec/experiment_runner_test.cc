@@ -151,7 +151,9 @@ TEST(ExperimentRunnerTest, DeterminismHoldsWithInstrumentationEnabled) {
   const std::vector<CellResult> parallel_rows = ExperimentRunner(4).Run(spec);
   ExpectIdenticalRows(inline_rows, parallel_rows);
   ExpectIdenticalRows(plain_rows, inline_rows);
-  // And the instrumentation did actually record the cells.
+#ifndef PPN_OBS_DISABLED
+  // And the instrumentation did actually record the cells (unless it was
+  // compiled out, in which case the determinism checks above still ran).
   const obs::Snapshot snapshot = obs::TakeSnapshot();
   EXPECT_EQ(snapshot.counters.at("exec.cells.completed"),
             static_cast<double>(2 * inline_rows.size()));
@@ -159,6 +161,7 @@ TEST(ExperimentRunnerTest, DeterminismHoldsWithInstrumentationEnabled) {
   EXPECT_EQ(snapshot.histograms.at("exec.cell.seconds").count,
             static_cast<int64_t>(2 * inline_rows.size()));
   obs::ResetAll();
+#endif
 }
 
 TEST(ExperimentRunnerTest, KeepRecordsRetainsWealthCurves) {

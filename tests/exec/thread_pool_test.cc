@@ -162,6 +162,9 @@ TEST(DefaultWorkerCountDeathTest, MalformedValueAborts) {
 }
 
 TEST(ThreadPoolObsTest, RecordsQueueDepthAndTaskTimings) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   obs::ScopedObsEnable enable;
   obs::ResetAll();
   constexpr int kTasks = 16;

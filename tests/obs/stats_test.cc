@@ -122,7 +122,48 @@ TEST_F(ObsStatsTest, HistogramMergesAcrossThreads) {
   EXPECT_DOUBLE_EQ(merged.max, 100.0);
 }
 
+TEST_F(ObsStatsTest, PercentileOfSingleValueHistogramIsThatValue) {
+  Histogram& histogram = GetHistogram("t.pct.single");
+  histogram.Observe(3.0);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.pct.single");
+  // The [min, max] clamp collapses every quantile onto the lone value.
+  EXPECT_DOUBLE_EQ(merged.Percentile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(merged.Percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(merged.Percentile(0.95), 3.0);
+  EXPECT_DOUBLE_EQ(merged.Percentile(1.0), 3.0);
+}
+
+TEST_F(ObsStatsTest, PercentilesAreMonotoneAndBucketAccurate) {
+  Histogram& histogram = GetHistogram("t.pct.uniform");
+  for (int i = 1; i <= 100; ++i) histogram.Observe(static_cast<double>(i));
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.pct.uniform");
+  EXPECT_DOUBLE_EQ(merged.Percentile(0.0), 1.0);    // p0 = min.
+  EXPECT_DOUBLE_EQ(merged.Percentile(1.0), 100.0);  // p100 = max.
+  const double p50 = merged.Percentile(0.50);
+  const double p95 = merged.Percentile(0.95);
+  const double p99 = merged.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, merged.max);
+  // Log2 buckets bound resolution to 2x: the true median 50 lies in
+  // bucket [32, 64), the true p99 of 100 in [64, 128) clamped to 100.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+  EXPECT_GE(p99, 64.0);
+  EXPECT_LE(p99, 100.0);
+}
+
+TEST_F(ObsStatsTest, PercentileOfEmptyHistogramIsZero) {
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+}
+
 TEST_F(ObsStatsTest, ScopedTimerObservesElapsedSeconds) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   {
     ScopedTimer timer("t.timer.span");
     // Do a little real work so the span is strictly positive.
@@ -196,6 +237,30 @@ TEST_F(ObsStatsTest, TraceMergeSortsByStepAcrossThreads) {
   EXPECT_EQ(merged.fields[0], "v");
 }
 
+TEST_F(ObsStatsTest, TraceMergeBreaksStepTiesByValues) {
+  // Two threads record the SAME steps with different values (e.g. two
+  // shards of a ring that raced); the merged order must not depend on
+  // which thread's shard is visited first — ties sort by values.
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([i] {
+      TraceRing& ring = GetTraceRing("t.trace.ties", {{"v", "", "", ""}}, 8);
+      const double value = (i == 0) ? 5.0 : 3.0;
+      ring.Append(0, value);
+      ring.Append(1, value);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const TraceSnapshot merged = TakeSnapshot().traces.at("t.trace.ties");
+  ASSERT_EQ(merged.points.size(), 4u);
+  EXPECT_EQ(merged.points[0].step, 0);
+  EXPECT_DOUBLE_EQ(merged.points[0].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(merged.points[1].values[0], 5.0);
+  EXPECT_EQ(merged.points[2].step, 1);
+  EXPECT_DOUBLE_EQ(merged.points[2].values[0], 3.0);
+  EXPECT_DOUBLE_EQ(merged.points[3].values[0], 5.0);
+}
+
 TEST_F(ObsStatsTest, ResetAllZeroesEverythingButKeepsHandles) {
   Counter& counter = GetCounter("t.reset.counter");
   counter.Add(7.0);
@@ -219,6 +284,10 @@ TEST_F(ObsStatsTest, SnapshotToJsonContainsAllSections) {
   EXPECT_NE(json.find("\"t.json.gauge\": 1.5"), std::string::npos);
   EXPECT_NE(json.find("\"t.json.hist\""), std::string::npos);
   EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  // Percentile estimates ride along in every histogram section.
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p95\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
   EXPECT_NE(json.find("\"t.json.trace\""), std::string::npos);
   EXPECT_NE(json.find("\"x\": 42"), std::string::npos);
 }

@@ -123,6 +123,9 @@ TEST(PoolTest, BytesInUseTracksLiveBuffers) {
 }
 
 TEST(PoolObsTest, CountersExportedWhenObsEnabled) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   obs::ScopedObsEnable enable;
   obs::ResetAll();
   pool::TrimThreadCache();

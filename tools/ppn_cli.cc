@@ -11,7 +11,8 @@
 //                     [--strategies UBAH,EIIE,PPN --costs 0.0025,0.01
 //                      --seeds 1,2 --steps 400 --gamma 1e-3 --lambda 1e-4
 //                      --workers 4 --json results.json
-//                      --checkpoint-dir ckpt]
+//                      --checkpoint-dir ckpt --telemetry-dir telemetry]
+//   ppn_cli report    --dir telemetry [--window 50 --trace trace.json]
 //
 // `--dataset` accepts crypto-a/b/c/d and sp500 (generated presets honoring
 // PPN_SCALE), or `--data <prefix>` to load a panel saved by `generate`.
@@ -26,6 +27,14 @@
 // final policy bit-identical to an uninterrupted run. `sweep
 // --checkpoint-dir` checkpoints each finished cell; rerunning the same
 // sweep after a kill recomputes only the unfinished cells.
+//
+// Telemetry: `sweep --telemetry-dir <dir>` enables obs and streams one
+// per-step JSONL run log per trained cell into <dir> (schema
+// ppn.runlog.v1, see obs/run_log.h); `report --dir <dir>` summarizes the
+// logs (final-step reward decomposition, turnover trajectory, step
+// timing), and `report --trace <file>` lists the slowest spans of a
+// Chrome trace captured via PPN_TRACE_JSON=<file> (open the file itself
+// in ui.perfetto.dev for the timeline).
 
 #include <cstdio>
 #include <cstdlib>
@@ -43,7 +52,9 @@
 #include "exec/thread_pool.h"
 #include "market/io.h"
 #include "market/presets.h"
+#include "obs/report.h"
 #include "obs/stats.h"
+#include "obs/trace.h"
 #include "ppn/strategy_adapter.h"
 #include "ppn/trainer.h"
 #include "strategies/registry.h"
@@ -349,6 +360,17 @@ int CmdSweep(const Flags& flags) {
   }
 
   spec.checkpoint_dir = FlagOr(flags, "checkpoint-dir", "");
+  spec.telemetry_dir = FlagOr(flags, "telemetry-dir", "");
+  if (spec.telemetry_dir.empty()) {
+    // Env-var spelling, for parity with the bench binaries.
+    if (const char* dir = std::getenv("PPN_RUNLOG_DIR");
+        dir != nullptr && dir[0] != '\0') {
+      spec.telemetry_dir = dir;
+    }
+  }
+  // Asking for run logs implies turning the obs layer on (RunLog::Open is
+  // gated on obs::Enabled(), like every other sink).
+  if (!spec.telemetry_dir.empty()) obs::SetEnabled(true);
 
   const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
   const exec::ExperimentRunner runner(
@@ -390,10 +412,47 @@ int CmdSweep(const Flags& flags) {
   return 0;
 }
 
+int CmdReport(const Flags& flags) {
+  const std::string dir = FlagOr(flags, "dir", "");
+  const std::string trace = FlagOr(flags, "trace", "");
+  if (dir.empty() && trace.empty()) {
+    std::fprintf(stderr,
+                 "report needs --dir <telemetry-dir> and/or --trace "
+                 "<trace.json>\n");
+    return 2;
+  }
+  const int64_t window =
+      static_cast<int64_t>(NumFlagOr(flags, "window", 50));
+  std::vector<obs::RunLogSummary> cells;
+  if (!dir.empty()) {
+    std::vector<std::string> errors;
+    cells = obs::SummarizeRunLogDir(dir, window, &errors);
+    for (const std::string& error : errors) {
+      std::fprintf(stderr, "warning: %s\n", error.c_str());
+    }
+    if (cells.empty()) {
+      std::fprintf(stderr, "no readable *.runlog.jsonl files in %s\n",
+                   dir.c_str());
+      return 1;
+    }
+  }
+  std::vector<obs::SpanStat> spans;
+  if (!trace.empty()) {
+    std::string error;
+    if (!obs::SummarizeTrace(trace, &spans, &error)) {
+      std::fprintf(stderr, "cannot summarize trace %s: %s\n", trace.c_str(),
+                   error.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s", obs::RenderReport(cells, spans).c_str());
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppn_cli <generate|train|backtest|baselines|sweep> "
-               "[--flag value ...]\n"
+               "usage: ppn_cli <generate|train|backtest|baselines|sweep|"
+               "report> [--flag value ...]\n"
                "see the header comment of tools/ppn_cli.cc for details\n");
 }
 
@@ -412,10 +471,15 @@ int main(int argc, char** argv) {
   else if (command == "backtest") status = CmdBacktest(flags);
   else if (command == "baselines") status = CmdBaselines(flags);
   else if (command == "sweep") status = CmdSweep(flags);
+  else if (command == "report") status = CmdReport(flags);
   else Usage();
   if (ppn::obs::WriteProfileIfRequested()) {
     std::fprintf(stderr, "profile written to %s\n",
                  std::getenv("PPN_PROFILE_JSON"));
+  }
+  if (ppn::obs::WriteTraceIfRequested()) {
+    std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
+                 std::getenv("PPN_TRACE_JSON"));
   }
   return status;
 }
