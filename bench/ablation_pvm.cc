@@ -28,12 +28,13 @@ class FrozenPrevStrategy : public backtest::Strategy {
     (void)first_period;
     policy_->SetTraining(false);
   }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override {
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override {
     (void)prev_hat;
     const int64_t m = policy_->config().num_assets;
     const int64_t k = policy_->config().window;
-    Tensor window = market::NormalizedWindow(panel, period - 1, k);
+    Tensor window = market::NormalizedWindow(view.panel, view.period - 1, k);
     Tensor prev = Tensor::Full({1, m}, 1.0f / static_cast<float>(m));
     ag::Var out = policy_->Forward(
         ag::Constant(window.Reshaped({1, m, k, market::kNumPriceFields})),

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/csv.h"
+#include "common/env.h"
 #include "exec/thread_pool.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -71,11 +72,11 @@ BenchContext::BenchContext(std::string title)
 BenchContext::~BenchContext() {
   if (obs::WriteProfileIfRequested()) {
     std::fprintf(stderr, "profile written to %s\n",
-                 std::getenv("PPN_PROFILE_JSON"));
+                 env::StringOr("PPN_PROFILE_JSON", "").c_str());
   }
   if (obs::WriteTraceIfRequested()) {
     std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
-                 std::getenv("PPN_TRACE_JSON"));
+                 env::StringOr("PPN_TRACE_JSON", "").c_str());
   }
 }
 
@@ -94,16 +95,12 @@ std::vector<exec::CellResult> BenchContext::Run(
   // `PPN_RUNLOG_DIR=<dir>` streams one per-step JSONL run log per trained
   // cell there (see obs/run_log.h; summarize with `ppn_cli report`).
   if (spec.telemetry_dir.empty()) {
-    if (const char* dir = std::getenv("PPN_RUNLOG_DIR");
-        dir != nullptr && dir[0] != '\0') {
-      spec.telemetry_dir = dir;
-    }
+    spec.telemetry_dir = env::StringOr("PPN_RUNLOG_DIR", "");
   }
   std::vector<exec::CellResult> rows = runner_.Run(spec);
-  if (const char* dir = std::getenv("PPN_RESULTS_JSON");
-      dir != nullptr && dir[0] != '\0') {
-    const std::string path =
-        std::string(dir) + "/" + SlugFromTitle(spec.title) + ".cells.json";
+  if (env::HasValue("PPN_RESULTS_JSON")) {
+    const std::string path = env::StringOr("PPN_RESULTS_JSON", "") + "/" +
+                             SlugFromTitle(spec.title) + ".cells.json";
     if (!exec::WriteResultsJson(path, rows)) {
       std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
     }

@@ -10,6 +10,7 @@
 #include "common/random.h"
 #include "nn/conv.h"
 #include "nn/lstm.h"
+#include "ppn/policy_module.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
 
@@ -191,6 +192,97 @@ void BM_Concat(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Concat);
+
+// --- Autograd bookkeeping: tape-recording vs InferenceMode. --------------
+// A deep chain of small elementwise ops isolates what the tape itself
+// costs: per-op Node allocation, parent links, backward closures, and —
+// the dominant term — every intermediate staying alive until the graph is
+// dropped, defeating the pool's buffer reuse. Under ag::InferenceMode the
+// same chain recycles two buffers and keeps no graph.
+
+void BM_AutogradChainTape(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  Rng rng(1);
+  const ag::Var weight = ag::Parameter(RandomNormal({64}, 0.0f, 0.1f, &rng));
+  for (auto _ : state) {
+    ag::Var x = ag::Constant(Tensor::Full({64}, 0.5f));
+    for (int64_t i = 0; i < depth; ++i) {
+      x = ag::Tanh(ag::Mul(x, weight));
+    }
+    benchmark::DoNotOptimize(x->value().Data());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_AutogradChainTape)->Arg(256);
+
+void BM_AutogradChainInferenceMode(benchmark::State& state) {
+  const int64_t depth = state.range(0);
+  Rng rng(1);
+  const ag::Var weight = ag::Parameter(RandomNormal({64}, 0.0f, 0.1f, &rng));
+  for (auto _ : state) {
+    ag::InferenceMode inference;
+    ag::Var x = ag::Constant(Tensor::Full({64}, 0.5f));
+    for (int64_t i = 0; i < depth; ++i) {
+      x = ag::Tanh(ag::Mul(x, weight));
+    }
+    benchmark::DoNotOptimize(x->value().Data());
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_AutogradChainInferenceMode)->Arg(256);
+
+// --- Full policy forward: tape-recording vs InferenceMode. ---------------
+// The pair quantifies what ag::InferenceMode buys a serving forward: no
+// tape nodes, no parent links, eagerly-freed intermediates. Same weights,
+// same inputs, bit-identical outputs — only the autograd bookkeeping
+// differs.
+
+core::PolicyConfig BenchPolicyConfig() {
+  core::PolicyConfig config;
+  config.variant = core::PolicyVariant::kPpn;
+  config.num_assets = 11;
+  config.window = 30;
+  return config;
+}
+
+void BM_PolicyForwardTape(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const core::PolicyConfig config = BenchPolicyConfig();
+  Rng init(1), dropout(2), data(3);
+  auto policy = core::MakePolicy(config, &init, &dropout);
+  policy->SetTraining(false);
+  const Tensor windows = RandomNormal(
+      {batch, config.num_assets, config.window, 4}, 1.0f, 0.01f, &data);
+  const Tensor prev =
+      Tensor::Full({batch, config.num_assets},
+                   1.0f / static_cast<float>(config.num_assets));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy->Forward(ag::Constant(windows), ag::Constant(prev)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PolicyForwardTape)->Arg(1)->Arg(64);
+
+void BM_PolicyForwardInferenceMode(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  const core::PolicyConfig config = BenchPolicyConfig();
+  Rng init(1), dropout(2), data(3);
+  auto policy = core::MakePolicy(config, &init, &dropout);
+  policy->SetTraining(false);
+  const Tensor windows = RandomNormal(
+      {batch, config.num_assets, config.window, 4}, 1.0f, 0.01f, &data);
+  const Tensor prev =
+      Tensor::Full({batch, config.num_assets},
+                   1.0f / static_cast<float>(config.num_assets));
+  for (auto _ : state) {
+    ag::InferenceMode inference;
+    benchmark::DoNotOptimize(
+        policy->Forward(ag::Constant(windows), ag::Constant(prev)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PolicyForwardInferenceMode)->Arg(1)->Arg(64);
 
 void BM_CostFixedPoint(benchmark::State& state) {
   Rng rng(1);

@@ -1,0 +1,99 @@
+// Serving-engine benchmark (google-benchmark): decisions/second and
+// decision-latency percentiles for the batched grad-free PortfolioServer
+// at paper scale (11 assets, 30-period windows). Each iteration ticks
+// every user once (submit -> batched forward -> per-user ψ accounting);
+// when the synthetic feed runs out the server is rebuilt off the clock.
+//
+// Reported counters: items/sec is decisions/sec; p50/p95/p99_ms are exact
+// percentiles over the final server's submit-to-applied latency samples.
+// run_benches.sh archives the JSON report and (under PPN_BENCH_GATE=1)
+// diffs medians against the previous archive, exactly like micro_kernels.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "market/generator.h"
+#include "ppn/policy_module.h"
+#include "serve/portfolio_server.h"
+
+namespace ppn {
+namespace {
+
+constexpr int64_t kAssets = 11;
+constexpr int64_t kWindow = 30;
+constexpr int64_t kPeriods = 400;
+
+market::OhlcPanel ServePanel() {
+  market::SyntheticMarketConfig config;
+  config.num_assets = kAssets;
+  config.num_periods = kPeriods;
+  config.seed = 17;
+  config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.Generate();
+}
+
+double ExactPercentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = q * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+void BM_ServeTickAllUsers(benchmark::State& state) {
+  const int64_t num_users = state.range(0);
+  const int64_t max_batch = state.range(1);
+  const market::OhlcPanel panel = ServePanel();
+  core::PolicyConfig config;
+  config.variant = core::PolicyVariant::kPpn;
+  config.num_assets = kAssets;
+  config.window = kWindow;
+  Rng init(1), dropout(2);
+  auto policy = core::MakePolicy(config, &init, &dropout);
+
+  serve::ServerConfig server_config;
+  server_config.max_batch = max_batch;
+  server_config.queue_capacity = 2 * num_users;
+  server_config.costs = backtest::CostModel::Uniform(0.0025);
+  auto make_server = [&] {
+    auto server = std::make_unique<serve::PortfolioServer>(
+        &panel, policy.get(), server_config);
+    for (int64_t u = 0; u < num_users; ++u) server->AddUser(kWindow);
+    return server;
+  };
+  auto server = make_server();
+  int64_t tick = 0;
+  const int64_t max_ticks = kPeriods - kWindow;
+  for (auto _ : state) {
+    if (tick >= max_ticks) {
+      state.PauseTiming();
+      server = make_server();
+      tick = 0;
+      state.ResumeTiming();
+    }
+    for (int64_t u = 0; u < num_users; ++u) server->SubmitTick(u);
+    server->DrainPending();
+    ++tick;
+  }
+  state.SetItemsProcessed(state.iterations() * num_users);
+  const std::vector<double>& latencies = server->latency_seconds();
+  state.counters["p50_ms"] = 1e3 * ExactPercentile(latencies, 0.50);
+  state.counters["p95_ms"] = 1e3 * ExactPercentile(latencies, 0.95);
+  state.counters["p99_ms"] = 1e3 * ExactPercentile(latencies, 0.99);
+}
+BENCHMARK(BM_ServeTickAllUsers)
+    ->Args({64, 64})
+    ->Args({256, 64})
+    ->Args({1024, 256})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppn
+
+BENCHMARK_MAIN();

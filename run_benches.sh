@@ -9,15 +9,15 @@
 # PPN_WORKERS controls experiment parallelism (default: hardware thread
 # count; 0 forces the serial inline path).
 #
-# google-benchmark binaries (micro_kernels) additionally archive their
+# google-benchmark binaries (micro_kernels, serve_bench) archive their
 # machine-readable report as "<bench>.json" in bench_results/ — the
 # input format of tools/bench_diff.py, which compares two archived runs
 # and flags throughput regressions.
 #
 # Regression gate: PPN_BENCH_GATE=1 turns bench_diff.py into a gate.
-# Before running micro_kernels the previous archived report (the newest
-# bench_results/micro_kernels.json) is kept as
-# micro_kernels.baseline.json; afterwards the two are diffed and the
+# Before running a gated bench the previous archived report (the newest
+# bench_results/<bench>.json) is kept as
+# <bench>.baseline.json; afterwards the two are diffed and the
 # script exits non-zero when any benchmark's median regressed by more
 # than 10%. PPN_BENCH_REPS (default 3) sets --benchmark_repetitions so
 # the reports carry median aggregates (bench_diff compares medians when
@@ -33,7 +33,7 @@ gate_status=0
       name=$(basename "$b")
       echo "===== RUNNING $name ====="
       case "$name" in
-        micro_kernels)
+        micro_kernels|serve_bench)
           baseline=""
           if [ "${PPN_BENCH_GATE:-0}" = "1" ] && \
              [ -f "/root/repo/bench_results/$name.json" ]; then

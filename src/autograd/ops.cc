@@ -19,15 +19,22 @@ bool AnyRequiresGrad(const std::vector<Var>& parents) {
   return false;
 }
 
-// Builds an op node. If no parent requires gradients the node is a plain
-// constant and the tape edge is dropped (keeps inference graphs flat).
+// Builds an op node. If no parent requires gradients — or the thread is
+// inside an `InferenceMode` scope — the node is a plain constant and the
+// tape edge is dropped (keeps inference graphs flat and lets forward
+// intermediates free as soon as their last consumer runs).
 Var MakeOp(Tensor value, std::vector<Var> parents,
            std::function<void(Node*)> backward_fn) {
-  const bool requires_grad = AnyRequiresGrad(parents);
+  const bool requires_grad = GradEnabled() && AnyRequiresGrad(parents);
   auto node = std::make_shared<Node>(std::move(value), requires_grad);
   if (requires_grad) {
     node->parents = std::move(parents);
     node->backward_fn = std::move(backward_fn);
+    if (obs::Enabled()) {
+      static thread_local obs::Counter& tape_nodes =
+          obs::GetCounter("autograd.tape.nodes");
+      tape_nodes.Add(1.0);
+    }
   }
   return node;
 }

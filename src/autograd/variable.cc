@@ -33,6 +33,22 @@ void Node::ZeroGrad() {
   }
 }
 
+namespace {
+
+// Thread-local so a serving thread in InferenceMode never interferes with
+// a training thread recording tape on the same process.
+thread_local bool tls_grad_enabled = true;
+
+}  // namespace
+
+bool GradEnabled() { return tls_grad_enabled; }
+
+InferenceMode::InferenceMode() : previous_(tls_grad_enabled) {
+  tls_grad_enabled = false;
+}
+
+InferenceMode::~InferenceMode() { tls_grad_enabled = previous_; }
+
 Var Constant(Tensor value) {
   return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
 }

@@ -79,6 +79,32 @@ class Node {
   bool requires_grad_;
 };
 
+/// True when op factories record tape edges on this thread (the default).
+/// Cleared inside an `InferenceMode` scope.
+bool GradEnabled();
+
+/// RAII guard disabling tape recording on the current thread: every op
+/// built inside the scope produces a plain constant node — no parent
+/// links, no backward closure, no gradient buffers — even when its inputs
+/// are trainable parameters. Forward VALUES are bit-identical to the
+/// recording mode; only the bookkeeping disappears, so intermediates free
+/// eagerly and serving forwards run tape-free (cf. PyTorch's
+/// `AutoGradMode(false)`). Nesting and re-entry are safe: each guard
+/// restores the mode it found. Calling `Backward` on a graph built under
+/// the guard is a no-op for gradients: the root is a constant with no
+/// parent links, so nothing propagates and no parameter receives a grad.
+class InferenceMode {
+ public:
+  InferenceMode();
+  ~InferenceMode();
+
+  InferenceMode(const InferenceMode&) = delete;
+  InferenceMode& operator=(const InferenceMode&) = delete;
+
+ private:
+  bool previous_;
+};
+
 /// Creates a leaf that does not require gradients (inputs, stop-gradients).
 Var Constant(Tensor value);
 

@@ -43,7 +43,7 @@ BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
                                 market::PriceRelativesWithCash(panel, t - 1));
     }
 
-    std::vector<double> action = strategy->Decide(panel, t, prev_hat);
+    std::vector<double> action = strategy->DecideWeights({panel, t}, prev_hat);
     PPN_CHECK_EQ(action.size(), static_cast<size_t>(num_assets + 1));
     PPN_CHECK(IsOnSimplex(action, 1e-4))
         << strategy->name() << " produced a non-simplex portfolio at t=" << t;

@@ -13,13 +13,27 @@
 
 namespace ppn::backtest {
 
-/// A sequential portfolio-selection policy.
+/// What a strategy is allowed to see when asked for a decision: the price
+/// panel and the period `t` it is deciding FOR. Data from period `t`
+/// onward is lookahead and must not be read (checked by the test suite).
+/// Passing the pair as one value object keeps the inference interface a
+/// single-argument call that both the backtester and the serving engine
+/// (`serve::PortfolioServer`) construct the same way.
+struct MarketView {
+  const market::OhlcPanel& panel;
+  int64_t period;
+};
+
+/// A sequential portfolio-selection policy. This is the pure INFERENCE
+/// interface — `Reset` + `DecideWeights` on a market view — shared by the
+/// classic OLPS baselines, the neural policies, the backtester, and the
+/// serving engine. Training machinery (gradient steps, replay memory)
+/// lives outside this interface, in `ppn::core` / `strategies::TrainedPolicy`.
 ///
-/// Timing contract: `Decide(panel, t, prev_hat)` chooses the portfolio a_t
-/// that will be exposed to the price relative of period `t`. The strategy
-/// may only read panel data from periods strictly BEFORE `t` (closing
-/// prices up to t-1); reading period t or later is lookahead and is checked
-/// by the test suite.
+/// Timing contract: `DecideWeights({panel, t}, prev_hat)` chooses the
+/// portfolio a_t that will be exposed to the price relative of period `t`.
+/// The strategy may only read panel data from periods strictly BEFORE `t`
+/// (closing prices up to t-1).
 class Strategy {
  public:
   virtual ~Strategy() = default;
@@ -28,14 +42,13 @@ class Strategy {
   virtual std::string name() const = 0;
 
   /// Called once before a run; `first_period` is the first `t` that will be
-  /// passed to `Decide`. Strategies with warm-up state reset it here.
+  /// passed to `DecideWeights`. Strategies with warm-up state reset it here.
   virtual void Reset(const market::OhlcPanel& panel, int64_t first_period);
 
   /// Returns a_t: an (m+1)-dim vector on the probability simplex with the
   /// cash asset at index 0. `prev_hat` is the drifted portfolio â_{t-1}.
-  virtual std::vector<double> Decide(const market::OhlcPanel& panel,
-                                     int64_t period,
-                                     const std::vector<double>& prev_hat) = 0;
+  virtual std::vector<double> DecideWeights(
+      const MarketView& view, const std::vector<double>& prev_hat) = 0;
 };
 
 }  // namespace ppn::backtest

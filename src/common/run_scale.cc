@@ -1,15 +1,15 @@
 #include "common/run_scale.h"
 
-#include <cstdlib>
-#include <cstring>
+#include <string>
+
+#include "common/env.h"
 
 namespace ppn {
 
 RunScale GetRunScale() {
-  const char* value = std::getenv("PPN_SCALE");
-  if (value == nullptr) return RunScale::kQuick;
-  if (std::strcmp(value, "full") == 0) return RunScale::kFull;
-  if (std::strcmp(value, "smoke") == 0) return RunScale::kSmoke;
+  const std::string value = env::StringOr("PPN_SCALE", "quick");
+  if (value == "full") return RunScale::kFull;
+  if (value == "smoke") return RunScale::kSmoke;
   return RunScale::kQuick;
 }
 

@@ -4,8 +4,8 @@
 #include <cstdlib>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "common/parallel.h"
-#include "common/parse.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
 
@@ -114,9 +114,8 @@ void ThreadPool::WorkerLoop(bool allow_inner_parallel) {
 }
 
 int DefaultWorkerCount() {
-  const char* value = std::getenv("PPN_WORKERS");
-  if (value != nullptr) {
-    const int64_t workers = ParseInt64OrDie(value, "PPN_WORKERS");
+  if (env::IsSet("PPN_WORKERS")) {
+    const int64_t workers = env::Int64Or("PPN_WORKERS", 0);
     if (workers < 0) {
       std::fprintf(stderr, "ppn: PPN_WORKERS must be >= 0, got %lld\n",
                    static_cast<long long>(workers));

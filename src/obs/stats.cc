@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/env.h"
 
 namespace ppn::obs {
 
@@ -21,12 +22,9 @@ std::atomic<bool>& EnabledFlag() {
   static std::atomic<bool> flag{[] {
     for (const char* var :
          {"PPN_PROFILE_JSON", "PPN_TRACE_JSON", "PPN_RUNLOG_DIR"}) {
-      const char* value = std::getenv(var);
-      if (value != nullptr && value[0] != '\0') return true;
+      if (env::HasValue(var)) return true;
     }
-    const char* obs = std::getenv("PPN_OBS");
-    return obs != nullptr && obs[0] != '\0' &&
-           !(obs[0] == '0' && obs[1] == '\0');
+    return env::FlagSet("PPN_OBS");
   }()};
   return flag;
 }
@@ -478,8 +476,8 @@ bool WriteProfileJson(const std::string& path) {
 }
 
 bool WriteProfileIfRequested() {
-  const char* path = std::getenv("PPN_PROFILE_JSON");
-  if (path == nullptr || path[0] == '\0') return false;
+  const std::string path = env::StringOr("PPN_PROFILE_JSON", "");
+  if (path.empty()) return false;
   return WriteProfileJson(path);
 }
 

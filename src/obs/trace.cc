@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/atomic_file.h"
+#include "common/env.h"
 
 namespace ppn::obs {
 
@@ -22,10 +23,7 @@ std::atomic<bool>& TraceFlag() {
   // sink (and PPN_TRACE_JSON also flips EnabledFlag via the check below,
   // so `PPN_TRACE_JSON=t.json ppn_cli ...` works without PPN_OBS=1 —
   // see EnabledFlag() in stats.cc).
-  static std::atomic<bool> flag{[] {
-    const char* path = std::getenv("PPN_TRACE_JSON");
-    return path != nullptr && path[0] != '\0';
-  }()};
+  static std::atomic<bool> flag{[] { return env::HasValue("PPN_TRACE_JSON"); }()};
   return flag;
 }
 
@@ -79,25 +77,19 @@ TraceRegistry& GlobalTraceRegistry() {
 }
 
 int64_t BufferCapacity() {
+  // Strict parse: a malformed capacity aborts instead of silently mapping
+  // to the default; non-positive values still fall back.
   static const int64_t capacity = [] {
-    const char* env = std::getenv("PPN_TRACE_CAPACITY");
-    if (env != nullptr && env[0] != '\0') {
-      const long long parsed = std::atoll(env);
-      if (parsed > 0) return static_cast<int64_t>(parsed);
-    }
-    return static_cast<int64_t>(65536);
+    const int64_t parsed = env::Int64Or("PPN_TRACE_CAPACITY", 65536);
+    return parsed > 0 ? parsed : static_cast<int64_t>(65536);
   }();
   return capacity;
 }
 
 double GlobalMinDurationUs() {
   static const double min_us = [] {
-    const char* env = std::getenv("PPN_TRACE_MIN_US");
-    if (env != nullptr && env[0] != '\0') {
-      const double parsed = std::strtod(env, nullptr);
-      if (parsed > 0.0) return parsed;
-    }
-    return 0.0;
+    const double parsed = env::DoubleOr("PPN_TRACE_MIN_US", 0.0);
+    return parsed > 0.0 ? parsed : 0.0;
   }();
   return min_us;
 }
@@ -321,8 +313,8 @@ bool WriteTraceJson(const std::string& path) {
 }
 
 bool WriteTraceIfRequested() {
-  const char* path = std::getenv("PPN_TRACE_JSON");
-  if (path == nullptr || path[0] == '\0') return false;
+  const std::string path = env::StringOr("PPN_TRACE_JSON", "");
+  if (path.empty()) return false;
   return WriteTraceJson(path);
 }
 

@@ -1,0 +1,42 @@
+#include "ppn/policy_inference.h"
+
+#include "autograd/variable.h"
+#include "common/check.h"
+#include "market/dataset.h"
+
+namespace ppn::core {
+
+PolicyInference::PolicyInference(PolicyModule* policy) : policy_(policy) {
+  PPN_CHECK(policy != nullptr);
+  policy_->SetTraining(false);
+}
+
+const PolicyConfig& PolicyInference::config() const {
+  return policy_->config();
+}
+
+void PolicyInference::EnsureEvalMode() const { policy_->SetTraining(false); }
+
+Tensor PolicyInference::DecideBatch(const Tensor& windows,
+                                    const Tensor& prev_actions) const {
+  const int64_t m = policy_->config().num_assets;
+  const int64_t k = policy_->config().window;
+  PPN_CHECK_EQ(windows.ndim(), 4);
+  const int64_t batch = windows.dim(0);
+  PPN_CHECK_GT(batch, 0);
+  PPN_CHECK_EQ(windows.dim(1), m);
+  PPN_CHECK_EQ(windows.dim(2), k);
+  PPN_CHECK_EQ(windows.dim(3), market::kNumPriceFields);
+  PPN_CHECK_EQ(prev_actions.ndim(), 2);
+  PPN_CHECK_EQ(prev_actions.dim(0), batch);
+  PPN_CHECK_EQ(prev_actions.dim(1), m);
+  ag::InferenceMode inference;
+  const ag::Var out =
+      policy_->Forward(ag::Constant(windows), ag::Constant(prev_actions));
+  PPN_CHECK_EQ(out->shape().size(), 2u);
+  PPN_CHECK_EQ(out->shape()[0], batch);
+  PPN_CHECK_EQ(out->shape()[1], m + 1);
+  return out->value();
+}
+
+}  // namespace ppn::core

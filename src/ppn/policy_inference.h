@@ -1,0 +1,47 @@
+#ifndef PPN_PPN_POLICY_INFERENCE_H_
+#define PPN_PPN_POLICY_INFERENCE_H_
+
+#include "ppn/policy_module.h"
+#include "tensor/tensor.h"
+
+/// \file
+/// The shared grad-free inference path of a trained policy. Both consumers
+/// of a trained `PolicyModule` — the backtester's `PolicyStrategy` adapter
+/// and the serving engine's `serve::PortfolioServer` — route their forward
+/// passes through this class, so a decision computed one user at a time is
+/// the same code path (and the same bits) as a decision computed for a
+/// thousand-user batch.
+
+namespace ppn::core {
+
+/// Batched, tape-free policy evaluation. Construction forces eval mode
+/// (dropout off); every `DecideBatch` runs under `ag::InferenceMode`, so
+/// the forward records no autograd tape and allocates no gradient buffers
+/// regardless of how many users share the batch.
+class PolicyInference {
+ public:
+  /// `policy` must outlive this object. Switches the module to eval mode.
+  explicit PolicyInference(PolicyModule* policy);
+
+  const PolicyConfig& config() const;
+
+  /// Re-asserts eval mode (dropout off). Call before an evaluation run if
+  /// the module may have been switched back to training in between.
+  void EnsureEvalMode() const;
+
+  /// One decision per batch row. `windows` is [B, m, k, 4] (normalized
+  /// price windows, see `market::NormalizedWindow`); `prev_actions` is
+  /// [B, m] holding each user's previous RISK weights (cash slot omitted,
+  /// the PVM convention). Returns [B, m+1] portfolio rows on the simplex
+  /// with cash at column 0. Every policy kernel is row-independent with a
+  /// fixed accumulation order, so the output rows are bit-identical to B
+  /// separate single-row calls.
+  Tensor DecideBatch(const Tensor& windows, const Tensor& prev_actions) const;
+
+ private:
+  PolicyModule* policy_;
+};
+
+}  // namespace ppn::core
+
+#endif  // PPN_PPN_POLICY_INFERENCE_H_

@@ -5,38 +5,34 @@
 namespace ppn::core {
 
 PolicyStrategy::PolicyStrategy(PolicyModule* policy, std::string display_name)
-    : policy_(policy), display_name_(std::move(display_name)) {
-  PPN_CHECK(policy != nullptr);
-}
+    : inference_(policy), display_name_(std::move(display_name)) {}
 
 void PolicyStrategy::Reset(const market::OhlcPanel& panel,
                            int64_t first_period) {
-  PPN_CHECK_EQ(panel.num_assets(), policy_->config().num_assets);
-  PPN_CHECK_GE(first_period, policy_->config().window)
-      << display_name_ << " needs " << policy_->config().window
+  PPN_CHECK_EQ(panel.num_assets(), inference_.config().num_assets);
+  PPN_CHECK_GE(first_period, inference_.config().window)
+      << display_name_ << " needs " << inference_.config().window
       << " periods of history before its first decision";
   // The backtester starts fully in cash.
-  last_action_.assign(policy_->config().num_assets + 1, 0.0);
+  last_action_.assign(inference_.config().num_assets + 1, 0.0);
   last_action_[0] = 1.0;
-  policy_->SetTraining(false);
+  inference_.EnsureEvalMode();
 }
 
-std::vector<double> PolicyStrategy::Decide(
-    const market::OhlcPanel& panel, int64_t period,
-    const std::vector<double>& prev_hat) {
+std::vector<double> PolicyStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;  // The recursive input is the raw previous action.
-  const int64_t m = policy_->config().num_assets;
-  const int64_t k = policy_->config().window;
-  Tensor window = market::NormalizedWindow(panel, period - 1, k);
+  const int64_t m = inference_.config().num_assets;
+  const int64_t k = inference_.config().window;
+  Tensor window = market::NormalizedWindow(view.panel, view.period - 1, k);
   Tensor batch_window = window.Reshaped({1, m, k, market::kNumPriceFields});
   Tensor prev({1, m});
   for (int64_t i = 0; i < m; ++i) {
     prev.MutableData()[i] = static_cast<float>(last_action_[i + 1]);
   }
-  ag::Var out = policy_->Forward(ag::Constant(batch_window),
-                                 ag::Constant(prev));
+  const Tensor out = inference_.DecideBatch(batch_window, prev);
   std::vector<double> action(m + 1);
-  for (int64_t i = 0; i <= m; ++i) action[i] = out->value()[i];
+  for (int64_t i = 0; i <= m; ++i) action[i] = out[i];
   last_action_ = action;
   return action;
 }

@@ -5,11 +5,14 @@
 #include <vector>
 
 #include "backtest/strategy.h"
+#include "ppn/policy_inference.h"
 #include "ppn/policy_module.h"
 
 /// \file
 /// Adapter exposing a trained `PolicyModule` to the backtester: sequential
 /// evaluation with the network's own previous action fed back recursively.
+/// Decisions go through the shared `PolicyInference` path (grad-free,
+/// batch-of-one), the same code the serving engine batches over.
 
 namespace ppn::core {
 
@@ -21,11 +24,12 @@ class PolicyStrategy : public backtest::Strategy {
 
   std::string name() const override { return display_name_; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
-  PolicyModule* policy_;
+  PolicyInference inference_;
   std::string display_name_;
   std::vector<double> last_action_;
 };

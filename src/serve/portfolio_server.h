@@ -1,0 +1,126 @@
+#ifndef PPN_SERVE_PORTFOLIO_SERVER_H_
+#define PPN_SERVE_PORTFOLIO_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "backtest/costs.h"
+#include "exec/thread_pool.h"
+#include "market/dataset.h"
+#include "ppn/policy_inference.h"
+#include "serve/request_queue.h"
+
+/// \file
+/// The policy-serving engine: advances many independent user portfolios
+/// through one trained policy network. Per tick the server drains admitted
+/// requests from the bounded intake queue, gathers each user's normalized
+/// price window into ONE batched tensor, runs a single grad-free forward
+/// pass for the whole batch (one matmul/conv per layer, amortizing kernel
+/// and cache costs across users), scatters the weight rows back, and
+/// applies the ψ transaction-cost accounting per user — exactly the
+/// backtester's arithmetic, so a served user's wealth trajectory is
+/// bit-identical to backtesting that user alone.
+
+namespace ppn::serve {
+
+/// Serving knobs.
+struct ServerConfig {
+  /// Upper bound on users per forward pass.
+  int64_t max_batch = 256;
+  /// Intake queue bound (admission control / backpressure, see
+  /// `RequestQueue`).
+  int64_t queue_capacity = 4096;
+  /// Worker threads for the per-user ψ-accounting scatter (0 = inline).
+  /// Results are bit-identical at any worker count: each task touches one
+  /// user's disjoint state and the forward pass runs on the serving
+  /// thread.
+  int workers = 0;
+  /// Transaction-cost model applied on every rebalance.
+  backtest::CostModel costs;
+};
+
+/// Everything the server tracks per user. `weights` is the clipped and
+/// renormalized portfolio actually held (cash at index 0); `pvm_row` is
+/// the raw previous network output, fed back as the policy's recursive
+/// input (the serving-side portfolio-vector-memory row — same convention
+/// as `core::PolicyStrategy`).
+struct UserState {
+  std::vector<double> weights;
+  std::vector<double> pvm_row;
+  double wealth = 1.0;
+  int64_t next_period = 0;
+  int64_t decisions = 0;
+};
+
+/// Batched grad-free inference server over one market panel and one
+/// trained policy. Submissions (`SubmitTick` / `TrySubmitTick`) are
+/// thread-safe; `ProcessBatch` is the single-consumer serving loop.
+class PortfolioServer {
+ public:
+  /// `panel` and `policy` must outlive the server. The panel must cover
+  /// every period the users will be advanced through. Forces the policy
+  /// into eval mode.
+  PortfolioServer(const market::OhlcPanel* panel, core::PolicyModule* policy,
+                  ServerConfig config);
+
+  /// Registers a user starting fully in cash whose first decision period
+  /// is `start_period` (must allow a full lookback window). Returns the
+  /// user id. Not safe concurrently with `ProcessBatch`.
+  int64_t AddUser(int64_t start_period);
+
+  /// Enqueues one tick advance for `user_id`, blocking while the intake
+  /// queue is full (backpressure). False only when intake is closed.
+  bool SubmitTick(int64_t user_id);
+
+  /// Non-blocking variant: false when the queue is full or closed
+  /// (admission control — the caller sheds the request).
+  bool TrySubmitTick(int64_t user_id);
+
+  /// One serving round: drains up to `max_batch` admitted requests
+  /// (blocking until at least one arrives or intake is closed), runs the
+  /// batched forward, applies the cost model per user, records metrics.
+  /// Duplicate requests for the same user within a round are deferred to
+  /// the next round — a user's ticks are strictly sequential. Returns the
+  /// number of decisions made; 0 means intake closed and fully drained.
+  int64_t ProcessBatch();
+
+  /// Runs `ProcessBatch` until the queue and holdover are empty. Returns
+  /// total decisions made. (Non-blocking: intended for a driver thread
+  /// that has already submitted the work.)
+  int64_t DrainPending();
+
+  /// Closes intake: later submissions fail, blocked submitters wake.
+  void CloseIntake();
+
+  int64_t num_users() const { return static_cast<int64_t>(users_.size()); }
+  const UserState& user(int64_t user_id) const;
+
+  /// Total decisions served.
+  int64_t decisions() const { return decisions_; }
+
+  /// Exact per-decision latency samples in seconds (submit → state
+  /// applied), in completion order. Grows by one per decision; intended
+  /// for end-of-run percentile reporting.
+  const std::vector<double>& latency_seconds() const { return latencies_; }
+
+ private:
+  /// Applies one scattered decision row to one user (ψ accounting).
+  void ApplyDecision(UserState* user, int64_t period,
+                     const float* action_row);
+
+  const market::OhlcPanel* panel_;
+  core::PolicyInference inference_;
+  ServerConfig config_;
+  RequestQueue queue_;
+  exec::ThreadPool accounting_pool_;
+  std::vector<UserState> users_;
+  /// Requests deferred from the previous round (same-user duplicates).
+  std::vector<TickRequest> holdover_;
+  std::vector<double> latencies_;
+  int64_t decisions_ = 0;
+};
+
+}  // namespace ppn::serve
+
+#endif  // PPN_SERVE_PORTFOLIO_SERVER_H_

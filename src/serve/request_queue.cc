@@ -1,0 +1,88 @@
+#include "serve/request_queue.h"
+
+#include "common/check.h"
+
+namespace ppn::serve {
+
+RequestQueue::RequestQueue(int64_t capacity) : capacity_(capacity) {
+  PPN_CHECK_GT(capacity, 0);
+}
+
+bool RequestQueue::TryPush(TickRequest request) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || static_cast<int64_t>(queue_.size()) >= capacity_) {
+      return false;
+    }
+    queue_.push_back(request);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool RequestQueue::Push(TickRequest request) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock, [this] {
+      return closed_ || static_cast<int64_t>(queue_.size()) < capacity_;
+    });
+    if (closed_) return false;
+    queue_.push_back(request);
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+int64_t RequestQueue::PopBatch(std::vector<TickRequest>* out,
+                               int64_t max_batch) {
+  PPN_CHECK(out != nullptr);
+  PPN_CHECK_GT(max_batch, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  int64_t moved = 0;
+  while (moved < max_batch && !queue_.empty()) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+    ++moved;
+  }
+  lock.unlock();
+  if (moved > 0) not_full_.notify_all();
+  return moved;
+}
+
+int64_t RequestQueue::TryPopBatch(std::vector<TickRequest>* out,
+                                  int64_t max_batch) {
+  PPN_CHECK(out != nullptr);
+  PPN_CHECK_GT(max_batch, 0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  int64_t moved = 0;
+  while (moved < max_batch && !queue_.empty()) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+    ++moved;
+  }
+  lock.unlock();
+  if (moved > 0) not_full_.notify_all();
+  return moved;
+}
+
+void RequestQueue::Close() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+int64_t RequestQueue::size() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+bool RequestQueue::closed() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+}  // namespace ppn::serve

@@ -1,0 +1,69 @@
+#ifndef PPN_SERVE_REQUEST_QUEUE_H_
+#define PPN_SERVE_REQUEST_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+/// \file
+/// Bounded multi-producer multi-consumer intake queue for the serving
+/// engine. Producers are user-facing threads submitting tick requests;
+/// the consumer is the serving loop draining admitted requests in batches.
+/// The bound is the admission-control / backpressure knob: `TryPush`
+/// rejects when full (load shedding), `Push` blocks until space frees
+/// (backpressure).
+
+namespace ppn::serve {
+
+/// One "advance user U by one tick" request. The submit timestamp feeds
+/// the decision-latency histogram (queue wait + batch + forward + apply).
+struct TickRequest {
+  int64_t user_id = 0;
+  std::chrono::steady_clock::time_point submitted;
+};
+
+/// Bounded FIFO of tick requests. All methods are thread-safe.
+class RequestQueue {
+ public:
+  explicit RequestQueue(int64_t capacity);
+
+  /// Admission control: enqueues unless the queue is full or closed.
+  /// Returns false on rejection (the caller sheds or retries later).
+  bool TryPush(TickRequest request);
+
+  /// Backpressure: blocks while the queue is full; returns false only if
+  /// the queue is (or becomes) closed.
+  bool Push(TickRequest request);
+
+  /// Moves up to `max_batch` requests into `out` (appended), blocking
+  /// until at least one request is available or the queue is closed.
+  /// Returns the number moved; 0 means closed-and-drained.
+  int64_t PopBatch(std::vector<TickRequest>* out, int64_t max_batch);
+
+  /// Non-blocking drain of up to `max_batch` requests. Returns the number
+  /// moved (0 when currently empty).
+  int64_t TryPopBatch(std::vector<TickRequest>* out, int64_t max_batch);
+
+  /// Closes intake: every later push fails, blocked pushers and poppers
+  /// wake. Already-admitted requests stay poppable.
+  void Close();
+
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  const int64_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<TickRequest> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace ppn::serve
+
+#endif  // PPN_SERVE_REQUEST_QUEUE_H_

@@ -19,11 +19,10 @@ void AnticorStrategy::Reset(const market::OhlcPanel& panel,
   folded_through_ = 0;
 }
 
-std::vector<double> AnticorStrategy::Decide(
-    const market::OhlcPanel& panel, int64_t period,
-    const std::vector<double>& prev_hat) {
+std::vector<double> AnticorStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   const int64_t m = num_assets();
   const int w = window_;
 

@@ -19,8 +19,9 @@ class AnticorStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "Anticor"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int window_;

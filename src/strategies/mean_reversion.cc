@@ -47,11 +47,10 @@ void PamrStrategy::Reset(const market::OhlcPanel& panel,
   folded_through_ = 0;
 }
 
-std::vector<double> PamrStrategy::Decide(const market::OhlcPanel& panel,
-                                         int64_t period,
-                                         const std::vector<double>& prev_hat) {
+std::vector<double> PamrStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   for (; folded_through_ < static_cast<int64_t>(history.size());
        ++folded_through_) {
     const auto& x = history[folded_through_];
@@ -157,11 +156,10 @@ void CwmrStrategy::Update(const std::vector<double>& x) {
   mu_ = ProjectToSimplex(mu_);
 }
 
-std::vector<double> CwmrStrategy::Decide(const market::OhlcPanel& panel,
-                                         int64_t period,
-                                         const std::vector<double>& prev_hat) {
+std::vector<double> CwmrStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   for (; folded_through_ < static_cast<int64_t>(history.size());
        ++folded_through_) {
     Update(history[folded_through_]);
@@ -184,13 +182,13 @@ void OlmarStrategy::Reset(const market::OhlcPanel& panel,
                   1.0 / static_cast<double>(panel.num_assets()));
 }
 
-std::vector<double> OlmarStrategy::Decide(const market::OhlcPanel& panel,
-                                          int64_t period,
-                                          const std::vector<double>& prev_hat) {
+std::vector<double> OlmarStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  HistoryUpTo(panel, period);  // Keeps the no-lookahead contract explicit.
+  HistoryUpTo(view.panel, view.period);  // Keeps the no-lookahead contract
+                                         // explicit.
   const int64_t m = num_assets();
-  const int64_t latest = period - 1;  // Last observable period.
+  const int64_t latest = view.period - 1;  // Last observable period.
   if (latest >= window_) {
     // Predicted relative: MA(window) of close prices divided by the latest
     // close.
@@ -198,10 +196,10 @@ std::vector<double> OlmarStrategy::Decide(const market::OhlcPanel& panel,
     for (int64_t a = 0; a < m; ++a) {
       double moving_average = 0.0;
       for (int w = 0; w < window_; ++w) {
-        moving_average += panel.Close(latest - w, a);
+        moving_average += view.panel.Close(latest - w, a);
       }
       moving_average /= window_;
-      predicted[a] = moving_average / panel.Close(latest, a);
+      predicted[a] = moving_average / view.panel.Close(latest, a);
     }
     const double loss = std::max(0.0, epsilon_ - Dot(weights_, predicted));
     if (loss > 0.0) {
@@ -229,25 +227,26 @@ void RmrStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
                   1.0 / static_cast<double>(panel.num_assets()));
 }
 
-std::vector<double> RmrStrategy::Decide(const market::OhlcPanel& panel,
-                                        int64_t period,
-                                        const std::vector<double>& prev_hat) {
+std::vector<double> RmrStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  HistoryUpTo(panel, period);
+  HistoryUpTo(view.panel, view.period);
   const int64_t m = num_assets();
-  const int64_t latest = period - 1;
+  const int64_t latest = view.period - 1;
   if (latest >= window_) {
     std::vector<std::vector<double>> recent_prices;
     recent_prices.reserve(window_);
     for (int w = window_ - 1; w >= 0; --w) {
       std::vector<double> prices(m);
-      for (int64_t a = 0; a < m; ++a) prices[a] = panel.Close(latest - w, a);
+      for (int64_t a = 0; a < m; ++a) {
+        prices[a] = view.panel.Close(latest - w, a);
+      }
       recent_prices.push_back(std::move(prices));
     }
     const std::vector<double> median = L1Median(recent_prices);
     std::vector<double> predicted(m);
     for (int64_t a = 0; a < m; ++a) {
-      predicted[a] = median[a] / panel.Close(latest, a);
+      predicted[a] = median[a] / view.panel.Close(latest, a);
     }
     const double loss = std::max(0.0, epsilon_ - Dot(weights_, predicted));
     if (loss > 0.0) {
@@ -277,11 +276,10 @@ void WmamrStrategy::Reset(const market::OhlcPanel& panel,
   folded_through_ = 0;
 }
 
-std::vector<double> WmamrStrategy::Decide(const market::OhlcPanel& panel,
-                                          int64_t period,
-                                          const std::vector<double>& prev_hat) {
+std::vector<double> WmamrStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   const int64_t m = num_assets();
   for (; folded_through_ < static_cast<int64_t>(history.size());
        ++folded_through_) {

@@ -19,8 +19,9 @@ class PamrStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "PAMR"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   double epsilon_;
@@ -38,8 +39,9 @@ class CwmrStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "CWMR"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   void Update(const std::vector<double>& x);
@@ -60,8 +62,9 @@ class OlmarStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "OLMAR"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int window_;
@@ -77,8 +80,9 @@ class RmrStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "RMR"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int window_;
@@ -94,8 +98,9 @@ class WmamrStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "WMAMR"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int window_;

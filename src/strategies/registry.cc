@@ -32,9 +32,10 @@ class OwningPolicyStrategy : public backtest::Strategy {
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override {
     inner_->Reset(panel, first_period);
   }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override {
-    return inner_->Decide(panel, period, prev_hat);
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override {
+    return inner_->DecideWeights(view, prev_hat);
   }
 
  private:
@@ -249,12 +250,6 @@ std::unique_ptr<backtest::Strategy> MakeStrategy(
   }
   return std::make_unique<OwningPolicyStrategy>(TrainPolicy(spec, dataset),
                                                 spec.display());
-}
-
-std::unique_ptr<backtest::Strategy> MakeClassicBaseline(
-    const std::string& name) {
-  PPN_CHECK(IsClassicBaselineName(name)) << "unknown baseline: " << name;
-  return MakeClassic(name);
 }
 
 }  // namespace ppn::strategies

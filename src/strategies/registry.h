@@ -121,11 +121,6 @@ TrainedPolicy TrainPolicy(const StrategySpec& spec,
 std::unique_ptr<backtest::Strategy> MakeStrategy(
     const StrategySpec& spec, const market::MarketDataset& dataset);
 
-/// Deprecated shim: creates a classic baseline by name. Use
-/// `MakeStrategy({.name = name}, dataset)` instead.
-std::unique_ptr<backtest::Strategy> MakeClassicBaseline(
-    const std::string& name);
-
 }  // namespace ppn::strategies
 
 #endif  // PPN_STRATEGIES_REGISTRY_H_

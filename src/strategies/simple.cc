@@ -11,11 +11,9 @@ void UbahStrategy::Reset(const market::OhlcPanel& panel,
   num_assets_ = panel.num_assets();
 }
 
-std::vector<double> UbahStrategy::Decide(const market::OhlcPanel& panel,
-                                         int64_t period,
-                                         const std::vector<double>& prev_hat) {
-  (void)panel;
-  (void)period;
+std::vector<double> UbahStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
+  (void)view;
   if (first_decision_) {
     first_decision_ = false;
     return UniformRiskPortfolio(num_assets_);
@@ -43,11 +41,9 @@ void BestStrategy::Reset(const market::OhlcPanel& panel,
   }
 }
 
-std::vector<double> BestStrategy::Decide(const market::OhlcPanel& panel,
-                                         int64_t period,
-                                         const std::vector<double>& prev_hat) {
-  (void)panel;
-  (void)period;
+std::vector<double> BestStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
+  (void)view;
   if (first_decision_) {
     first_decision_ = false;
     std::vector<double> portfolio(num_assets_ + 1, 0.0);
@@ -57,12 +53,10 @@ std::vector<double> BestStrategy::Decide(const market::OhlcPanel& panel,
   return prev_hat;  // Buy and hold the hindsight winner.
 }
 
-std::vector<double> CrpStrategy::Decide(const market::OhlcPanel& panel,
-                                        int64_t period,
-                                        const std::vector<double>& prev_hat) {
-  (void)period;
+std::vector<double> CrpStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  return UniformRiskPortfolio(panel.num_assets());
+  return UniformRiskPortfolio(view.panel.num_assets());
 }
 
 }  // namespace ppn::strategies

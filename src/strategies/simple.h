@@ -16,8 +16,9 @@ class UbahStrategy : public backtest::Strategy {
  public:
   std::string name() const override { return "UBAH"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   bool first_decision_ = true;
@@ -31,8 +32,9 @@ class BestStrategy : public backtest::Strategy {
  public:
   std::string name() const override { return "Best"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int64_t best_asset_ = 0;  // Risk-asset index.
@@ -45,8 +47,9 @@ class BestStrategy : public backtest::Strategy {
 class CrpStrategy : public backtest::Strategy {
  public:
   std::string name() const override { return "CRP"; }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 };
 
 }  // namespace ppn::strategies

@@ -25,11 +25,10 @@ void UpStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
   wealth_updated_through_ = 0;
 }
 
-std::vector<double> UpStrategy::Decide(const market::OhlcPanel& panel,
-                                       int64_t period,
-                                       const std::vector<double>& prev_hat) {
+std::vector<double> UpStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   // Fold newly observed relatives into each sample's running wealth.
   for (; wealth_updated_through_ < static_cast<int64_t>(history.size());
        ++wealth_updated_through_) {
@@ -64,11 +63,10 @@ void EgStrategy::Reset(const market::OhlcPanel& panel, int64_t first_period) {
   folded_through_ = 0;
 }
 
-std::vector<double> EgStrategy::Decide(const market::OhlcPanel& panel,
-                                       int64_t period,
-                                       const std::vector<double>& prev_hat) {
+std::vector<double> EgStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   for (; folded_through_ < static_cast<int64_t>(history.size());
        ++folded_through_) {
     const auto& x = history[folded_through_];
@@ -129,11 +127,10 @@ std::vector<double> OnsStrategy::ProjectANorm(
   return q;
 }
 
-std::vector<double> OnsStrategy::Decide(const market::OhlcPanel& panel,
-                                        int64_t period,
-                                        const std::vector<double>& prev_hat) {
+std::vector<double> OnsStrategy::DecideWeights(
+    const backtest::MarketView& view, const std::vector<double>& prev_hat) {
   (void)prev_hat;
-  const auto& history = HistoryUpTo(panel, period);
+  const auto& history = HistoryUpTo(view.panel, view.period);
   const int64_t m = num_assets();
   for (; folded_through_ < static_cast<int64_t>(history.size());
        ++folded_through_) {

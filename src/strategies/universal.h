@@ -19,8 +19,9 @@ class UpStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "UP"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   int num_samples_;
@@ -38,8 +39,9 @@ class EgStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "EG"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   double learning_rate_;
@@ -56,8 +58,9 @@ class OnsStrategy : public RelativeTrackingStrategy {
 
   std::string name() const override { return "ONS"; }
   void Reset(const market::OhlcPanel& panel, int64_t first_period) override;
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t period,
-                             const std::vector<double>& prev_hat) override;
+  std::vector<double> DecideWeights(
+      const backtest::MarketView& view,
+      const std::vector<double>& prev_hat) override;
 
  private:
   /// argmin_{q in simplex} (q - y)ᵀ A (q - y) via projected gradient.

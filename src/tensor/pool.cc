@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/env.h"
 #include "obs/stats.h"
 
 namespace ppn::pool {
@@ -45,12 +46,7 @@ void RawFree(float* ptr) noexcept {
   ::operator delete(ptr, std::align_val_t{64});
 }
 
-bool EnabledFromEnv() {
-  const char* env = std::getenv("PPN_NO_POOL");
-  const bool no_pool =
-      env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
-  return !no_pool;
-}
+bool EnabledFromEnv() { return !env::FlagSet("PPN_NO_POOL"); }
 
 std::atomic<bool>& EnabledFlag() {
   static std::atomic<bool> flag{EnabledFromEnv()};

@@ -1,0 +1,156 @@
+// InferenceMode contract: ops built under the guard record no tape (no
+// parent links, no backward closures, no grad buffers, no tape-node
+// counter ticks), forward values stay bit-identical to recording mode,
+// nesting/re-entry restore correctly, and the training path is unchanged
+// when no guard is active.
+
+#include "autograd/variable.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "obs/stats.h"
+#include "tensor/tensor.h"
+
+namespace ppn::ag {
+namespace {
+
+// Small but non-trivial forward: matmul + nonlinearity + reduction.
+Var SmallForward(const Var& weight, const Var& input) {
+  return MeanAll(Tanh(MatMul(input, weight)));
+}
+
+Tensor RampTensor(std::vector<int64_t> shape, float scale) {
+  Tensor t(shape);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.MutableData()[i] = scale * static_cast<float>(i % 13) - 0.5f;
+  }
+  return t;
+}
+
+TEST(InferenceModeTest, GradRecordingIsOnByDefault) {
+  EXPECT_TRUE(GradEnabled());
+}
+
+TEST(InferenceModeTest, GuardDisablesNestsAndRestores) {
+  {
+    InferenceMode guard;
+    EXPECT_FALSE(GradEnabled());
+    {
+      InferenceMode nested;
+      EXPECT_FALSE(GradEnabled());
+    }
+    EXPECT_FALSE(GradEnabled());  // Inner guard restores, not resets.
+  }
+  EXPECT_TRUE(GradEnabled());
+  {
+    InferenceMode reentry;
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_TRUE(GradEnabled());
+}
+
+TEST(InferenceModeTest, OpsOnParametersProduceConstants) {
+  const Var weight = Parameter(RampTensor({4, 4}, 0.1f));
+  const Var input = Constant(RampTensor({2, 4}, 0.2f));
+  InferenceMode guard;
+  const Var out = SmallForward(weight, input);
+  EXPECT_FALSE(out->requires_grad());
+  EXPECT_TRUE(out->parents.empty());
+  EXPECT_EQ(out->backward_fn, nullptr);
+}
+
+TEST(InferenceModeTest, ForwardValuesBitIdenticalToRecordingMode) {
+  const Var weight = Parameter(RampTensor({8, 8}, 0.05f));
+  const Var input = Constant(RampTensor({3, 8}, 0.07f));
+  const Var recorded = SmallForward(weight, input);
+  Tensor guarded_value;
+  {
+    InferenceMode guard;
+    guarded_value = SmallForward(weight, input)->value();
+  }
+  ASSERT_EQ(guarded_value.numel(), recorded->numel());
+  for (int64_t i = 0; i < guarded_value.numel(); ++i) {
+    EXPECT_EQ(guarded_value[i], recorded->value()[i]) << "element " << i;
+  }
+}
+
+TEST(InferenceModeTest, BackwardThroughGuardedGraphReachesNoParameter) {
+  const Var weight = Parameter(RampTensor({4, 4}, 0.1f));
+  const Var input = Constant(RampTensor({2, 4}, 0.2f));
+  Var out;
+  {
+    InferenceMode guard;
+    out = SmallForward(weight, input);
+  }
+  Backward(out);  // No-op for gradients: the root has no tape behind it.
+  EXPECT_FALSE(weight->has_grad());
+}
+
+TEST(InferenceModeTest, NoTapeNodeCounterTicksUnderGuard) {
+  obs::ScopedObsEnable obs_on;
+  const Var weight = Parameter(RampTensor({6, 6}, 0.1f));
+  const Var input = Constant(RampTensor({2, 6}, 0.2f));
+
+  obs::ResetAll();
+  {
+    InferenceMode guard;
+    SmallForward(weight, input);
+  }
+  const obs::Snapshot guarded = obs::TakeSnapshot();
+  const auto it = guarded.counters.find("autograd.tape.nodes");
+  EXPECT_TRUE(it == guarded.counters.end() || it->second == 0.0)
+      << "tape nodes recorded under InferenceMode";
+
+  obs::ResetAll();
+  SmallForward(weight, input);
+  const obs::Snapshot recorded = obs::TakeSnapshot();
+  ASSERT_NE(recorded.counters.find("autograd.tape.nodes"),
+            recorded.counters.end());
+  EXPECT_GT(recorded.counters.at("autograd.tape.nodes"), 0.0);
+}
+
+TEST(InferenceModeTest, SteadyStateForwardTouchesNoFreshMemory) {
+  obs::ScopedObsEnable obs_on;
+  const Var weight = Parameter(RampTensor({16, 16}, 0.02f));
+  const Var input = Constant(RampTensor({4, 16}, 0.03f));
+  // Warm the thread-local pool free lists: after two identical grad-free
+  // forwards, every intermediate buffer is cached.
+  for (int i = 0; i < 2; ++i) {
+    InferenceMode guard;
+    SmallForward(weight, input);
+  }
+  obs::ResetAll();
+  {
+    InferenceMode guard;
+    SmallForward(weight, input);
+  }
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  const auto miss = snapshot.counters.find("tensor.pool.miss");
+  EXPECT_TRUE(miss == snapshot.counters.end() || miss->second == 0.0)
+      << "a warmed-up inference forward should allocate no new buffers";
+}
+
+TEST(InferenceModeTest, TrainingPathUnchangedAfterGuardExits) {
+  const Var weight = Parameter(RampTensor({4, 4}, 0.1f));
+  const Var input = Constant(RampTensor({2, 4}, 0.2f));
+  {
+    InferenceMode guard;
+    SmallForward(weight, input);
+  }
+  // Same thread, guard gone: the tape records and gradients flow again.
+  const Var loss = SmallForward(weight, input);
+  EXPECT_TRUE(loss->requires_grad());
+  Backward(loss);
+  ASSERT_TRUE(weight->has_grad());
+  double grad_l1 = 0.0;
+  for (int64_t i = 0; i < weight->grad().numel(); ++i) {
+    grad_l1 += std::abs(static_cast<double>(weight->grad()[i]));
+  }
+  EXPECT_GT(grad_l1, 0.0);
+}
+
+}  // namespace
+}  // namespace ppn::ag

@@ -32,9 +32,9 @@ market::OhlcPanel MakePanel(int64_t periods, double growth0, double growth1) {
 class CashStrategy : public Strategy {
  public:
   std::string name() const override { return "Cash"; }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
-                             const std::vector<double>&) override {
-    std::vector<double> action(panel.num_assets() + 1, 0.0);
+  std::vector<double> DecideWeights(const MarketView& view,
+                                    const std::vector<double>&) override {
+    std::vector<double> action(view.panel.num_assets() + 1, 0.0);
     action[0] = 1.0;
     return action;
   }
@@ -45,9 +45,9 @@ class SingleAssetStrategy : public Strategy {
  public:
   explicit SingleAssetStrategy(int64_t asset) : asset_(asset) {}
   std::string name() const override { return "Single"; }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
-                             const std::vector<double>&) override {
-    std::vector<double> action(panel.num_assets() + 1, 0.0);
+  std::vector<double> DecideWeights(const MarketView& view,
+                                    const std::vector<double>&) override {
+    std::vector<double> action(view.panel.num_assets() + 1, 0.0);
     action[asset_ + 1] = 1.0;
     return action;
   }
@@ -60,9 +60,9 @@ class SingleAssetStrategy : public Strategy {
 class BrokenStrategy : public Strategy {
  public:
   std::string name() const override { return "Broken"; }
-  std::vector<double> Decide(const market::OhlcPanel& panel, int64_t,
-                             const std::vector<double>&) override {
-    return std::vector<double>(panel.num_assets() + 1, 0.9);
+  std::vector<double> DecideWeights(const MarketView& view,
+                                    const std::vector<double>&) override {
+    return std::vector<double>(view.panel.num_assets() + 1, 0.9);
   }
 };
 

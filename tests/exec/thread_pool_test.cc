@@ -12,6 +12,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/env.h"
 #include "common/parallel.h"
 #include "obs/stats.h"
 
@@ -123,7 +124,7 @@ TEST(ScopedInnerParallelDisableTest, RestoresOnExit) {
 }
 
 TEST(DefaultWorkerCountTest, HonorsEnvironmentVariable) {
-  const char* saved = std::getenv("PPN_WORKERS");
+  const char* saved = env::Raw("PPN_WORKERS");
   const std::string saved_value = saved == nullptr ? "" : saved;
 
   setenv("PPN_WORKERS", "3", 1);
@@ -142,7 +143,7 @@ TEST(DefaultWorkerCountTest, HonorsEnvironmentVariable) {
 TEST(DefaultWorkerCountDeathTest, MalformedValueAborts) {
   // Regression: atoi turned PPN_WORKERS=abc into 0, i.e. a silent serial
   // run. The strict parser must abort with a message naming the variable.
-  const char* saved = std::getenv("PPN_WORKERS");
+  const char* saved = env::Raw("PPN_WORKERS");
   const std::string saved_value = saved == nullptr ? "" : saved;
 
   setenv("PPN_WORKERS", "abc", 1);

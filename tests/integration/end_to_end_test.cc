@@ -80,7 +80,7 @@ TEST(EndToEndTest, LargeGammaSuppressesTurnover) {
 TEST(EndToEndTest, ClassicBaselinesRunOnPresetDataset) {
   const market::MarketDataset& dataset = SmokeDataset();
   for (const std::string& name : strategies::ClassicBaselineNames()) {
-    auto strategy = strategies::MakeClassicBaseline(name);
+    auto strategy = strategies::MakeStrategy({.name = name}, dataset);
     const backtest::BacktestRecord record =
         backtest::RunOnTestRange(strategy.get(), dataset, 0.0025);
     EXPECT_GT(record.wealth_curve.back(), 0.0) << name;

@@ -83,12 +83,12 @@ TEST(PolicyStrategyTest, RecursionFeedsOwnPreviousAction) {
   PolicyStrategy continuous(policy.get(), "PPN");
   continuous.Reset(panel, 20);
   std::vector<double> dummy(4, 0.25);
-  continuous.Decide(panel, 20, dummy);
-  const std::vector<double> second = continuous.Decide(panel, 21, dummy);
+  continuous.DecideWeights({panel, 20}, dummy);
+  const std::vector<double> second = continuous.DecideWeights({panel, 21}, dummy);
 
   PolicyStrategy fresh(policy.get(), "PPN");
   fresh.Reset(panel, 21);  // Previous action = cash.
-  const std::vector<double> fresh_second = fresh.Decide(panel, 21, dummy);
+  const std::vector<double> fresh_second = fresh.DecideWeights({panel, 21}, dummy);
   bool differs = false;
   for (size_t i = 0; i < second.size(); ++i) {
     if (std::abs(second[i] - fresh_second[i]) > 1e-9) differs = true;

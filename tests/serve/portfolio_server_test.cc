@@ -1,0 +1,265 @@
+// PortfolioServer contract: the batched grad-free forward is bit-identical
+// to per-user sequential serving at any batch size and any worker count
+// (pool on or off), a single served user reproduces the backtester's
+// wealth trajectory exactly, the bounded intake queue sheds/defers
+// correctly, and serving metrics reach the obs layer.
+
+#include "serve/portfolio_server.h"
+
+#include <gtest/gtest.h>
+
+#include "backtest/backtester.h"
+#include "market/generator.h"
+#include "obs/stats.h"
+#include "ppn/strategy_adapter.h"
+#include "tensor/pool.h"
+
+namespace ppn::serve {
+namespace {
+
+market::OhlcPanel TestPanel(int64_t assets = 3, int64_t periods = 160) {
+  market::SyntheticMarketConfig config;
+  config.num_assets = assets;
+  config.num_periods = periods;
+  config.seed = 7;
+  config.late_listing_fraction = 0.0;
+  market::SyntheticMarketGenerator generator(config);
+  return generator.Generate();
+}
+
+core::PolicyConfig SmallConfig(int64_t assets = 3) {
+  core::PolicyConfig config;
+  config.variant = core::PolicyVariant::kPpn;
+  config.num_assets = assets;
+  config.window = 10;
+  config.lstm_hidden = 4;
+  config.block1_channels = 3;
+  config.block2_channels = 4;
+  return config;
+}
+
+std::unique_ptr<core::PolicyModule> MakeTestPolicy(int64_t assets = 3) {
+  Rng init(1), dropout(2);
+  return core::MakePolicy(SmallConfig(assets), &init, &dropout);
+}
+
+ServerConfig SmallServerConfig(int64_t max_batch, int workers = 0) {
+  ServerConfig config;
+  config.max_batch = max_batch;
+  config.queue_capacity = 1024;
+  config.workers = workers;
+  config.costs = backtest::CostModel::Uniform(0.0025);
+  return config;
+}
+
+struct UserResult {
+  double wealth;
+  std::vector<double> weights;
+  std::vector<double> pvm_row;
+  int64_t decisions;
+};
+
+/// Runs `num_users` staggered users for `ticks` rounds through one server
+/// and returns their final states.
+std::vector<UserResult> RunServer(const market::OhlcPanel& panel,
+                                  core::PolicyModule* policy,
+                                  int64_t max_batch, int workers,
+                                  int64_t num_users, int64_t ticks) {
+  PortfolioServer server(&panel, policy,
+                         SmallServerConfig(max_batch, workers));
+  for (int64_t u = 0; u < num_users; ++u) {
+    server.AddUser(20 + (u % 7));  // Staggered starts: batch rows differ.
+  }
+  for (int64_t tick = 0; tick < ticks; ++tick) {
+    for (int64_t u = 0; u < num_users; ++u) {
+      EXPECT_TRUE(server.SubmitTick(u));
+    }
+    server.DrainPending();
+  }
+  std::vector<UserResult> results;
+  for (int64_t u = 0; u < num_users; ++u) {
+    const UserState& user = server.user(u);
+    results.push_back(
+        {user.wealth, user.weights, user.pvm_row, user.decisions});
+  }
+  return results;
+}
+
+void ExpectBitIdentical(const std::vector<UserResult>& a,
+                        const std::vector<UserResult>& b,
+                        const std::string& label) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t u = 0; u < a.size(); ++u) {
+    SCOPED_TRACE(label + ", user " + std::to_string(u));
+    EXPECT_EQ(a[u].decisions, b[u].decisions);
+    EXPECT_EQ(a[u].wealth, b[u].wealth);  // Bitwise, not approximate.
+    ASSERT_EQ(a[u].weights.size(), b[u].weights.size());
+    for (size_t i = 0; i < a[u].weights.size(); ++i) {
+      EXPECT_EQ(a[u].weights[i], b[u].weights[i]) << "weights[" << i << "]";
+      EXPECT_EQ(a[u].pvm_row[i], b[u].pvm_row[i]) << "pvm_row[" << i << "]";
+    }
+  }
+}
+
+TEST(PortfolioServerTest, BatchSizeNeverChangesResults) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  constexpr int64_t kUsers = 64;
+  constexpr int64_t kTicks = 100;
+  const std::vector<UserResult> batched =
+      RunServer(panel, policy.get(), /*max_batch=*/64, /*workers=*/0, kUsers,
+                kTicks);
+  for (const int64_t max_batch : {int64_t{1}, int64_t{7}}) {
+    const std::vector<UserResult> other = RunServer(
+        panel, policy.get(), max_batch, /*workers=*/0, kUsers, kTicks);
+    ExpectBitIdentical(batched, other,
+                       "max_batch=" + std::to_string(max_batch));
+  }
+}
+
+TEST(PortfolioServerTest, PoolDisabledMatchesPoolEnabled) {
+  // Same comparison the PPN_NO_POOL=1 env switch exercises: the pool and
+  // the plain heap path must produce bit-identical decisions.
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  constexpr int64_t kUsers = 16;
+  constexpr int64_t kTicks = 100;
+  const std::vector<UserResult> pooled = RunServer(
+      panel, policy.get(), /*max_batch=*/16, /*workers=*/0, kUsers, kTicks);
+  pool::ScopedPoolDisable no_pool;
+  const std::vector<UserResult> unpooled = RunServer(
+      panel, policy.get(), /*max_batch=*/16, /*workers=*/0, kUsers, kTicks);
+  ExpectBitIdentical(pooled, unpooled, "pool off");
+}
+
+TEST(PortfolioServerTest, WorkerCountNeverChangesResults) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  constexpr int64_t kUsers = 24;
+  constexpr int64_t kTicks = 40;
+  const std::vector<UserResult> inline_run = RunServer(
+      panel, policy.get(), /*max_batch=*/24, /*workers=*/0, kUsers, kTicks);
+  for (const int workers : {1, 3}) {
+    const std::vector<UserResult> pooled_run = RunServer(
+        panel, policy.get(), /*max_batch=*/24, workers, kUsers, kTicks);
+    ExpectBitIdentical(inline_run, pooled_run,
+                       "workers=" + std::to_string(workers));
+  }
+}
+
+TEST(PortfolioServerTest, SingleUserMatchesBacktesterExactly) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  constexpr int64_t kStart = 20;
+  constexpr int64_t kEnd = 120;
+
+  core::PolicyStrategy strategy(policy.get(), "PPN");
+  backtest::BacktestConfig config;
+  config.start_period = kStart;
+  config.end_period = kEnd;
+  config.costs = backtest::CostModel::Uniform(0.0025);
+  const backtest::BacktestRecord record =
+      backtest::RunBacktest(&strategy, panel, config);
+
+  PortfolioServer server(&panel, policy.get(), SmallServerConfig(8));
+  const int64_t user = server.AddUser(kStart);
+  for (int64_t t = kStart; t < kEnd; ++t) {
+    ASSERT_TRUE(server.SubmitTick(user));
+    ASSERT_EQ(server.ProcessBatch(), 1);
+    EXPECT_EQ(server.user(user).wealth, record.wealth_curve[t - kStart])
+        << "wealth diverged from the backtester at t=" << t;
+  }
+  EXPECT_EQ(server.user(user).decisions, kEnd - kStart);
+}
+
+TEST(PortfolioServerTest, DuplicateTicksDeferToLaterRounds) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  PortfolioServer server(&panel, policy.get(), SmallServerConfig(8));
+  const int64_t u0 = server.AddUser(20);
+  const int64_t u1 = server.AddUser(20);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(server.SubmitTick(u0));
+  ASSERT_TRUE(server.SubmitTick(u1));
+
+  // Round one serves each user once; the two duplicate u0 ticks hold over.
+  EXPECT_EQ(server.ProcessBatch(), 2);
+  EXPECT_EQ(server.user(u0).decisions, 1);
+  EXPECT_EQ(server.user(u1).decisions, 1);
+
+  EXPECT_EQ(server.DrainPending(), 2);
+  EXPECT_EQ(server.user(u0).decisions, 3);
+  EXPECT_EQ(server.user(u0).next_period, 23);
+  EXPECT_EQ(server.decisions(), 4);
+  EXPECT_EQ(server.latency_seconds().size(), 4u);
+}
+
+TEST(PortfolioServerTest, FullQueueShedsTrySubmit) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  ServerConfig config = SmallServerConfig(8);
+  config.queue_capacity = 4;
+  PortfolioServer server(&panel, policy.get(), config);
+  const int64_t user = server.AddUser(20);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(server.TrySubmitTick(user));
+  EXPECT_FALSE(server.TrySubmitTick(user));  // Admission control kicks in.
+  server.DrainPending();
+  EXPECT_TRUE(server.TrySubmitTick(user));  // Capacity freed.
+}
+
+TEST(PortfolioServerTest, CloseIntakeRejectsAndDrains) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  PortfolioServer server(&panel, policy.get(), SmallServerConfig(8));
+  const int64_t user = server.AddUser(20);
+  ASSERT_TRUE(server.SubmitTick(user));
+  server.CloseIntake();
+  EXPECT_FALSE(server.SubmitTick(user));
+  EXPECT_FALSE(server.TrySubmitTick(user));
+  EXPECT_EQ(server.ProcessBatch(), 1);  // Admitted work still serves.
+  EXPECT_EQ(server.ProcessBatch(), 0);  // Closed and fully drained.
+}
+
+TEST(PortfolioServerTest, MetricsReachTheObsLayer) {
+  obs::ScopedObsEnable obs_on;
+  obs::ResetAll();
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  PortfolioServer server(&panel, policy.get(), SmallServerConfig(8));
+  const int64_t u0 = server.AddUser(20);
+  const int64_t u1 = server.AddUser(21);
+  for (int tick = 0; tick < 5; ++tick) {
+    ASSERT_TRUE(server.SubmitTick(u0));
+    ASSERT_TRUE(server.SubmitTick(u1));
+    server.DrainPending();
+  }
+  const obs::Snapshot snapshot = obs::TakeSnapshot();
+  ASSERT_NE(snapshot.counters.find("serve.decisions"),
+            snapshot.counters.end());
+  EXPECT_EQ(snapshot.counters.at("serve.decisions"), 10.0);
+  ASSERT_NE(snapshot.histograms.find("serve.decide.latency.seconds"),
+            snapshot.histograms.end());
+  EXPECT_EQ(snapshot.histograms.at("serve.decide.latency.seconds").count, 10);
+  ASSERT_NE(snapshot.histograms.find("serve.batch.size"),
+            snapshot.histograms.end());
+  // The batched forward must not touch the tape.
+  const auto tape = snapshot.counters.find("autograd.tape.nodes");
+  EXPECT_TRUE(tape == snapshot.counters.end() || tape->second == 0.0);
+}
+
+TEST(PortfolioServerDeathTest, UserWithoutHistoryAborts) {
+  const market::OhlcPanel panel = TestPanel();
+  auto policy = MakeTestPolicy();
+  PortfolioServer server(&panel, policy.get(), SmallServerConfig(8));
+  EXPECT_DEATH(server.AddUser(5), "history");
+}
+
+TEST(PortfolioServerDeathTest, AssetMismatchAborts) {
+  const market::OhlcPanel panel = TestPanel(/*assets=*/5);
+  auto policy = MakeTestPolicy(/*assets=*/3);
+  EXPECT_DEATH(
+      PortfolioServer(&panel, policy.get(), SmallServerConfig(8)),
+      "PPN_CHECK");
+}
+
+}  // namespace
+}  // namespace ppn::serve

@@ -1,0 +1,108 @@
+// RequestQueue: FIFO order, bounded admission (TryPush sheds, Push blocks),
+// batched draining, and close semantics waking blocked producers/consumers.
+
+#include "serve/request_queue.h"
+
+#include <array>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace ppn::serve {
+namespace {
+
+TickRequest Req(int64_t user_id) {
+  return {user_id, std::chrono::steady_clock::now()};
+}
+
+TEST(RequestQueueTest, PopBatchPreservesFifoOrder) {
+  RequestQueue queue(8);
+  for (int64_t i = 0; i < 5; ++i) ASSERT_TRUE(queue.TryPush(Req(i)));
+  std::vector<TickRequest> out;
+  EXPECT_EQ(queue.PopBatch(&out, 3), 3);
+  EXPECT_EQ(queue.TryPopBatch(&out, 8), 2);
+  ASSERT_EQ(out.size(), 5u);
+  for (int64_t i = 0; i < 5; ++i) EXPECT_EQ(out[i].user_id, i);
+  EXPECT_EQ(queue.size(), 0);
+}
+
+TEST(RequestQueueTest, TryPushShedsWhenFull) {
+  RequestQueue queue(2);
+  EXPECT_TRUE(queue.TryPush(Req(0)));
+  EXPECT_TRUE(queue.TryPush(Req(1)));
+  EXPECT_FALSE(queue.TryPush(Req(2)));
+  std::vector<TickRequest> out;
+  queue.TryPopBatch(&out, 1);
+  EXPECT_TRUE(queue.TryPush(Req(2)));
+}
+
+TEST(RequestQueueTest, TryPopBatchIsNonBlocking) {
+  RequestQueue queue(4);
+  std::vector<TickRequest> out;
+  EXPECT_EQ(queue.TryPopBatch(&out, 4), 0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RequestQueueTest, PushBlocksUntilSpaceFrees) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.TryPush(Req(0)));
+  std::thread producer([&queue] { EXPECT_TRUE(queue.Push(Req(1))); });
+  std::vector<TickRequest> out;
+  EXPECT_EQ(queue.PopBatch(&out, 1), 1);  // Frees the slot.
+  producer.join();
+  EXPECT_EQ(queue.size(), 1);
+  EXPECT_EQ(queue.TryPopBatch(&out, 1), 1);
+  EXPECT_EQ(out.back().user_id, 1);
+}
+
+TEST(RequestQueueTest, PopBatchBlocksUntilWork) {
+  RequestQueue queue(4);
+  std::vector<TickRequest> out;
+  std::thread consumer([&queue, &out] { EXPECT_EQ(queue.PopBatch(&out, 4), 1); });
+  queue.Push(Req(7));
+  consumer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user_id, 7);
+}
+
+TEST(RequestQueueTest, CloseWakesBlockedProducerAndConsumer) {
+  RequestQueue queue(1);
+  ASSERT_TRUE(queue.TryPush(Req(0)));
+  std::thread producer([&queue] { EXPECT_FALSE(queue.Push(Req(1))); });
+  std::thread consumer([&queue] {
+    std::vector<TickRequest> out;
+    // Admitted work drains even after close; a second pop reports done.
+    while (queue.PopBatch(&out, 1) > 0) {
+    }
+  });
+  queue.Close();
+  producer.join();
+  consumer.join();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(Req(2)));
+}
+
+TEST(RequestQueueTest, ManyProducersDeliverEverything) {
+  RequestQueue queue(16);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&queue, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(Req(p)));
+      }
+    });
+  }
+  std::vector<TickRequest> out;
+  while (static_cast<int>(out.size()) < kProducers * kPerProducer) {
+    queue.PopBatch(&out, 16);
+  }
+  for (auto& producer : producers) producer.join();
+  std::array<int, kProducers> per_user{};
+  for (const TickRequest& request : out) per_user[request.user_id]++;
+  for (int p = 0; p < kProducers; ++p) EXPECT_EQ(per_user[p], kPerProducer);
+}
+
+}  // namespace
+}  // namespace ppn::serve

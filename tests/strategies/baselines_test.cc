@@ -26,6 +26,17 @@ market::OhlcPanel SyntheticPanel(uint64_t seed = 3, int64_t assets = 5,
   return generator.Generate();
 }
 
+/// Builds a classic baseline through the unified registry (the only
+/// factory since the deprecated MakeClassicBaseline shim was removed).
+/// Classics ignore the train/test split, so any panel wrapper works.
+std::unique_ptr<backtest::Strategy> MakeBaseline(const std::string& name) {
+  market::MarketDataset dataset;
+  dataset.name = "baselines-test";
+  dataset.panel = SyntheticPanel();
+  dataset.train_end = 200;
+  return MakeStrategy({.name = name}, dataset);
+}
+
 // Flat panel where asset prices never move.
 market::OhlcPanel FlatPanel(int64_t assets, int64_t periods) {
   market::OhlcPanel panel(periods, assets);
@@ -82,7 +93,7 @@ class BaselineContract : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(BaselineContract, ProducesSimplexPortfoliosThroughoutARun) {
   market::OhlcPanel panel = SyntheticPanel();
-  auto strategy = MakeClassicBaseline(GetParam());
+  auto strategy = MakeBaseline(GetParam());
   backtest::BacktestConfig config;
   config.start_period = 40;
   config.end_period = 200;
@@ -110,16 +121,16 @@ TEST_P(BaselineContract, NoLookahead) {
       }
     }
   }
-  auto strategy_a = MakeClassicBaseline(GetParam());
-  auto strategy_b = MakeClassicBaseline(GetParam());
+  auto strategy_a = MakeBaseline(GetParam());
+  auto strategy_b = MakeBaseline(GetParam());
   strategy_a->Reset(panel_a, 40);
   strategy_b->Reset(panel_b, 40);
   std::vector<double> prev_hat = UniformRiskPortfolio(panel_a.num_assets());
   for (int64_t t = 40; t < 150; ++t) {
     const std::vector<double> action_a =
-        strategy_a->Decide(panel_a, t, prev_hat);
+        strategy_a->DecideWeights({panel_a, t}, prev_hat);
     const std::vector<double> action_b =
-        strategy_b->Decide(panel_b, t, prev_hat);
+        strategy_b->DecideWeights({panel_b, t}, prev_hat);
     ASSERT_EQ(action_a.size(), action_b.size());
     for (size_t i = 0; i < action_a.size(); ++i) {
       ASSERT_NEAR(action_a[i], action_b[i], 1e-12)
@@ -137,7 +148,7 @@ TEST(RegistryTest, TwelveBaselines) {
 }
 
 TEST(RegistryDeathTest, UnknownNameAborts) {
-  EXPECT_DEATH(MakeClassicBaseline("Nope"), "unknown baseline");
+  EXPECT_DEATH(MakeBaseline("Nope"), "unknown strategy");
 }
 
 // --- Behavioral checks. --------------------------------------------------
@@ -171,7 +182,7 @@ TEST(BestTest, PicksTheHindsightWinner) {
   BestStrategy strategy;
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 1, UniformRiskPortfolio(3));
+      strategy.DecideWeights({panel, 1}, UniformRiskPortfolio(3));
   EXPECT_DOUBLE_EQ(action[2], 1.0);  // Risk asset 1 = index 2 with cash.
 }
 
@@ -181,7 +192,7 @@ TEST(CrpTest, AlwaysUniform) {
   strategy.Reset(panel, 50);
   for (int64_t t = 50; t < 60; ++t) {
     const std::vector<double> action =
-        strategy.Decide(panel, t, UniformRiskPortfolio(5));
+        strategy.DecideWeights({panel, t}, UniformRiskPortfolio(5));
     for (int64_t i = 1; i <= 5; ++i) EXPECT_DOUBLE_EQ(action[i], 0.2);
   }
 }
@@ -203,9 +214,9 @@ TEST(EgTest, TiltsTowardRecentWinner) {
   EgStrategy strategy;
   strategy.Reset(panel, 1);
   const std::vector<double> early =
-      strategy.Decide(panel, 20, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 20}, UniformRiskPortfolio(2));
   const std::vector<double> late =
-      strategy.Decide(panel, 60, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 60}, UniformRiskPortfolio(2));
   EXPECT_GT(late[1], 0.5);
   EXPECT_GT(late[1], early[1]);  // Tilt strengthens with more evidence.
 }
@@ -222,7 +233,7 @@ TEST(PamrTest, ShiftsTowardRecentLoser) {
   PamrStrategy strategy(0.5);
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 12, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 12}, UniformRiskPortfolio(2));
   EXPECT_LT(action[1], action[2]);
 }
 
@@ -238,7 +249,7 @@ TEST(OlmarTest, BuysAssetBelowItsMovingAverage) {
   OlmarStrategy strategy(5, 10.0);
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 27, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 27}, UniformRiskPortfolio(2));
   EXPECT_GT(action[1], action[2]);
 }
 
@@ -253,7 +264,7 @@ TEST(RmrTest, MedianPredictionAlsoBuysDip) {
   RmrStrategy strategy(5, 5.0);
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 28, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 28}, UniformRiskPortfolio(2));
   EXPECT_GT(action[1], action[2]);
 }
 
@@ -263,7 +274,7 @@ TEST(CwmrTest, StaysOnSimplexUnderRepeatedUpdates) {
   strategy.Reset(panel, 1);
   for (int64_t t = 10; t < 150; t += 10) {
     const std::vector<double> action =
-        strategy.Decide(panel, t, UniformRiskPortfolio(4));
+        strategy.DecideWeights({panel, t}, UniformRiskPortfolio(4));
     EXPECT_TRUE(IsOnSimplex(action, 1e-6)) << "t=" << t;
   }
 }
@@ -273,7 +284,7 @@ TEST(WmamrTest, FlatMarketKeepsUniform) {
   WmamrStrategy strategy;
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 30, UniformRiskPortfolio(3));
+      strategy.DecideWeights({panel, 30}, UniformRiskPortfolio(3));
   // All relatives are 1: loss = max(0, 1 - 0.5) triggers, but the centered
   // signal is zero so no direction exists; weights stay uniform.
   for (int64_t i = 1; i <= 3; ++i) EXPECT_NEAR(action[i], 1.0 / 3, 1e-9);
@@ -297,7 +308,7 @@ TEST(AnticorTest, RespondsToAlternatingPattern) {
   AnticorStrategy strategy(4);
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 60, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 60}, UniformRiskPortfolio(2));
   EXPECT_TRUE(IsOnSimplex(action, 1e-9));
 }
 
@@ -318,7 +329,7 @@ TEST(UpTest, ConvergesTowardBetterConstantPortfolios) {
   UpStrategy strategy(300, 5);
   strategy.Reset(panel, 1);
   const std::vector<double> action =
-      strategy.Decide(panel, 150, UniformRiskPortfolio(2));
+      strategy.DecideWeights({panel, 150}, UniformRiskPortfolio(2));
   EXPECT_GT(action[1], 0.65);
 }
 

@@ -81,23 +81,26 @@ TEST(StrategySpecTest, DisplayFallsBackToName) {
 
 // --- MakeStrategy: classics. ---------------------------------------------
 
-TEST(MakeStrategyTest, ClassicsMatchTheDeprecatedShim) {
+TEST(MakeStrategyTest, ClassicsAreDeterministicAcrossConstructions) {
+  // Two registry-built instances of the same classic must agree bitwise —
+  // construction carries no hidden randomness or shared mutable state.
   const market::MarketDataset dataset = SyntheticDataset();
   for (const std::string& name : ClassicBaselineNames()) {
     SCOPED_TRACE(name);
-    auto via_registry = MakeStrategy({.name = name}, dataset);
-    auto via_shim = MakeClassicBaseline(name);
-    ASSERT_NE(via_registry, nullptr);
-    ASSERT_NE(via_shim, nullptr);
-    EXPECT_EQ(via_registry->name(), via_shim->name());
-    via_registry->Reset(dataset.panel, 40);
-    via_shim->Reset(dataset.panel, 40);
+    auto first = MakeStrategy({.name = name}, dataset);
+    auto second = MakeStrategy({.name = name}, dataset);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(first->name(), name);
+    first->Reset(dataset.panel, 40);
+    second->Reset(dataset.panel, 40);
     std::vector<double> prev_hat =
         UniformRiskPortfolio(dataset.panel.num_assets());
     for (int64_t t = 40; t < 80; ++t) {
       const std::vector<double> a =
-          via_registry->Decide(dataset.panel, t, prev_hat);
-      const std::vector<double> b = via_shim->Decide(dataset.panel, t, prev_hat);
+          first->DecideWeights({dataset.panel, t}, prev_hat);
+      const std::vector<double> b =
+          second->DecideWeights({dataset.panel, t}, prev_hat);
       ASSERT_EQ(a.size(), b.size());
       for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
     }
@@ -128,9 +131,9 @@ TEST(MakeStrategyTest, ClassicsHaveNoLookahead) {
         UniformRiskPortfolio(dataset.panel.num_assets());
     for (int64_t t = 40; t < 150; ++t) {
       const std::vector<double> action_a =
-          strategy_a->Decide(dataset.panel, t, prev_hat);
+          strategy_a->DecideWeights({dataset.panel, t}, prev_hat);
       const std::vector<double> action_b =
-          strategy_b->Decide(mutated, t, prev_hat);
+          strategy_b->DecideWeights({mutated, t}, prev_hat);
       ASSERT_EQ(action_a.size(), action_b.size());
       for (size_t i = 0; i < action_a.size(); ++i) {
         ASSERT_NEAR(action_a[i], action_b[i], 1e-12)
@@ -178,8 +181,10 @@ TEST(MakeStrategyTest, NeuralTrainingIsDeterministicInTheSeed) {
   const std::vector<double> prev_hat =
       UniformRiskPortfolio(dataset.panel.num_assets());
   for (int64_t t = dataset.train_end; t < dataset.train_end + 5; ++t) {
-    const std::vector<double> a = first->Decide(dataset.panel, t, prev_hat);
-    const std::vector<double> b = second->Decide(dataset.panel, t, prev_hat);
+    const std::vector<double> a =
+        first->DecideWeights({dataset.panel, t}, prev_hat);
+    const std::vector<double> b =
+        second->DecideWeights({dataset.panel, t}, prev_hat);
     ASSERT_EQ(a.size(), b.size());
     // Bitwise equality: identical seeds must reproduce identical policies.
     for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << "t=" << t;
@@ -206,12 +211,6 @@ TEST(StrategySpecDeathTest, MalformedKnobsAbort) {
   spec = StrategySpec{.name = "PPN"};
   spec.base_steps = 0;
   EXPECT_DEATH(spec.Validate(), "");
-}
-
-TEST(StrategySpecDeathTest, ShimRejectsNeuralNames) {
-  // The deprecated shim only covers classics; neural names must go through
-  // MakeStrategy (they need a dataset to train on).
-  EXPECT_DEATH(MakeClassicBaseline("PPN"), "unknown baseline");
 }
 
 }  // namespace

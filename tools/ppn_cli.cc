@@ -6,7 +6,11 @@
 //                      --weights ppn.weights --checkpoint-dir ckpt
 //                      --checkpoint-every 50 --resume 1]
 //   ppn_cli backtest  --dataset crypto-a --variant PPN --weights ppn.weights
+//   ppn_cli serve     --dataset crypto-a --variant PPN --weights ppn.weights
+//                     [--users 1000 --ticks 50 --batch 256 --workers 0
+//                      --queue-capacity 4096 --cost 0.0025]
 //   ppn_cli baselines --dataset crypto-a
+//   ppn_cli help-env
 //   ppn_cli sweep     --datasets crypto-a,crypto-b
 //                     [--strategies UBAH,EIIE,PPN --costs 0.0025,0.01
 //                      --seeds 1,2 --steps 400 --gamma 1e-3 --lambda 1e-4
@@ -36,6 +40,8 @@
 // Chrome trace captured via PPN_TRACE_JSON=<file> (open the file itself
 // in ui.perfetto.dev for the timeline).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -46,6 +52,7 @@
 
 #include "backtest/backtester.h"
 #include "ckpt/checkpoint.h"
+#include "common/env.h"
 #include "common/parse.h"
 #include "common/table_printer.h"
 #include "exec/experiment.h"
@@ -57,6 +64,7 @@
 #include "obs/trace.h"
 #include "ppn/strategy_adapter.h"
 #include "ppn/trainer.h"
+#include "serve/portfolio_server.h"
 #include "strategies/registry.h"
 
 namespace {
@@ -273,6 +281,122 @@ int CmdBacktest(const Flags& flags) {
   return 0;
 }
 
+/// Exact percentile of a sorted latency vector (the obs histogram's
+/// log2-bucketed estimate is fine for dashboards; the CLI keeps the raw
+/// samples so the reported p50/p95/p99 are exact).
+double ExactPercentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+int CmdServe(const Flags& flags) {
+  const market::MarketDataset dataset = ResolveDataset(flags);
+  const core::PolicyConfig policy_config = PolicyConfigFor(flags, dataset);
+  Rng init(1);
+  Rng dropout(2);
+  auto policy = core::MakePolicy(policy_config, &init, &dropout);
+  const std::string weights = FlagOr(flags, "weights", "policy.weights");
+  if (!policy->LoadParameters(weights)) {
+    std::fprintf(stderr,
+                 "failed loading weights '%s' (train first, and use the "
+                 "same --variant/--window)\n",
+                 weights.c_str());
+    return 1;
+  }
+
+  serve::ServerConfig config;
+  config.max_batch = static_cast<int64_t>(NumFlagOr(flags, "batch", 256));
+  config.queue_capacity =
+      static_cast<int64_t>(NumFlagOr(flags, "queue-capacity", 4096));
+  config.workers = static_cast<int>(NumFlagOr(flags, "workers", 0));
+  config.costs =
+      backtest::CostModel::Uniform(NumFlagOr(flags, "cost", 0.0025));
+  serve::PortfolioServer server(&dataset.panel, policy.get(), config);
+
+  // Users start on the test range (never earlier than one full lookback
+  // window) and advance tick-by-tick until the feed runs out.
+  const int64_t num_users =
+      static_cast<int64_t>(NumFlagOr(flags, "users", 1000));
+  const int64_t first =
+      std::max<int64_t>(policy_config.window, dataset.train_end);
+  int64_t ticks = static_cast<int64_t>(NumFlagOr(flags, "ticks", 50));
+  const int64_t available = dataset.panel.num_periods() - first;
+  if (ticks > available) {
+    std::fprintf(stderr, "clamping --ticks %lld to the %lld feed periods\n",
+                 static_cast<long long>(ticks),
+                 static_cast<long long>(available));
+    ticks = available;
+  }
+  if (num_users <= 0 || ticks <= 0) {
+    std::fprintf(stderr, "serve needs --users > 0 and --ticks > 0\n");
+    return 2;
+  }
+  for (int64_t u = 0; u < num_users; ++u) server.AddUser(first);
+
+  const auto begin = std::chrono::steady_clock::now();
+  for (int64_t tick = 0; tick < ticks; ++tick) {
+    for (int64_t u = 0; u < num_users; ++u) {
+      if (!server.TrySubmitTick(u)) {
+        // Admission control rejected: drain the backlog, then lean on the
+        // blocking path (backpressure) for this request.
+        server.DrainPending();
+        server.SubmitTick(u);
+      }
+    }
+    server.DrainPending();
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+
+  std::vector<double> latencies = server.latency_seconds();
+  std::sort(latencies.begin(), latencies.end());
+  double wealth_min = 1e300, wealth_max = -1e300, wealth_sum = 0.0;
+  for (int64_t u = 0; u < num_users; ++u) {
+    const double w = server.user(u).wealth;
+    wealth_min = std::min(wealth_min, w);
+    wealth_max = std::max(wealth_max, w);
+    wealth_sum += w;
+  }
+  std::printf("served %lld users x %lld ticks = %lld decisions in %.3f s\n",
+              static_cast<long long>(num_users),
+              static_cast<long long>(ticks),
+              static_cast<long long>(server.decisions()), elapsed);
+  std::printf("throughput: %.0f decisions/s (batch<=%lld, workers=%d)\n",
+              static_cast<double>(server.decisions()) / elapsed,
+              static_cast<long long>(config.max_batch), config.workers);
+  std::printf("decision latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+              1e3 * ExactPercentile(latencies, 0.50),
+              1e3 * ExactPercentile(latencies, 0.95),
+              1e3 * ExactPercentile(latencies, 0.99));
+  std::printf("final wealth: mean %.4f, min %.4f, max %.4f\n",
+              wealth_sum / static_cast<double>(num_users), wealth_min,
+              wealth_max);
+  return 0;
+}
+
+int CmdHelpEnv() {
+  std::printf("environment knobs (all PPN_* reads go through common/env):\n");
+  size_t name_width = 0, kind_width = 0, fallback_width = 0;
+  for (const env::VarInfo& info : env::Registry()) {
+    name_width = std::max(name_width, std::strlen(info.name));
+    kind_width = std::max(kind_width, std::strlen(info.kind));
+    fallback_width = std::max(fallback_width, std::strlen(info.fallback));
+  }
+  for (const env::VarInfo& info : env::Registry()) {
+    std::printf("  %-*s  %-*s  default: %-*s  %s\n",
+                static_cast<int>(name_width), info.name,
+                static_cast<int>(kind_width), info.kind,
+                static_cast<int>(fallback_width), info.fallback,
+                info.description);
+  }
+  return 0;
+}
+
 int CmdBaselines(const Flags& flags) {
   const market::MarketDataset dataset = ResolveDataset(flags);
   const double cost = NumFlagOr(flags, "cost", 0.0025);
@@ -363,10 +487,7 @@ int CmdSweep(const Flags& flags) {
   spec.telemetry_dir = FlagOr(flags, "telemetry-dir", "");
   if (spec.telemetry_dir.empty()) {
     // Env-var spelling, for parity with the bench binaries.
-    if (const char* dir = std::getenv("PPN_RUNLOG_DIR");
-        dir != nullptr && dir[0] != '\0') {
-      spec.telemetry_dir = dir;
-    }
+    spec.telemetry_dir = env::StringOr("PPN_RUNLOG_DIR", "");
   }
   // Asking for run logs implies turning the obs layer on (RunLog::Open is
   // gated on obs::Enabled(), like every other sink).
@@ -451,8 +572,8 @@ int CmdReport(const Flags& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: ppn_cli <generate|train|backtest|baselines|sweep|"
-               "report> [--flag value ...]\n"
+               "usage: ppn_cli <generate|train|backtest|serve|baselines|"
+               "sweep|report|help-env> [--flag value ...]\n"
                "see the header comment of tools/ppn_cli.cc for details\n");
 }
 
@@ -469,17 +590,19 @@ int main(int argc, char** argv) {
   if (command == "generate") status = CmdGenerate(flags);
   else if (command == "train") status = CmdTrain(flags);
   else if (command == "backtest") status = CmdBacktest(flags);
+  else if (command == "serve") status = CmdServe(flags);
   else if (command == "baselines") status = CmdBaselines(flags);
   else if (command == "sweep") status = CmdSweep(flags);
   else if (command == "report") status = CmdReport(flags);
+  else if (command == "help-env") status = CmdHelpEnv();
   else Usage();
   if (ppn::obs::WriteProfileIfRequested()) {
     std::fprintf(stderr, "profile written to %s\n",
-                 std::getenv("PPN_PROFILE_JSON"));
+                 ppn::env::StringOr("PPN_PROFILE_JSON", "").c_str());
   }
   if (ppn::obs::WriteTraceIfRequested()) {
     std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
-                 std::getenv("PPN_TRACE_JSON"));
+                 ppn::env::StringOr("PPN_TRACE_JSON", "").c_str());
   }
   return status;
 }
