@@ -9,8 +9,9 @@
 # PPN_WORKERS controls experiment parallelism (default: hardware thread
 # count; 0 forces the serial inline path).
 #
-# google-benchmark binaries (micro_kernels, serve_bench) archive their
-# machine-readable report as "<bench>.json" in bench_results/ — the
+# google-benchmark binaries (micro_kernels, serve_bench, stress_bench)
+# archive their machine-readable report as "<bench>.json" in
+# bench_results/ — the
 # input format of tools/bench_diff.py, which compares two archived runs
 # and flags throughput regressions.
 #
@@ -33,7 +34,7 @@ gate_status=0
       name=$(basename "$b")
       echo "===== RUNNING $name ====="
       case "$name" in
-        micro_kernels|serve_bench)
+        micro_kernels|serve_bench|stress_bench)
           baseline=""
           if [ "${PPN_BENCH_GATE:-0}" = "1" ] && \
              [ -f "/root/repo/bench_results/$name.json" ]; then

@@ -1,5 +1,6 @@
 #include "backtest/backtester.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -20,6 +21,11 @@ BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
   PPN_CHECK_LT(config.start_period, config.end_period);
 
   const int64_t num_assets = panel.num_assets();
+  if (!config.cost_multipliers.empty()) {
+    PPN_CHECK_GE(static_cast<int64_t>(config.cost_multipliers.size()),
+                 config.end_period)
+        << "cost_multipliers must cover every decision period";
+  }
   strategy->Reset(panel, config.start_period);
 
   BacktestRecord record;
@@ -47,20 +53,44 @@ BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
     PPN_CHECK_EQ(action.size(), static_cast<size_t>(num_assets + 1));
     PPN_CHECK(IsOnSimplex(action, 1e-4))
         << strategy->name() << " produced a non-simplex portfolio at t=" << t;
+    // Force positions out of assets that cannot trade at t (halted or
+    // delisted): a delisting is a forced sale at the frozen price, paid
+    // for through the normal ψ accounting below.
+    if (panel.HasTradeabilityMask()) {
+      for (int64_t a = 0; a < num_assets; ++a) {
+        if (!panel.Tradeable(t, a)) action[a + 1] = 0.0;
+      }
+    }
     // Exact renormalization to keep the accounting identity tight.
     double total = 0.0;
     for (double& v : action) {
       v = std::max(v, 0.0);
       total += v;
     }
+    if (total <= 0.0) {
+      // Everything the strategy wanted is untradeable: go to cash.
+      std::fill(action.begin(), action.end(), 0.0);
+      action[0] = 1.0;
+      total = 1.0;
+    }
     for (double& v : action) v /= total;
 
+    CostModel costs = config.costs;
+    if (!config.cost_multipliers.empty()) {
+      const double multiplier = config.cost_multipliers[t];
+      PPN_CHECK_GE(multiplier, 0.0);
+      costs.purchase_rate *= multiplier;
+      costs.sale_rate *= multiplier;
+      PPN_CHECK(costs.purchase_rate < 1.0 && costs.sale_rate < 1.0)
+          << "cost multiplier " << multiplier << " at t=" << t
+          << " pushes the effective rate past 1";
+    }
     const NetWealthSolve solve =
-        SolveNetWealthFactorDetailed(prev_hat, action, config.costs);
+        SolveNetWealthFactorDetailed(prev_hat, action, costs);
     PPN_CHECK(solve.converged)
         << "net-wealth solve failed at t=" << t << " for " << strategy->name()
-        << " (psi_p=" << config.costs.purchase_rate
-        << ", psi_s=" << config.costs.sale_rate << ")";
+        << " (psi_p=" << costs.purchase_rate
+        << ", psi_s=" << costs.sale_rate << ")";
     const double omega = solve.omega;
     const std::vector<double> relative =
         market::PriceRelativesWithCash(panel, t);
@@ -87,11 +117,13 @@ BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
 
 BacktestRecord RunOnTestRange(Strategy* strategy,
                               const market::MarketDataset& dataset,
-                              double cost_rate) {
+                              double cost_rate,
+                              const std::vector<double>& cost_multipliers) {
   BacktestConfig config;
   config.costs = CostModel::Uniform(cost_rate);
   config.start_period = dataset.train_end;
   config.end_period = dataset.panel.num_periods();
+  config.cost_multipliers = cost_multipliers;
   return RunBacktest(strategy, dataset.panel, config);
 }
 

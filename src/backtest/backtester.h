@@ -21,17 +21,31 @@ struct BacktestConfig {
   int64_t start_period = 1;
   /// One past the last decision period.
   int64_t end_period = 0;
+  /// Optional per-period multiplier on both ψ rates, indexed by absolute
+  /// panel period — how stress scenarios layer volume-dependent slippage
+  /// (liquidity holes) onto the proportional cost model. Empty = 1
+  /// everywhere; when non-empty it must cover every decision period and
+  /// keep the effective rates in [0, 1).
+  std::vector<double> cost_multipliers;
 };
 
 /// Runs `strategy` on `panel` under `config` and returns the full record.
 /// Wealth starts at S_0 = 1 in cash (a_0 = [1, 0, ..., 0]).
+///
+/// Tradeability: any weight the strategy places on an asset that is
+/// non-tradeable at period t is forced to zero (the position is closed at
+/// the frozen price through the normal ψ accounting — a delisting is a
+/// forced sale, not an abort) and the freed weight is renormalized across
+/// the remaining portfolio (all-cash if nothing else is held).
 BacktestRecord RunBacktest(Strategy* strategy, const market::OhlcPanel& panel,
                            const BacktestConfig& config);
 
 /// Convenience: runs on a dataset's test range with a uniform cost rate.
+/// `cost_multipliers` (optional) is forwarded to `BacktestConfig`.
 BacktestRecord RunOnTestRange(Strategy* strategy,
                               const market::MarketDataset& dataset,
-                              double cost_rate);
+                              double cost_rate,
+                              const std::vector<double>& cost_multipliers = {});
 
 }  // namespace ppn::backtest
 

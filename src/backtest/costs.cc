@@ -123,7 +123,8 @@ CostBounds Proposition4Bounds(const std::vector<double>& prev_hat,
   }
   CostBounds bounds;
   bounds.lower = psi / (1.0 + psi) * distance;
-  bounds.upper = psi < 1.0 ? psi / (1.0 - psi) * distance : 0.0;
+  bounds.upper = psi / (1.0 - psi) * distance;
+  PPN_CHECK_LE(bounds.lower, bounds.upper);
   return bounds;
 }
 

@@ -289,7 +289,9 @@ ExperimentRunner::ExperimentRunner()
 
 std::vector<CellResult> ExperimentRunner::Run(
     const ExperimentSpec& spec) const {
-  PPN_CHECK(!spec.datasets.empty()) << "spec has no datasets";
+  PPN_CHECK(spec.datasets.empty() != spec.custom_datasets.empty())
+      << "spec needs exactly one dataset source: preset `datasets` or "
+         "pre-built `custom_datasets`";
   PPN_CHECK(!spec.strategies.empty()) << "spec has no strategies";
   PPN_CHECK(!spec.cost_rates.empty()) << "spec has no cost rates";
   PPN_CHECK(!spec.seeds.empty()) << "spec has no seeds";
@@ -301,13 +303,46 @@ std::vector<CellResult> ExperimentRunner::Run(
         << " (cells are keyed by label; disambiguate with StrategySpec::label)";
   }
 
-  // Datasets are generated once, serially, before any cell runs: every cell
+  // Datasets are resolved once, serially, before any cell runs: every cell
   // then reads the shared immutable panels, and generation cost is not
-  // multiplied across the grid.
-  std::vector<market::MarketDataset> datasets;
-  datasets.reserve(spec.datasets.size());
+  // multiplied across the grid. Preset ids are generated here; custom
+  // datasets are referenced in place. Either way the dataset axis is fixed
+  // before the pool starts, so scheduling cannot touch it.
+  std::vector<market::MarketDataset> generated;
+  generated.reserve(spec.datasets.size());
   for (const market::DatasetId id : spec.datasets) {
-    datasets.push_back(market::MakeDataset(id, spec.scale));
+    generated.push_back(market::MakeDataset(id, spec.scale));
+  }
+  static const std::vector<double> kNoMultipliers;
+  struct DatasetEntry {
+    const market::MarketDataset* dataset;
+    const std::vector<double>* cost_multipliers;  ///< Never null; may be empty.
+    std::string display_name;
+  };
+  std::vector<DatasetEntry> datasets;
+  if (spec.custom_datasets.empty()) {
+    for (size_t d = 0; d < generated.size(); ++d) {
+      datasets.push_back(DatasetEntry{&generated[d], &kNoMultipliers,
+                                      market::DatasetName(spec.datasets[d])});
+    }
+  } else {
+    std::set<std::string> names;
+    for (const CustomDataset& custom : spec.custom_datasets) {
+      PPN_CHECK(!custom.dataset.name.empty())
+          << "custom dataset needs a name (cells are keyed by it)";
+      PPN_CHECK(names.insert(custom.dataset.name).second)
+          << "duplicate custom dataset name in spec: " << custom.dataset.name;
+      if (!custom.cost_multipliers.empty()) {
+        PPN_CHECK_GE(
+            static_cast<int64_t>(custom.cost_multipliers.size()),
+            custom.dataset.panel.num_periods())
+            << "cost multipliers of " << custom.dataset.name
+            << " do not cover the panel";
+      }
+      datasets.push_back(DatasetEntry{&custom.dataset,
+                                      &custom.cost_multipliers,
+                                      custom.dataset.name});
+    }
   }
 
   struct Cell {
@@ -318,7 +353,7 @@ std::vector<CellResult> ExperimentRunner::Run(
     uint64_t seed;
   };
   std::vector<Cell> cells;
-  for (size_t d = 0; d < spec.datasets.size(); ++d) {
+  for (size_t d = 0; d < datasets.size(); ++d) {
     for (size_t s = 0; s < spec.strategies.size(); ++s) {
       for (const double cost_rate : spec.cost_rates) {
         for (const uint64_t seed : spec.seeds) {
@@ -350,7 +385,8 @@ std::vector<CellResult> ExperimentRunner::Run(
       cell_span.AddArg("index", static_cast<double>(cell.index));
       cell_span.AddArg("cost_rate", cell.cost_rate);
       const auto start = std::chrono::steady_clock::now();
-      const market::MarketDataset& dataset = datasets[cell.dataset_index];
+      const DatasetEntry& entry = datasets[cell.dataset_index];
+      const market::MarketDataset& dataset = *entry.dataset;
       strategies::StrategySpec cell_spec = spec.strategies[cell.strategy_index];
       cell_spec.scale = spec.scale;
       // Train at the evaluated rate (the paper's protocol) unless the spec
@@ -358,8 +394,7 @@ std::vector<CellResult> ExperimentRunner::Run(
       cell_spec.cost_rate =
           spec.train_cost_rate >= 0.0 ? spec.train_cost_rate : cell.cost_rate;
       CellResult result;
-      result.key = CellKey{cell_spec.display(),
-                           market::DatasetName(spec.datasets[cell.dataset_index]),
+      result.key = CellKey{cell_spec.display(), entry.display_name,
                            cell.cost_rate, cell.seed};
       // The cell's RNG root comes from its key, never from scheduling, so
       // any worker count reproduces the same bits.
@@ -394,8 +429,8 @@ std::vector<CellResult> ExperimentRunner::Run(
       }
       const std::unique_ptr<backtest::Strategy> strategy =
           strategies::MakeStrategy(cell_spec, dataset);
-      backtest::BacktestRecord record =
-          backtest::RunOnTestRange(strategy.get(), dataset, cell.cost_rate);
+      backtest::BacktestRecord record = backtest::RunOnTestRange(
+          strategy.get(), dataset, cell.cost_rate, *entry.cost_multipliers);
       result.metrics = backtest::ComputeMetrics(record);
       if (spec.keep_records) result.record = std::move(record);
       result.wall_seconds =

@@ -33,6 +33,21 @@ void OhlcPanel::SetPrice(int64_t period, int64_t asset, PriceField field,
   prices_[Index(period, asset, field)] = value;
 }
 
+bool OhlcPanel::Tradeable(int64_t period, int64_t asset) const {
+  if (tradeable_.empty()) return true;
+  return tradeable_[static_cast<size_t>(period * num_assets_ + asset)] != 0;
+}
+
+void OhlcPanel::SetTradeable(int64_t period, int64_t asset, bool tradeable) {
+  PPN_CHECK(period >= 0 && period < num_periods_);
+  PPN_CHECK(asset >= 0 && asset < num_assets_);
+  if (tradeable_.empty()) {
+    tradeable_.assign(static_cast<size_t>(num_periods_ * num_assets_), 1);
+  }
+  tradeable_[static_cast<size_t>(period * num_assets_ + asset)] =
+      tradeable ? 1 : 0;
+}
+
 bool OhlcPanel::IsMissing(int64_t period, int64_t asset) const {
   for (int f = 0; f < kNumPriceFields; ++f) {
     if (std::isnan(prices_[Index(period, asset, f)])) return true;
@@ -51,6 +66,7 @@ bool OhlcPanel::IsValid() const {
   for (int64_t t = 0; t < num_periods_; ++t) {
     for (int64_t a = 0; a < num_assets_; ++a) {
       if (IsMissing(t, a)) continue;
+      if (!Tradeable(t, a)) continue;
       const double open = Price(t, a, kOpen);
       const double high = Price(t, a, kHigh);
       const double low = Price(t, a, kLow);
@@ -102,9 +118,24 @@ std::vector<double> PriceRelatives(const OhlcPanel& panel, int64_t period) {
   PPN_CHECK(period >= 1 && period < panel.num_periods());
   std::vector<double> relatives(panel.num_assets());
   for (int64_t a = 0; a < panel.num_assets(); ++a) {
+    // Halted/delisted assets have frozen value: relative 1 by definition,
+    // whatever the (possibly degenerate) quotes say.
+    if (!panel.Tradeable(period, a) || !panel.Tradeable(period - 1, a)) {
+      relatives[a] = 1.0;
+      continue;
+    }
     const double previous = panel.Close(period - 1, a);
     const double current = panel.Close(period, a);
-    PPN_CHECK_GT(previous, 0.0);
+    PPN_CHECK_GT(previous, 0.0)
+        << "degenerate close " << previous << " for tradeable asset " << a
+        << " at period " << period - 1
+        << "; mark the asset non-tradeable (tradeability mask) or fix the "
+           "panel";
+    PPN_CHECK_GT(current, 0.0)
+        << "degenerate close " << current << " for tradeable asset " << a
+        << " at period " << period
+        << "; mark the asset non-tradeable (tradeability mask) or fix the "
+           "panel";
     relatives[a] = current / previous;
   }
   return relatives;
@@ -128,9 +159,23 @@ Tensor NormalizedWindow(const OhlcPanel& panel, int64_t t, int64_t k) {
   Tensor window({m, k, kNumPriceFields});
   float* out = window.MutableData();
   for (int64_t a = 0; a < m; ++a) {
+    // A halted/delisted asset contributes the neutral input a frozen flat
+    // price path would: all ones.
+    if (!panel.Tradeable(t, a)) {
+      for (int f = 0; f < kNumPriceFields; ++f) {
+        for (int64_t j = 0; j < k; ++j) {
+          out[(a * k + j) * kNumPriceFields + f] = 1.0f;
+        }
+      }
+      continue;
+    }
     for (int f = 0; f < kNumPriceFields; ++f) {
       const double denominator = panel.Price(t, a, static_cast<PriceField>(f));
-      PPN_CHECK_GT(denominator, 0.0);
+      PPN_CHECK_GT(denominator, 0.0)
+          << "degenerate price " << denominator << " (field " << f
+          << ") for tradeable asset " << a << " at period " << t
+          << "; mark the asset non-tradeable (tradeability mask) or fix the "
+             "panel";
       for (int64_t j = 0; j < k; ++j) {
         const int64_t period = t - k + 1 + j;
         const double price = panel.Price(period, a, static_cast<PriceField>(f));

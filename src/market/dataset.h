@@ -23,11 +23,19 @@ inline constexpr int kNumPriceFields = 4;
 /// trading periods (the cash asset is implicit and has constant price 1).
 /// Missing values (pre-listing history) are encoded as NaN until
 /// `FlatFillMissing` is applied.
+///
+/// Tradeability: each (period, asset) bar additionally carries a
+/// tradeability flag (default: everything tradeable, stored as an empty
+/// mask). Stress scenarios mark assets non-tradeable to model halts and
+/// mid-episode delistings; the preprocessing functions below treat a
+/// non-tradeable bar as HALTED — frozen value, price relative 1, neutral
+/// network input — instead of aborting, and the backtester force-
+/// liquidates positions in assets that stop trading.
 class OhlcPanel {
  public:
   OhlcPanel() = default;
 
-  /// Allocates a panel filled with NaN.
+  /// Allocates a panel filled with NaN (and fully tradeable).
   OhlcPanel(int64_t num_periods, int64_t num_assets);
 
   int64_t num_periods() const { return num_periods_; }
@@ -44,6 +52,17 @@ class OhlcPanel {
     return Price(period, asset, kClose);
   }
 
+  /// True if `asset` can be traded at `period`. Always true until
+  /// `SetTradeable` has marked something non-tradeable.
+  bool Tradeable(int64_t period, int64_t asset) const;
+
+  /// Marks one (period, asset) bar tradeable or halted/delisted. The mask
+  /// is allocated (all-true) on the first call.
+  void SetTradeable(int64_t period, int64_t asset, bool tradeable);
+
+  /// True once any bar has been marked non-tradeable via `SetTradeable`.
+  bool HasTradeabilityMask() const { return !tradeable_.empty(); }
+
   /// True if any field of the bar is NaN.
   bool IsMissing(int64_t period, int64_t asset) const;
 
@@ -52,6 +71,9 @@ class OhlcPanel {
 
   /// Verifies OHLC sanity on non-missing bars: low <= open, close <= high
   /// and all prices positive. Returns false on the first violation.
+  /// Non-tradeable bars are exempt — a halted or delisted asset's quotes
+  /// are decorative (its value is frozen and it cannot be traded), so a
+  /// stress pack that drives a masked price to zero stays valid.
   bool IsValid() const;
 
  private:
@@ -60,6 +82,8 @@ class OhlcPanel {
   int64_t num_periods_ = 0;
   int64_t num_assets_ = 0;
   std::vector<double> prices_;
+  /// Empty = all tradeable; otherwise one flag per (period, asset).
+  std::vector<uint8_t> tradeable_;
 };
 
 /// A named dataset: an OHLC panel plus the train/test split boundary,
@@ -81,7 +105,11 @@ void FlatFillMissing(OhlcPanel* panel);
 
 /// Price-relative vector of the *risk assets* for period t:
 /// x_t[i] = close_t[i] / close_{t-1}[i]. Requires 1 <= t < num_periods and a
-/// complete panel.
+/// complete panel. An asset that is non-tradeable at `period` or
+/// `period - 1` is halted: its relative is 1 (frozen value) regardless of
+/// the quoted prices. A non-positive close on a TRADEABLE asset aborts
+/// with the offending (period, asset, price) named — mask the asset or fix
+/// the data.
 std::vector<double> PriceRelatives(const OhlcPanel& panel, int64_t period);
 
 /// Price-relative including the cash asset at index 0 (always 1), matching
@@ -93,6 +121,10 @@ std::vector<double> PriceRelativesWithCash(const OhlcPanel& panel,
 /// window of the `k` most recent bars (periods t-k+1 .. t), each price
 /// divided elementwise by the corresponding price of the window's last
 /// period, returned with shape [num_assets, k, 4]. Requires t >= k-1.
+/// An asset non-tradeable at `t` contributes a neutral all-ones row (the
+/// same input a frozen flat price path would produce); a non-positive
+/// normalization price on a tradeable asset aborts with the offending
+/// (period, asset, field, price) named.
 Tensor NormalizedWindow(const OhlcPanel& panel, int64_t t, int64_t k);
 
 /// Summary row used by the Table-1 bench: asset count plus train/test sizes.

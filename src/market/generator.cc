@@ -72,10 +72,13 @@ OhlcPanel SyntheticMarketGenerator::Generate(
                  rng.Normal(0.0, config_.idio_vol);
       // Sequential signal: own-return momentum.
       r += config_.momentum * returns[t - 1][a];
-      // Slow mean reversion to the moving average of log price.
+      // Slow mean reversion to the moving average of log price. The
+      // rolling sum holds log prices [max(0, t - W) .. t-1], i.e. exactly
+      // min(t, W) terms — divide by that count, not one more.
       const int64_t window =
           std::min<int64_t>(t, config_.reversion_window);
-      const double moving_average = running_sum[a] / (window + 1);
+      const double moving_average =
+          running_sum[a] / static_cast<double>(window);
       r += config_.mean_reversion * (moving_average - log_price[t - 1][a]);
       // Cross-asset signal: echo the leader's lagged return.
       const int64_t leader = truth.leader[a];
@@ -136,6 +139,20 @@ MarketDataset SyntheticMarketGenerator::GenerateDataset(
   dataset.panel = Generate();
   dataset.train_end =
       static_cast<int64_t>(train_fraction * config_.num_periods);
+  // Small num_periods can truncate the split into a degenerate range: a
+  // train_end of 0 leaves nothing to train on, and windowed policies
+  // (lookback k, PVM) additionally need train_end >= k before the first
+  // decision — catch the empty split here with actionable context instead
+  // of an opaque downstream abort.
+  PPN_CHECK_GE(dataset.train_end, 1)
+      << "degenerate split: train_fraction " << train_fraction << " of "
+      << config_.num_periods
+      << " periods truncates to an empty training range; use more periods "
+         "or a larger fraction";
+  PPN_CHECK_GE(config_.num_periods - dataset.train_end, 1)
+      << "degenerate split: train_fraction " << train_fraction << " of "
+      << config_.num_periods
+      << " periods leaves no test range to backtest on";
   dataset.asset_names.reserve(config_.num_assets);
   for (int64_t a = 0; a < config_.num_assets; ++a) {
     dataset.asset_names.push_back("ASSET" + std::to_string(a));

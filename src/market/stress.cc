@@ -1,0 +1,314 @@
+#include "market/stress.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "obs/stats.h"
+#include "obs/trace.h"
+
+namespace ppn::market {
+
+namespace {
+
+/// Span/metric names must be static strings; one literal per pack.
+const char* StressPackSpanName(StressPack pack) {
+  switch (pack) {
+    case StressPack::kFlashCrash:
+      return "market.stress.flash-crash";
+    case StressPack::kJumpCluster:
+      return "market.stress.jump-cluster";
+    case StressPack::kCorrelationBreak:
+      return "market.stress.corr-break";
+    case StressPack::kLiquidityHole:
+      return "market.stress.liquidity-hole";
+    case StressPack::kDelisting:
+      return "market.stress.delisting";
+  }
+  return "market.stress.unknown";
+}
+
+/// Multiplies every OHLC field of one bar by `factor` (> 0), preserving
+/// intra-bar ordering and hence `IsValid`.
+void ScaleBar(OhlcPanel* panel, int64_t t, int64_t a, double factor) {
+  for (int f = 0; f < kNumPriceFields; ++f) {
+    const auto field = static_cast<PriceField>(f);
+    panel->SetPrice(t, a, field, panel->Price(t, a, field) * factor);
+  }
+}
+
+/// Student-t sample with `df` degrees of freedom: Normal / sqrt(χ²_df/df),
+/// the fat-tailed jump-size distribution.
+double StudentT(Rng* rng, double df) {
+  const double normal = rng->Normal();
+  const double chi2 = 2.0 * rng->Gamma(df / 2.0);
+  return normal / std::sqrt(std::max(chi2 / df, 1e-9));
+}
+
+void ApplyFlashCrash(OhlcPanel* panel, int64_t t0, const StressConfig& config,
+                     Rng* rng) {
+  const int64_t n = panel->num_periods();
+  const int64_t m = panel->num_assets();
+  const int64_t len = n - t0;
+  // Crash somewhere in the middle half of the test range, so there is
+  // history before it and aftermath behind it.
+  const int64_t crash_t = t0 + len / 4 + rng->UniformInt(std::max<int64_t>(
+                                             1, len / 2));
+  std::vector<bool> affected(m, false);
+  int64_t num_affected = 0;
+  for (int64_t a = 0; a < m; ++a) {
+    if (rng->Bernoulli(config.crash_breadth)) {
+      affected[a] = true;
+      ++num_affected;
+    }
+  }
+  if (num_affected == 0) affected[rng->UniformInt(m)] = true;
+  for (int64_t a = 0; a < m; ++a) {
+    if (!affected[a]) continue;
+    // Per-asset severity jitter, capped below a total wipeout.
+    const double depth =
+        std::min(0.9, config.crash_depth * rng->Uniform(0.8, 1.2));
+    const double bottom = 1.0 - depth;
+    const double recovered =
+        1.0 - depth * (1.0 - config.crash_recovery_fraction);
+    for (int64_t t = crash_t; t < n; ++t) {
+      const int64_t since = t - crash_t;
+      double factor;
+      if (since == 0) {
+        factor = bottom;
+      } else if (since < config.crash_recovery_periods) {
+        // Geometric climb from the bottom toward the recovered level.
+        const double frac = static_cast<double>(since) /
+                            static_cast<double>(config.crash_recovery_periods);
+        factor = std::exp(std::log(bottom) +
+                          frac * (std::log(recovered) - std::log(bottom)));
+      } else {
+        factor = recovered;
+      }
+      ScaleBar(panel, t, a, factor);
+    }
+  }
+}
+
+void ApplyJumpCluster(OhlcPanel* panel, int64_t t0, const StressConfig& config,
+                      Rng* rng) {
+  const int64_t n = panel->num_periods();
+  const int64_t m = panel->num_assets();
+  // Self-exciting (Hawkes-style) event process on the test range; each
+  // event applies a permanent fat-tailed log-price shock, so shocks are
+  // accumulated per asset and applied as a running factor.
+  std::vector<double> cumulative(m, 0.0);
+  double excitation = 0.0;
+  for (int64_t t = t0; t < n; ++t) {
+    const double p = std::min(0.9, config.jump_base_prob + excitation);
+    if (rng->Bernoulli(p)) {
+      const double sign = rng->Bernoulli(0.5) ? 1.0 : -1.0;
+      for (int64_t a = 0; a < m; ++a) {
+        // Common sign (market-wide gap), per-asset fat-tailed magnitude.
+        const double magnitude =
+            config.jump_scale * std::fabs(StudentT(rng, config.jump_tail_df));
+        cumulative[a] += sign * std::min(magnitude, 0.4);
+      }
+      excitation = config.jump_excite;
+    } else {
+      excitation *= config.jump_decay;
+    }
+    for (int64_t a = 0; a < m; ++a) {
+      if (cumulative[a] != 0.0) ScaleBar(panel, t, a, std::exp(cumulative[a]));
+    }
+  }
+}
+
+void ApplyCorrelationBreak(OhlcPanel* panel, int64_t t0,
+                           const StressConfig& config, Rng* rng) {
+  const int64_t n = panel->num_periods();
+  const int64_t m = panel->num_assets();
+  const int64_t len = n - t0;
+  const int64_t window = std::max<int64_t>(
+      4, static_cast<int64_t>(config.corr_window_fraction * len));
+  const int64_t start =
+      t0 + rng->UniformInt(std::max<int64_t>(1, len - window + 1));
+  const int64_t end = std::min(n, start + window);
+  // One common crisis factor hits every asset identically inside the
+  // window: pairwise correlations spike toward 1 (diversification fails)
+  // while the drift makes it a risk-off episode. The shock is a permanent
+  // log-price shift accumulated forward like any return perturbation.
+  double cumulative = 0.0;
+  for (int64_t t = start; t < n; ++t) {
+    if (t < end) {
+      cumulative += rng->Normal(config.corr_shock_drift, config.corr_shock_vol);
+    }
+    if (cumulative != 0.0) {
+      const double factor = std::exp(cumulative);
+      for (int64_t a = 0; a < m; ++a) ScaleBar(panel, t, a, factor);
+    }
+  }
+}
+
+void ApplyLiquidityHole(std::vector<double>* cost_multipliers, int64_t t0,
+                        int64_t n, const StressConfig& config, Rng* rng) {
+  const int64_t len = n - t0;
+  const int64_t hole = std::min(config.hole_periods, len);
+  const int64_t start =
+      t0 + rng->UniformInt(std::max<int64_t>(1, len - hole + 1));
+  for (int64_t j = 0; j < hole; ++j) {
+    // V-shaped volume collapse: down to (1 - depth) of normal volume at
+    // the middle of the hole, back to normal at the edges.
+    const double shape =
+        hole > 1 ? 1.0 - std::fabs(2.0 * static_cast<double>(j) /
+                                       static_cast<double>(hole - 1) -
+                                   1.0)
+                 : 1.0;
+    const double volume =
+        std::max(0.01, (1.0 - config.hole_depth * shape) *
+                           std::exp(rng->Normal(0.0, 0.05)));
+    // Slippage grows as a power of the volume shortfall, layered onto ψ.
+    const double multiplier = std::min(
+        config.max_cost_multiplier,
+        std::pow(1.0 / volume, config.slippage_exponent));
+    (*cost_multipliers)[start + j] *= std::max(1.0, multiplier);
+  }
+}
+
+void ApplyDelisting(OhlcPanel* panel, int64_t t0, const StressConfig& config,
+                    Rng* rng) {
+  const int64_t n = panel->num_periods();
+  const int64_t m = panel->num_assets();
+  const int64_t len = n - t0;
+  // At least one asset delists, at least one always survives.
+  const int64_t count = std::clamp<int64_t>(
+      static_cast<int64_t>(std::lround(config.delist_fraction * m)), 1, m - 1);
+  const std::vector<int64_t> order = rng->Permutation(m);
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t a = order[i];
+    const int64_t delist_t =
+        t0 + len / 4 + rng->UniformInt(std::max<int64_t>(1, len / 2));
+    // The last trade freezes the asset's value; from the delist period on
+    // the quotes are flat at that close and the bar is non-tradeable. The
+    // backtester force-liquidates any held position at the frozen price.
+    const double last_close = panel->Close(delist_t - 1, a);
+    for (int64_t t = delist_t; t < n; ++t) {
+      for (int f = 0; f < kNumPriceFields; ++f) {
+        panel->SetPrice(t, a, static_cast<PriceField>(f), last_close);
+      }
+      panel->SetTradeable(t, a, false);
+    }
+  }
+}
+
+}  // namespace
+
+void StressConfig::Validate() const {
+  PPN_CHECK(crash_depth > 0.0 && crash_depth < 0.95)
+      << "crash_depth out of (0, 0.95): " << crash_depth;
+  PPN_CHECK(crash_breadth > 0.0 && crash_breadth <= 1.0);
+  PPN_CHECK_GE(crash_recovery_periods, 1);
+  PPN_CHECK(crash_recovery_fraction >= 0.0 && crash_recovery_fraction <= 1.0);
+  PPN_CHECK(jump_base_prob >= 0.0 && jump_base_prob < 1.0);
+  PPN_CHECK(jump_excite >= 0.0 && jump_excite < 1.0);
+  PPN_CHECK(jump_decay >= 0.0 && jump_decay < 1.0);
+  PPN_CHECK_GT(jump_scale, 0.0);
+  PPN_CHECK_GT(jump_tail_df, 1.0);
+  PPN_CHECK(corr_window_fraction > 0.0 && corr_window_fraction <= 1.0);
+  PPN_CHECK_GE(corr_shock_vol, 0.0);
+  PPN_CHECK(hole_depth > 0.0 && hole_depth < 1.0);
+  PPN_CHECK_GE(hole_periods, 1);
+  PPN_CHECK_GT(slippage_exponent, 0.0);
+  PPN_CHECK_GE(max_cost_multiplier, 1.0);
+  PPN_CHECK(delist_fraction > 0.0 && delist_fraction < 1.0);
+}
+
+std::vector<StressPack> AllStressPacks() {
+  return {StressPack::kFlashCrash, StressPack::kJumpCluster,
+          StressPack::kCorrelationBreak, StressPack::kLiquidityHole,
+          StressPack::kDelisting};
+}
+
+std::string StressPackName(StressPack pack) {
+  switch (pack) {
+    case StressPack::kFlashCrash:
+      return "flash-crash";
+    case StressPack::kJumpCluster:
+      return "jump-cluster";
+    case StressPack::kCorrelationBreak:
+      return "corr-break";
+    case StressPack::kLiquidityHole:
+      return "liquidity-hole";
+    case StressPack::kDelisting:
+      return "delisting";
+  }
+  return "unknown";
+}
+
+bool StressPackFromName(const std::string& name, StressPack* pack) {
+  for (const StressPack candidate : AllStressPacks()) {
+    if (StressPackName(candidate) == name) {
+      *pack = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+StressedDataset ApplyStressPacks(const MarketDataset& base,
+                                 const std::vector<StressPack>& packs,
+                                 uint64_t seed, const StressConfig& config) {
+  config.Validate();
+  PPN_CHECK(base.panel.IsComplete()) << "stress packs need a complete panel";
+  PPN_CHECK(base.panel.IsValid()) << "stress packs need a valid panel";
+  const int64_t n = base.panel.num_periods();
+  PPN_CHECK(base.train_end >= 1 && base.train_end < n)
+      << "stress packs need a non-degenerate train/test split, got train_end="
+      << base.train_end << " of " << n << " periods";
+  const int64_t t0 = base.train_end;
+  PPN_CHECK_GE(n - t0, 8) << "test range too short to stress (" << n - t0
+                          << " periods)";
+
+  StressedDataset stressed;
+  stressed.dataset = base;
+  stressed.cost_multipliers.assign(static_cast<size_t>(n), 1.0);
+
+  std::string name = base.name;
+  for (size_t i = 0; i < packs.size(); ++i) {
+    const StressPack pack = packs[i];
+    obs::Span span(StressPackSpanName(pack));
+    span.AddArg("test_periods", static_cast<double>(n - t0));
+    // Each pack draws from its own child stream, keyed by the pack and its
+    // position, so composition order matters but scheduling never does.
+    Rng rng = Rng(seed).Split(static_cast<uint64_t>(pack) * 1000003ull + i + 1);
+    switch (pack) {
+      case StressPack::kFlashCrash:
+        ApplyFlashCrash(&stressed.dataset.panel, t0, config, &rng);
+        break;
+      case StressPack::kJumpCluster:
+        ApplyJumpCluster(&stressed.dataset.panel, t0, config, &rng);
+        break;
+      case StressPack::kCorrelationBreak:
+        ApplyCorrelationBreak(&stressed.dataset.panel, t0, config, &rng);
+        break;
+      case StressPack::kLiquidityHole:
+        ApplyLiquidityHole(&stressed.cost_multipliers, t0, n, config, &rng);
+        break;
+      case StressPack::kDelisting:
+        ApplyDelisting(&stressed.dataset.panel, t0, config, &rng);
+        break;
+    }
+    stressed.applied_packs.push_back(StressPackName(pack));
+    name += "+" + StressPackName(pack);
+    if (obs::Enabled()) {
+      obs::GetCounter("market.stress.packs_applied").Add(1.0);
+    }
+  }
+  stressed.dataset.name = name;
+  PPN_CHECK(stressed.dataset.panel.IsValid())
+      << "stress composition produced an invalid panel (" << name << ")";
+  return stressed;
+}
+
+StressedDataset ApplyStressPack(const MarketDataset& base, StressPack pack,
+                                uint64_t seed, const StressConfig& config) {
+  return ApplyStressPacks(base, {pack}, seed, config);
+}
+
+}  // namespace ppn::market

@@ -1,0 +1,129 @@
+#ifndef PPN_MARKET_STRESS_H_
+#define PPN_MARKET_STRESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "market/dataset.h"
+
+/// \file
+/// Stress-scenario library (scenario engine v2): composable packs that
+/// post-process any complete `OhlcPanel` into an adversarial market. The
+/// synthetic generator plants the paper's benign regimes; these packs plant
+/// the tails production systems are judged on — flash crashes, fat-tailed
+/// jump clusters, correlation-breakdown crises, liquidity holes that layer
+/// volume-dependent slippage onto the ψ cost model, and mid-episode
+/// delistings expressed through the panel's tradeability mask (see
+/// dataset.h) instead of a PPN_CHECK abort.
+///
+/// Protocol: packs perturb the TEST range only ([train_end, num_periods)).
+/// Strategies train on the benign history and are evaluated on the
+/// stressed future — the robustness question the paper's ψ model matters
+/// for. All perturbations are multiplicative on every OHLC field of a bar,
+/// so intra-bar sanity (`OhlcPanel::IsValid`) is preserved by
+/// construction, and everything is deterministic in the scenario seed.
+
+namespace ppn::market {
+
+/// The stress packs, in canonical (application and table) order.
+enum class StressPack {
+  kFlashCrash,        ///< Sudden severe drop, partial recovery.
+  kJumpCluster,       ///< Self-exciting fat-tailed jump shocks.
+  kCorrelationBreak,  ///< Common crisis factor: correlations → 1.
+  kLiquidityHole,     ///< Volume collapse → slippage on ψ (costs only).
+  kDelisting,         ///< Assets stop trading mid-episode (mask).
+};
+
+/// All packs in canonical order.
+std::vector<StressPack> AllStressPacks();
+
+/// Stable CLI/table name: "flash-crash", "jump-cluster", "corr-break",
+/// "liquidity-hole", "delisting".
+std::string StressPackName(StressPack pack);
+
+/// Inverse of `StressPackName`; returns false on an unknown name.
+bool StressPackFromName(const std::string& name, StressPack* pack);
+
+/// Severity knobs, shared by all packs. Defaults produce clearly stressed
+/// but survivable markets at every preset scale.
+struct StressConfig {
+  // --- Flash crash. ------------------------------------------------------
+  /// Peak fractional drop of affected assets at the crash bottom.
+  double crash_depth = 0.35;
+  /// Fraction of assets hit by the crash (at least one).
+  double crash_breadth = 0.75;
+  /// Periods over which the crash unwinds toward the recovered level.
+  int64_t crash_recovery_periods = 16;
+  /// Fraction of the drop that is recovered (0 = permanent, 1 = full V).
+  double crash_recovery_fraction = 0.5;
+
+  // --- Fat-tailed jump clusters (Hawkes-style self-excitation). ----------
+  /// Baseline per-period probability of a jump event.
+  double jump_base_prob = 0.015;
+  /// Probability bump added right after an event (clusters).
+  double jump_excite = 0.25;
+  /// Per-period geometric decay of the excitation.
+  double jump_decay = 0.8;
+  /// Log-return scale of one jump.
+  double jump_scale = 0.04;
+  /// Student-t degrees of freedom of the jump size (lower = fatter tails).
+  double jump_tail_df = 3.0;
+
+  // --- Correlation breakdown. --------------------------------------------
+  /// Fraction of the test range spent in the crisis window.
+  double corr_window_fraction = 0.3;
+  /// Per-period volatility of the common crisis factor.
+  double corr_shock_vol = 0.015;
+  /// Per-period drift of the common crisis factor (negative: risk-off).
+  double corr_shock_drift = -0.002;
+
+  // --- Liquidity hole. ---------------------------------------------------
+  /// Fractional volume drop at the bottom of the hole (0.9 = -90%).
+  double hole_depth = 0.9;
+  /// Length of the hole in periods.
+  int64_t hole_periods = 24;
+  /// Slippage exponent: multiplier = (normal/observed volume)^exponent.
+  double slippage_exponent = 0.75;
+  /// Hard cap on the per-period cost multiplier.
+  double max_cost_multiplier = 8.0;
+
+  // --- Delisting. --------------------------------------------------------
+  /// Fraction of assets delisted mid-episode (at least one asset, and at
+  /// least one asset always survives).
+  double delist_fraction = 0.25;
+
+  /// Checks every knob is in range; aborts with a message on violation.
+  void Validate() const;
+};
+
+/// A stressed market: the perturbed dataset (same name-base, split and
+/// asset names as the input, name suffixed with the applied packs) plus
+/// the per-period cost multiplier schedule packs like the liquidity hole
+/// emit (size num_periods, all 1 where unstressed; feed it to
+/// `BacktestConfig::cost_multipliers`).
+struct StressedDataset {
+  MarketDataset dataset;
+  std::vector<double> cost_multipliers;
+  std::vector<std::string> applied_packs;
+};
+
+/// Applies `packs` to `base` in the given order, each pack drawing from a
+/// seed derived from (`seed`, pack position). `base.panel` must be
+/// complete and valid with a non-degenerate split. Deterministic:
+/// identical inputs produce bit-identical outputs. The result's dataset
+/// name is `base.name + "+" + joined pack names` (cells in a robustness
+/// sweep are keyed by it).
+StressedDataset ApplyStressPacks(const MarketDataset& base,
+                                 const std::vector<StressPack>& packs,
+                                 uint64_t seed,
+                                 const StressConfig& config = {});
+
+/// Convenience: one pack.
+StressedDataset ApplyStressPack(const MarketDataset& base, StressPack pack,
+                                uint64_t seed,
+                                const StressConfig& config = {});
+
+}  // namespace ppn::market
+
+#endif  // PPN_MARKET_STRESS_H_

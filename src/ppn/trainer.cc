@@ -19,6 +19,8 @@ void TrainerConfig::Validate() const {
   PPN_CHECK_GT(grad_clip, 0.0);
   PPN_CHECK(geometric_p >= 0.0 && geometric_p < 1.0)
       << "geometric_p out of [0, 1): " << geometric_p;
+  PPN_CHECK(adversarial_epsilon >= 0.0 && adversarial_epsilon < 1.0)
+      << "adversarial_epsilon out of [0, 1): " << adversarial_epsilon;
   reward.Validate();
 }
 
@@ -114,8 +116,13 @@ double PolicyGradientTrainer::TrainStep() {
       prev_hat = backtest::DriftPortfolio(previous, relatives_[t - 1]);
     }
     for (int64_t i = 0; i <= num_assets_; ++i) {
+      double relative = x_t[i];
+      // Return-perturbation adversary: risk assets only, cash stays 1.
+      if (config_.adversarial_epsilon > 0.0 && i >= 1) {
+        relative *= std::exp(config_.adversarial_epsilon * rng_.Normal());
+      }
       inputs.relatives.MutableData()[b * (num_assets_ + 1) + i] =
-          static_cast<float>(x_t[i]);
+          static_cast<float>(relative);
       inputs.prev_hat.MutableData()[b * (num_assets_ + 1) + i] =
           static_cast<float>(prev_hat[i]);
     }

@@ -32,13 +32,21 @@ struct TrainerConfig {
   /// Geometric bias toward recent batch starts (0 = uniform sampling;
   /// p > 0 samples start t0 with weight (1-p)^(latest - t0), as in EIIE).
   double geometric_p = 0.0;
+  /// Training-time return-perturbation adversary (scenario-engine
+  /// stretch): when > 0, every batch entry's RISK relatives are multiplied
+  /// by exp(ε·z), z ~ N(0,1) from the trainer's RNG, so the policy
+  /// optimizes against perturbed futures instead of the recorded ones
+  /// (cash stays exactly 1). 0 (the default) draws nothing — the RNG
+  /// stream, and therefore every existing result and checkpoint replay,
+  /// is bit-identical to builds that predate the knob.
+  double adversarial_epsilon = 0.0;
   RewardConfig reward;
   uint64_t seed = 1;
 
   /// Checks batch_size/steps > 0, learning_rate > 0, weight_decay ≥ 0,
-  /// grad_clip > 0, geometric_p ∈ [0, 1), and `reward` (see
-  /// RewardConfig::Validate). Aborts on violation; called at trainer
-  /// construction.
+  /// grad_clip > 0, geometric_p ∈ [0, 1), adversarial_epsilon ∈ [0, 1),
+  /// and `reward` (see RewardConfig::Validate). Aborts on violation;
+  /// called at trainer construction.
   void Validate() const;
 };
 

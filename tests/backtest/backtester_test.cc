@@ -133,6 +133,40 @@ TEST(BacktesterTest, ActionsAreRecordedOnSimplex) {
   }
 }
 
+TEST(BacktesterTest, HaltedAssetIsForceLiquidated) {
+  // Asset 0 grows 2%/period but goes non-tradeable at t=5: the backtester
+  // must force the position out (to cash here — the strategy wants nothing
+  // else) and the halted bars contribute relative 1.0.
+  market::OhlcPanel panel = MakePanel(10, 1.02, 1.0);
+  for (int64_t t = 5; t < 10; ++t) panel.SetTradeable(t, 0, false);
+  SingleAssetStrategy strategy(0);
+  BacktestConfig config;
+  config.costs = CostModel::Uniform(0.0);
+  config.start_period = 1;
+  config.end_period = 10;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  // 4 tradeable growth periods (t=1..4), then flat in cash.
+  EXPECT_NEAR(record.wealth_curve.back(), std::pow(1.02, 4), 1e-9);
+  const std::vector<double>& last_action = record.actions.back();
+  EXPECT_NEAR(last_action[0], 1.0, 1e-12);
+  EXPECT_NEAR(last_action[1], 0.0, 1e-12);
+}
+
+TEST(BacktesterTest, CostMultipliersScaleRebalanceCosts) {
+  // Flat market, one initial buy at t=1 where the multiplier doubles ψ:
+  // wealth = 1/(1 + 2ψ) instead of the unscaled 1/(1 + ψ).
+  market::OhlcPanel panel = MakePanel(10, 1.0, 1.0);
+  SingleAssetStrategy strategy(0);
+  BacktestConfig config;
+  config.costs = CostModel::Uniform(0.0025);
+  config.start_period = 1;
+  config.end_period = 10;
+  config.cost_multipliers.assign(10, 1.0);
+  config.cost_multipliers[1] = 2.0;
+  const BacktestRecord record = RunBacktest(&strategy, panel, config);
+  EXPECT_NEAR(record.wealth_curve.back(), 1.0 / 1.005, 1e-9);
+}
+
 TEST(BacktesterTest, RunOnTestRangeUsesSplit) {
   market::MarketDataset dataset;
   dataset.panel = MakePanel(30, 1.01, 1.0);

@@ -102,6 +102,35 @@ INSTANTIATE_TEST_SUITE_P(CostRates, Prop4Property,
                          ::testing::Values(0.0001, 0.001, 0.0025, 0.01, 0.05,
                                            0.25));
 
+TEST(Prop4Test, BoundsAreOrderedAndScaleWithPsi) {
+  // Regression for the dead ternary that returned ψ/(1+ψ)·d for BOTH
+  // bounds: the interval must be genuinely two-sided, lower ≤ upper with
+  // a strict gap whenever ψ > 0 and d > 0.
+  Rng rng(21);
+  for (const double psi : {0.0001, 0.0025, 0.01, 0.25, 0.5}) {
+    for (int trial = 0; trial < 100; ++trial) {
+      const std::vector<double> prev = rng.Dirichlet(5, 0.7);
+      const std::vector<double> target = rng.Dirichlet(5, 0.7);
+      double distance = 0.0;
+      for (size_t i = 1; i < target.size(); ++i) {
+        distance += std::fabs(target[i] - prev[i]);
+      }
+      const CostBounds bounds = Proposition4Bounds(prev, target, psi);
+      EXPECT_LE(bounds.lower, bounds.upper) << "psi=" << psi;
+      EXPECT_NEAR(bounds.lower, psi / (1.0 + psi) * distance, 1e-12);
+      EXPECT_NEAR(bounds.upper, psi / (1.0 - psi) * distance, 1e-12);
+      if (distance > 0.0) {
+        EXPECT_LT(bounds.lower, bounds.upper) << "psi=" << psi;
+      }
+    }
+  }
+  // ψ = 0: trading is free and both bounds collapse to zero.
+  const CostBounds free_bounds =
+      Proposition4Bounds({0.0, 1.0, 0.0}, {0.0, 0.0, 1.0}, 0.0);
+  EXPECT_EQ(free_bounds.lower, 0.0);
+  EXPECT_EQ(free_bounds.upper, 0.0);
+}
+
 TEST(Prop4Test, L1DistanceWithinStatedRange) {
   // Paper: ‖a - â‖₁ ∈ (0, 2(1-ψ)/(1+ψ)] — sanity-check the upper limit on
   // the extreme all-in switch.

@@ -1,0 +1,111 @@
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/experiment.h"
+#include "market/generator.h"
+#include "market/stress.h"
+
+/// The robustness-table path end to end: stressed custom datasets (with
+/// cost-multiplier schedules and tradeability masks) flowing through the
+/// ExperimentRunner, bit-identical at any worker count.
+
+namespace ppn::exec {
+namespace {
+
+market::MarketDataset SmallDataset() {
+  market::SyntheticMarketConfig config;
+  config.num_assets = 5;
+  config.num_periods = 500;
+  config.seed = 47;
+  return market::SyntheticMarketGenerator(config).GenerateDataset("Small",
+                                                                  0.8);
+}
+
+/// The stress CLI's spec in miniature: base + every pack, classic
+/// baselines only (fast), one cost rate, one seed.
+ExperimentSpec StressSpec() {
+  const market::MarketDataset base = SmallDataset();
+  ExperimentSpec spec;
+  spec.title = "stress-test";
+  spec.custom_datasets.push_back({base, {}});
+  for (const market::StressPack pack : market::AllStressPacks()) {
+    market::StressedDataset stressed = market::ApplyStressPack(base, pack, 7);
+    spec.custom_datasets.push_back({std::move(stressed.dataset),
+                                    std::move(stressed.cost_multipliers)});
+  }
+  spec.strategies = {{.name = "UBAH"}, {.name = "CRP"}, {.name = "OLMAR"}};
+  spec.cost_rates = {0.0025};
+  spec.seeds = {1};
+  return spec;
+}
+
+TEST(StressSweepTest, RunsEveryPackTimesEveryStrategy) {
+  const ExperimentSpec spec = StressSpec();
+  const std::vector<CellResult> rows = ExperimentRunner(0).Run(spec);
+  ASSERT_EQ(rows.size(), 6u * 3u);  // (base + 5 packs) x 3 strategies.
+  for (const CellResult& row : rows) {
+    EXPECT_GT(row.metrics.apv, 0.0)
+        << row.key.strategy << " on " << row.key.dataset;
+  }
+}
+
+TEST(StressSweepTest, BitIdenticalAcrossWorkerCounts) {
+  const ExperimentSpec spec = StressSpec();
+  const std::vector<CellResult> inline_rows = ExperimentRunner(0).Run(spec);
+  const std::vector<CellResult> pooled_rows = ExperimentRunner(4).Run(spec);
+  ASSERT_EQ(inline_rows.size(), pooled_rows.size());
+  for (size_t i = 0; i < inline_rows.size(); ++i) {
+    EXPECT_EQ(inline_rows[i].key.strategy, pooled_rows[i].key.strategy);
+    EXPECT_EQ(inline_rows[i].key.dataset, pooled_rows[i].key.dataset);
+    EXPECT_EQ(inline_rows[i].derived_seed, pooled_rows[i].derived_seed);
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(inline_rows[i].metrics.apv, pooled_rows[i].metrics.apv)
+        << inline_rows[i].key.strategy << " on " << inline_rows[i].key.dataset;
+    EXPECT_EQ(inline_rows[i].metrics.sr_pct, pooled_rows[i].metrics.sr_pct);
+    EXPECT_EQ(inline_rows[i].metrics.mdd_pct, pooled_rows[i].metrics.mdd_pct);
+    EXPECT_EQ(inline_rows[i].metrics.turnover,
+              pooled_rows[i].metrics.turnover);
+  }
+}
+
+TEST(StressSweepTest, LiquidityHoleMultipliersRaiseCosts) {
+  const market::MarketDataset base = SmallDataset();
+  market::StressedDataset hole =
+      market::ApplyStressPack(base, market::StressPack::kLiquidityHole, 7);
+
+  ExperimentSpec with_multipliers;
+  with_multipliers.custom_datasets.push_back(
+      {hole.dataset, hole.cost_multipliers});
+  with_multipliers.strategies = {{.name = "OLMAR"}};
+
+  // Same panel, multiplier schedule dropped: costs must be strictly lower
+  // (OLMAR trades every period, and the hole overlaps the test range).
+  ExperimentSpec without_multipliers = with_multipliers;
+  without_multipliers.custom_datasets[0].cost_multipliers.clear();
+
+  const CellResult with_row =
+      ExperimentRunner(0).Run(with_multipliers).at(0);
+  const CellResult without_row =
+      ExperimentRunner(0).Run(without_multipliers).at(0);
+  EXPECT_LT(with_row.metrics.apv, without_row.metrics.apv);
+}
+
+TEST(StressSweepDeathTest, RejectsBothDatasetAxes) {
+  ExperimentSpec spec = StressSpec();
+  spec.datasets.push_back(market::DatasetId::kCryptoA);
+  EXPECT_DEATH(ExperimentRunner(0).Run(spec), "exactly one dataset source");
+}
+
+TEST(StressSweepDeathTest, RejectsDuplicateCustomNames) {
+  const market::MarketDataset base = SmallDataset();
+  ExperimentSpec spec;
+  spec.custom_datasets.push_back({base, {}});
+  spec.custom_datasets.push_back({base, {}});
+  spec.strategies = {{.name = "UBAH"}};
+  EXPECT_DEATH(ExperimentRunner(0).Run(spec), "duplicate custom dataset");
+}
+
+}  // namespace
+}  // namespace ppn::exec

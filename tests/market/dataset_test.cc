@@ -88,6 +88,101 @@ TEST(FlatFillTest, ForwardFillsInteriorGap) {
   EXPECT_DOUBLE_EQ(panel.Close(2, 0), before_gap);
 }
 
+TEST(FlatFillTest, ForwardFillsTrailingGap) {
+  // A gap that runs to the end of the panel (an asset that stops printing)
+  // must flat-fill forward at the last seen close, not stay NaN.
+  OhlcPanel panel = MakeSimplePanel(6, 2);
+  const double last_seen = panel.Close(3, 1);
+  for (int64_t t = 4; t < 6; ++t) {
+    for (int f = 0; f < kNumPriceFields; ++f) {
+      panel.SetPrice(t, 1, static_cast<PriceField>(f),
+                     std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+  FlatFillMissing(&panel);
+  EXPECT_TRUE(panel.IsComplete());
+  for (int64_t t = 4; t < 6; ++t) {
+    for (int f = 0; f < kNumPriceFields; ++f) {
+      EXPECT_DOUBLE_EQ(panel.Price(t, 1, static_cast<PriceField>(f)),
+                       last_seen);
+    }
+  }
+  // The untouched asset keeps its own path.
+  EXPECT_DOUBLE_EQ(panel.Close(5, 0), MakeSimplePanel(6, 2).Close(5, 0));
+}
+
+TEST(OhlcPanelTest, ValidityRejectsZeroLow) {
+  OhlcPanel panel = MakeSimplePanel(3, 1);
+  panel.SetPrice(1, 0, kLow, 0.0);
+  EXPECT_FALSE(panel.IsValid());
+}
+
+TEST(OhlcPanelTest, ValidityRejectsLowAboveOpen) {
+  OhlcPanel panel = MakeSimplePanel(3, 1);
+  panel.SetPrice(1, 0, kLow, panel.Price(1, 0, kOpen) * 1.5);
+  EXPECT_FALSE(panel.IsValid());
+}
+
+// ------------------------------------------------- tradeability mask ----
+
+TEST(TradeabilityTest, DefaultIsAllTradeable) {
+  const OhlcPanel panel = MakeSimplePanel(4, 2);
+  EXPECT_FALSE(panel.HasTradeabilityMask());
+  EXPECT_TRUE(panel.Tradeable(2, 1));
+}
+
+TEST(TradeabilityTest, MaskedBarsAreExemptFromValidity) {
+  OhlcPanel panel = MakeSimplePanel(4, 2);
+  panel.SetPrice(2, 0, kLow, -1.0);
+  EXPECT_FALSE(panel.IsValid());
+  panel.SetTradeable(2, 0, false);
+  EXPECT_TRUE(panel.HasTradeabilityMask());
+  EXPECT_TRUE(panel.IsValid()) << "halted quotes are decorative";
+  EXPECT_TRUE(panel.Tradeable(2, 1)) << "other assets keep trading";
+}
+
+TEST(TradeabilityTest, HaltedAssetHasUnitRelative) {
+  OhlcPanel panel = MakeSimplePanel(5, 2, 10.0, 1.1);
+  panel.SetTradeable(3, 0, false);
+  // Halted at t or t-1 → frozen value → relative exactly 1.
+  EXPECT_EQ(PriceRelatives(panel, 3)[0], 1.0);
+  EXPECT_EQ(PriceRelatives(panel, 4)[0], 1.0);
+  EXPECT_NEAR(PriceRelatives(panel, 3)[1], 1.1, 1e-12);
+  // Away from the halt the quoted ratio applies again.
+  EXPECT_NEAR(PriceRelatives(panel, 2)[0], 1.1, 1e-12);
+}
+
+TEST(TradeabilityTest, DegeneratePriceOnHaltedAssetDoesNotAbort) {
+  OhlcPanel panel = MakeSimplePanel(5, 1);
+  for (int f = 0; f < kNumPriceFields; ++f) {
+    panel.SetPrice(3, 0, static_cast<PriceField>(f), 0.0);
+  }
+  panel.SetTradeable(3, 0, false);
+  EXPECT_EQ(PriceRelatives(panel, 3)[0], 1.0);
+}
+
+TEST(TradeabilityTest, NormalizedWindowIsNeutralForHaltedAsset) {
+  OhlcPanel panel = MakeSimplePanel(40, 2, 10.0, 1.05);
+  panel.SetTradeable(35, 1, false);
+  const Tensor window = NormalizedWindow(panel, 35, 10);
+  for (int64_t j = 0; j < 10; ++j) {
+    for (int f = 0; f < 4; ++f) {
+      EXPECT_EQ(window.At({1, j, f}), 1.0f);
+    }
+  }
+  // The tradeable asset keeps its real ratios.
+  EXPECT_NEAR(window.At({0, 8, kClose}), 1.0 / 1.05, 1e-4);
+}
+
+TEST(TradeabilityDeathTest, DegeneratePriceOnTradeableAssetAborts) {
+  OhlcPanel panel = MakeSimplePanel(5, 1);
+  for (int f = 0; f < kNumPriceFields; ++f) {
+    panel.SetPrice(3, 0, static_cast<PriceField>(f), 0.0);
+  }
+  EXPECT_DEATH(PriceRelatives(panel, 3), "tradeability mask");
+  EXPECT_DEATH(NormalizedWindow(panel, 3, 2), "tradeability mask");
+}
+
 TEST(FlatFillDeathTest, AllMissingAssetAborts) {
   OhlcPanel panel(3, 1);
   EXPECT_DEATH(FlatFillMissing(&panel), "no observed data");

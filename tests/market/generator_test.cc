@@ -127,6 +127,61 @@ TEST(GeneratorTest, LateListedAssetsAreFlatFilled) {
   EXPECT_TRUE(found_late);
 }
 
+TEST(GeneratorTest, MeanReversionMatchesHandComputedPath) {
+  // Every noise source off, beta pinned to 1: the close path reduces to
+  //   p_t = p_{t-1} + drift + κ (MA_t − p_{t-1}),
+  // where MA_t averages the last min(t, W) log prices — the regression
+  // for the off-by-one that divided the rolling sum by W+1 terms.
+  SyntheticMarketConfig config;
+  config.num_assets = 1;
+  config.num_periods = 8;
+  config.seed = 5;
+  config.idio_vol = 0.0;
+  config.factor_vol = 0.0;
+  config.beta_min = 1.0;
+  config.beta_max = 1.0;
+  config.regime_drifts = {0.01};  // Single regime: drift is deterministic.
+  config.regime_switch_prob = 0.0;
+  config.momentum = 0.0;
+  config.mean_reversion = 0.1;
+  config.reversion_window = 3;
+  config.follower_fraction = 0.0;
+  config.lead_lag_strength = 0.0;
+  config.jump_prob = 0.0;
+  config.late_listing_fraction = 0.0;
+  config.intrabar_noise = 0.0;
+  const OhlcPanel panel = SyntheticMarketGenerator(config).Generate();
+
+  const double kappa = config.mean_reversion;
+  const int64_t W = config.reversion_window;
+  double p = std::log(panel.Close(0, 0));
+  double running_sum = p;
+  std::vector<double> path = {p};
+  for (int64_t t = 1; t < config.num_periods; ++t) {
+    const int64_t window = std::min<int64_t>(t, W);
+    const double moving_average = running_sum / static_cast<double>(window);
+    const double r = 0.01 + kappa * (moving_average - p);
+    p += r;
+    path.push_back(p);
+    running_sum += p;
+    if (t >= W) running_sum -= path[t - W];
+  }
+  for (int64_t t = 0; t < config.num_periods; ++t) {
+    EXPECT_NEAR(std::log(panel.Close(t, 0)), path[t], 1e-12) << "t=" << t;
+  }
+  // Spot-check the first reverting step by hand: MA_1 has exactly ONE term
+  // (p_0 itself), so the reversion contribution is zero and r_1 = drift.
+  EXPECT_NEAR(std::log(panel.Close(1, 0) / panel.Close(0, 0)), 0.01, 1e-12);
+}
+
+TEST(GeneratorDeathTest, DegenerateSplitAborts) {
+  SyntheticMarketConfig config = SmallConfig();
+  config.num_periods = 10;
+  SyntheticMarketGenerator generator(config);
+  // floor(0.05 * 10) = 0 training periods.
+  EXPECT_DEATH(generator.GenerateDataset("X", 0.05), "degenerate split");
+}
+
 TEST(GeneratorTest, GenerateDatasetSplits) {
   SyntheticMarketGenerator generator(SmallConfig());
   MarketDataset dataset = generator.GenerateDataset("Test", 0.8);

@@ -1,0 +1,186 @@
+#include "market/stress.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "market/generator.h"
+
+namespace ppn::market {
+namespace {
+
+MarketDataset SmallDataset() {
+  SyntheticMarketConfig config;
+  config.num_assets = 6;
+  config.num_periods = 600;
+  config.seed = 31;
+  return SyntheticMarketGenerator(config).GenerateDataset("Small", 0.8);
+}
+
+TEST(StressPackNamesTest, RoundTrip) {
+  for (const StressPack pack : AllStressPacks()) {
+    StressPack parsed;
+    ASSERT_TRUE(StressPackFromName(StressPackName(pack), &parsed))
+        << StressPackName(pack);
+    EXPECT_EQ(parsed, pack);
+  }
+  StressPack parsed;
+  EXPECT_FALSE(StressPackFromName("earthquake", &parsed));
+}
+
+TEST(StressTest, DeterministicInSeed) {
+  const MarketDataset base = SmallDataset();
+  for (const StressPack pack : AllStressPacks()) {
+    const StressedDataset s1 = ApplyStressPack(base, pack, 99);
+    const StressedDataset s2 = ApplyStressPack(base, pack, 99);
+    for (int64_t t = 0; t < base.panel.num_periods(); t += 13) {
+      for (int64_t a = 0; a < base.panel.num_assets(); ++a) {
+        ASSERT_EQ(s1.dataset.panel.Close(t, a), s2.dataset.panel.Close(t, a))
+            << StressPackName(pack);
+        ASSERT_EQ(s1.dataset.panel.Tradeable(t, a),
+                  s2.dataset.panel.Tradeable(t, a));
+      }
+      ASSERT_EQ(s1.cost_multipliers[t], s2.cost_multipliers[t]);
+    }
+  }
+}
+
+TEST(StressTest, TrainRangeIsUntouched) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset stressed =
+      ApplyStressPacks(base, AllStressPacks(), 5);
+  for (int64_t t = 0; t < base.train_end; ++t) {
+    for (int64_t a = 0; a < base.panel.num_assets(); ++a) {
+      for (int f = 0; f < kNumPriceFields; ++f) {
+        ASSERT_EQ(stressed.dataset.panel.Price(t, a,
+                                               static_cast<PriceField>(f)),
+                  base.panel.Price(t, a, static_cast<PriceField>(f)))
+            << "t=" << t << " a=" << a;
+      }
+      ASSERT_TRUE(stressed.dataset.panel.Tradeable(t, a));
+    }
+    ASSERT_EQ(stressed.cost_multipliers[t], 1.0);
+  }
+}
+
+TEST(StressTest, ResultStaysValidAndComplete) {
+  const MarketDataset base = SmallDataset();
+  for (const StressPack pack : AllStressPacks()) {
+    const StressedDataset stressed = ApplyStressPack(base, pack, 17);
+    EXPECT_TRUE(stressed.dataset.panel.IsComplete()) << StressPackName(pack);
+    EXPECT_TRUE(stressed.dataset.panel.IsValid()) << StressPackName(pack);
+    EXPECT_EQ(stressed.dataset.train_end, base.train_end);
+  }
+}
+
+TEST(StressTest, NameRecordsAppliedPacks) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset one =
+      ApplyStressPack(base, StressPack::kFlashCrash, 3);
+  EXPECT_EQ(one.dataset.name, "Small+flash-crash");
+  const StressedDataset two = ApplyStressPacks(
+      base, {StressPack::kFlashCrash, StressPack::kDelisting}, 3);
+  EXPECT_EQ(two.dataset.name, "Small+flash-crash+delisting");
+  ASSERT_EQ(two.applied_packs.size(), 2u);
+  EXPECT_EQ(two.applied_packs[0], "flash-crash");
+  EXPECT_EQ(two.applied_packs[1], "delisting");
+}
+
+TEST(StressTest, FlashCrashDropsSomeAsset) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset stressed =
+      ApplyStressPack(base, StressPack::kFlashCrash, 11);
+  // At least one (test-range) bar of one asset must sit well below its
+  // unstressed close: the crash bottom is >= 0.8 * 0.35 = 28% down.
+  double worst_ratio = 1.0;
+  for (int64_t t = base.train_end; t < base.panel.num_periods(); ++t) {
+    for (int64_t a = 0; a < base.panel.num_assets(); ++a) {
+      worst_ratio = std::min(
+          worst_ratio, stressed.dataset.panel.Close(t, a) / base.panel.Close(t, a));
+    }
+  }
+  EXPECT_LT(worst_ratio, 0.75);
+}
+
+TEST(StressTest, LiquidityHoleTouchesCostsOnly) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset stressed =
+      ApplyStressPack(base, StressPack::kLiquidityHole, 23);
+  // Panel bit-identical; only the multiplier schedule changes.
+  double max_multiplier = 1.0;
+  for (int64_t t = 0; t < base.panel.num_periods(); ++t) {
+    for (int64_t a = 0; a < base.panel.num_assets(); ++a) {
+      ASSERT_EQ(stressed.dataset.panel.Close(t, a), base.panel.Close(t, a));
+    }
+    ASSERT_GE(stressed.cost_multipliers[t], 1.0);
+    ASSERT_LE(stressed.cost_multipliers[t], StressConfig().max_cost_multiplier);
+    max_multiplier = std::max(max_multiplier, stressed.cost_multipliers[t]);
+  }
+  EXPECT_GT(max_multiplier, 1.5) << "the hole never raised slippage";
+  EXPECT_FALSE(stressed.dataset.panel.HasTradeabilityMask());
+}
+
+TEST(StressTest, DelistingMasksAssetsButKeepsSurvivors) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset stressed =
+      ApplyStressPack(base, StressPack::kDelisting, 29);
+  const OhlcPanel& panel = stressed.dataset.panel;
+  ASSERT_TRUE(panel.HasTradeabilityMask());
+  const int64_t last = panel.num_periods() - 1;
+  int64_t delisted = 0;
+  for (int64_t a = 0; a < panel.num_assets(); ++a) {
+    if (panel.Tradeable(last, a)) continue;
+    ++delisted;
+    // Once delisted, an asset stays delisted with frozen flat quotes.
+    int64_t delist_t = base.train_end;
+    while (panel.Tradeable(delist_t, a)) ++delist_t;
+    const double frozen = base.panel.Close(delist_t - 1, a);
+    for (int64_t t = delist_t; t <= last; ++t) {
+      ASSERT_FALSE(panel.Tradeable(t, a));
+      for (int f = 0; f < kNumPriceFields; ++f) {
+        ASSERT_EQ(panel.Price(t, a, static_cast<PriceField>(f)), frozen);
+      }
+    }
+    // Frozen value means relative exactly 1 through the halt.
+    EXPECT_EQ(PriceRelatives(panel, delist_t)[a], 1.0);
+  }
+  EXPECT_GE(delisted, 1);
+  EXPECT_LT(delisted, panel.num_assets()) << "someone must survive";
+}
+
+TEST(StressTest, CompositionMultipliesCostSchedules) {
+  const MarketDataset base = SmallDataset();
+  const StressedDataset both = ApplyStressPacks(
+      base, {StressPack::kLiquidityHole, StressPack::kFlashCrash}, 41);
+  const StressedDataset hole_only = ApplyStressPacks(
+      base, {StressPack::kLiquidityHole}, 41);
+  // The hole is pack 0 in both compositions (same derived sub-seed), and
+  // the flash crash emits no multipliers — schedules must agree.
+  for (int64_t t = 0; t < base.panel.num_periods(); ++t) {
+    ASSERT_EQ(both.cost_multipliers[t], hole_only.cost_multipliers[t]);
+  }
+}
+
+TEST(StressConfigDeathTest, RejectsOutOfRangeKnobs) {
+  const MarketDataset base = SmallDataset();
+  StressConfig config;
+  config.crash_depth = 1.5;
+  EXPECT_DEATH(
+      ApplyStressPack(base, StressPack::kFlashCrash, 1, config),
+      "crash_depth");
+  StressConfig hole;
+  hole.max_cost_multiplier = 0.5;
+  EXPECT_DEATH(
+      ApplyStressPack(base, StressPack::kLiquidityHole, 1, hole),
+      "PPN_CHECK");
+}
+
+TEST(StressDeathTest, RejectsDegenerateSplit) {
+  MarketDataset base = SmallDataset();
+  base.train_end = 0;
+  EXPECT_DEATH(ApplyStressPack(base, StressPack::kFlashCrash, 1),
+               "non-degenerate");
+}
+
+}  // namespace
+}  // namespace ppn::market

@@ -93,6 +93,38 @@ TEST(TrainerTest, DeterministicWithSameSeeds) {
   EXPECT_DOUBLE_EQ(run(), run());
 }
 
+TEST(TrainerTest, AdversarialEpsilonZeroIsBitIdenticalToLegacy) {
+  // ε = 0 must not consume a single RNG draw: the training stream (and
+  // hence every checkpoint) is bit-identical to a config without the knob.
+  market::MarketDataset dataset = SmallDataset();
+  auto run = [&dataset](double epsilon) {
+    Rng init(1);
+    Rng dropout(2);
+    auto policy = MakePolicy(SmallPolicyConfig(4), &init, &dropout);
+    TrainerConfig tc = SmallTrainerConfig();
+    tc.adversarial_epsilon = epsilon;
+    PolicyGradientTrainer trainer(policy.get(), dataset, tc);
+    std::vector<double> rewards;
+    for (int step = 0; step < 5; ++step) rewards.push_back(trainer.TrainStep());
+    return rewards;
+  };
+  const std::vector<double> legacy = run(0.0);
+  EXPECT_EQ(legacy, run(0.0));
+  // A live adversary perturbs the relatives, so the stream must diverge.
+  EXPECT_NE(legacy, run(0.05));
+}
+
+TEST(TrainerDeathTest, AdversarialEpsilonOutOfRangeAborts) {
+  market::MarketDataset dataset = SmallDataset();
+  Rng init(1);
+  Rng dropout(2);
+  auto policy = MakePolicy(SmallPolicyConfig(4), &init, &dropout);
+  TrainerConfig tc = SmallTrainerConfig();
+  tc.adversarial_epsilon = 1.0;
+  EXPECT_DEATH(PolicyGradientTrainer(policy.get(), dataset, tc),
+               "adversarial_epsilon");
+}
+
 TEST(TrainerTest, TrainingImprovesRewardOnEasyMarket) {
   // A strongly trending market: the policy should learn to beat the
   // uniform starting point within a few dozen steps.

@@ -4,7 +4,7 @@
 //   ppn_cli train     --dataset crypto-a --variant PPN --steps 600
 //                     [--gamma 1e-3 --lambda 1e-4 --cost 0.0025
 //                      --weights ppn.weights --checkpoint-dir ckpt
-//                      --checkpoint-every 50 --resume 1]
+//                      --checkpoint-every 50 --resume 1 --adversarial 0.01]
 //   ppn_cli backtest  --dataset crypto-a --variant PPN --weights ppn.weights
 //   ppn_cli serve     --dataset crypto-a --variant PPN --weights ppn.weights
 //                     [--users 1000 --ticks 50 --batch 256 --workers 0
@@ -17,9 +17,23 @@
 //                      --workers 4 --json results.json
 //                      --checkpoint-dir ckpt --telemetry-dir telemetry]
 //   ppn_cli report    --dir telemetry [--window 50 --trace trace.json]
+//   ppn_cli stress    --dataset crypto-a
+//                     [--packs flash-crash,jump-cluster,corr-break,
+//                      liquidity-hole,delisting | all]
+//                     [--strategies UBAH,CRP,OLMAR,PPN --cost 0.0025
+//                      --seeds 1 --steps 400 --stress-seed 7
+//                      --replay bars.csv --replay-name NAME
+//                      --train-frac 0.92 --workers 4 --json results.json]
 //
 // `--dataset` accepts crypto-a/b/c/d and sp500 (generated presets honoring
 // PPN_SCALE), or `--data <prefix>` to load a panel saved by `generate`.
+//
+// `stress` builds the robustness table: every strategy is trained on the
+// benign history and evaluated on the unstressed test range, on each
+// requested stress pack (see market/stress.h), and — with `--replay` — on
+// an external long-format OHLC CSV (columns period,asset,open,high,low,
+// close; see market/replay_io.h). Results are bit-identical at any
+// `--workers` count.
 // `sweep` fans the (strategy × dataset × cost × seed) grid across a worker
 // pool (default: PPN_WORKERS or the hardware thread count) with results
 // bit-identical at any worker count.
@@ -59,6 +73,8 @@
 #include "exec/thread_pool.h"
 #include "market/io.h"
 #include "market/presets.h"
+#include "market/replay_io.h"
+#include "market/stress.h"
 #include "obs/report.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
@@ -182,6 +198,7 @@ int CmdTrain(const Flags& flags) {
   trainer_config.weight_decay =
       static_cast<float>(NumFlagOr(flags, "weight-decay", 1e-3));
   trainer_config.seed = policy_config.seed;
+  trainer_config.adversarial_epsilon = NumFlagOr(flags, "adversarial", 0.0);
   trainer_config.reward.gamma = NumFlagOr(flags, "gamma", 1e-3);
   trainer_config.reward.lambda = NumFlagOr(flags, "lambda", 1e-4);
   trainer_config.reward.cost_rate = NumFlagOr(flags, "cost", 0.0025);
@@ -533,6 +550,152 @@ int CmdSweep(const Flags& flags) {
   return 0;
 }
 
+int CmdStress(const Flags& flags) {
+  market::MarketDataset base = ResolveDataset(flags);
+
+  std::vector<market::StressPack> packs;
+  const std::string packs_flag = FlagOr(flags, "packs", "all");
+  if (packs_flag == "all") {
+    packs = market::AllStressPacks();
+  } else {
+    for (const std::string& name : SplitCsvList(packs_flag)) {
+      market::StressPack pack;
+      if (!market::StressPackFromName(name, &pack)) {
+        std::fprintf(stderr, "unknown stress pack '%s' (known:", name.c_str());
+        for (const market::StressPack known : market::AllStressPacks()) {
+          std::fprintf(stderr, " %s", market::StressPackName(known).c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+      packs.push_back(pack);
+    }
+  }
+  const uint64_t stress_seed =
+      static_cast<uint64_t>(NumFlagOr(flags, "stress-seed", 7));
+
+  // The dataset axis: the unstressed base first (the reference row of the
+  // robustness table), one variant per pack, then the optional replay.
+  exec::ExperimentSpec spec;
+  spec.title = "stress";
+  spec.scale = GetRunScale();
+  std::vector<std::string> variant_labels;
+  spec.custom_datasets.push_back({base, {}});
+  variant_labels.push_back("base");
+  for (const market::StressPack pack : packs) {
+    market::StressedDataset stressed =
+        market::ApplyStressPack(base, pack, stress_seed);
+    spec.custom_datasets.push_back({std::move(stressed.dataset),
+                                    std::move(stressed.cost_multipliers)});
+    variant_labels.push_back(market::StressPackName(pack));
+  }
+  if (flags.count("replay") > 0) {
+    market::ReplayCsvOptions options;
+    options.name = FlagOr(flags, "replay-name", "");
+    options.train_fraction = NumFlagOr(flags, "train-frac", 0.92);
+    market::MarketDataset replay;
+    std::string error;
+    if (!market::LoadReplayCsv(flags.at("replay"), options, &replay, &error)) {
+      std::fprintf(stderr, "replay load failed: %s\n", error.c_str());
+      return 1;
+    }
+    spec.custom_datasets.push_back({std::move(replay), {}});
+    variant_labels.push_back("replay");
+  }
+
+  // Three classic baselines plus the paper's policy by default: enough to
+  // see whether the learned strategy degrades gracefully where the
+  // cost-blind baselines crater.
+  for (const std::string& name :
+       SplitCsvList(FlagOr(flags, "strategies", "UBAH,CRP,OLMAR,PPN"))) {
+    strategies::StrategySpec strategy{.name = name};
+    strategy.gamma = NumFlagOr(flags, "gamma", strategy.gamma);
+    strategy.lambda = NumFlagOr(flags, "lambda", strategy.lambda);
+    strategy.base_steps =
+        static_cast<int64_t>(NumFlagOr(flags, "steps", strategy.base_steps));
+    spec.strategies.push_back(strategy);
+  }
+  if (spec.strategies.empty()) {
+    std::fprintf(stderr, "--strategies is empty\n");
+    return 2;
+  }
+  spec.cost_rates = {NumFlagOr(flags, "cost", 0.0025)};
+  if (flags.count("seeds") > 0) {
+    spec.seeds.clear();
+    for (const std::string& seed : SplitCsvList(flags.at("seeds"))) {
+      const int64_t value = ParseInt64OrDie(seed, "--seeds");
+      if (value < 0) {
+        std::fprintf(stderr, "ppn: --seeds entries must be >= 0, got %s\n",
+                     seed.c_str());
+        return 2;
+      }
+      spec.seeds.push_back(static_cast<uint64_t>(value));
+    }
+  }
+
+  const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
+  const exec::ExperimentRunner runner(
+      workers >= 0 ? workers : exec::DefaultWorkerCount());
+  std::printf("stress: %zu strategies x %zu market variants across %d "
+              "workers (stress seed %llu)\n\n",
+              spec.strategies.size(), spec.custom_datasets.size(),
+              runner.num_workers(),
+              static_cast<unsigned long long>(stress_seed));
+  const std::vector<exec::CellResult> rows = runner.Run(spec);
+
+  // Per-variant detail tables.
+  const bool many_seeds = spec.seeds.size() > 1;
+  for (size_t v = 0; v < spec.custom_datasets.size(); ++v) {
+    const std::string& dataset_name = spec.custom_datasets[v].dataset.name;
+    std::vector<std::pair<std::string, const exec::CellResult*>> table_rows;
+    for (const exec::CellResult& row : rows) {
+      if (row.key.dataset != dataset_name) continue;
+      std::string label = row.key.strategy;
+      if (many_seeds) label += " s" + std::to_string(row.key.seed);
+      table_rows.emplace_back(std::move(label), &row);
+    }
+    const TablePrinter printer = exec::MakeMetricsTable(
+        "Algos", table_rows, {"APV", "SR(%)", "CR", "MDD(%)"});
+    std::printf("--- %s [%s] ---\n%s\n", dataset_name.c_str(),
+                variant_labels[v].c_str(), printer.ToString().c_str());
+  }
+
+  // The robustness matrix: APV of each strategy under each market variant
+  // (seed-averaged), the one-glance answer to "who survives the tails".
+  std::vector<std::string> header = {"APV"};
+  header.insert(header.end(), variant_labels.begin(), variant_labels.end());
+  TablePrinter matrix(std::move(header));
+  for (const strategies::StrategySpec& strategy : spec.strategies) {
+    std::vector<double> cells;
+    for (const exec::CustomDataset& variant : spec.custom_datasets) {
+      double sum = 0.0;
+      int64_t count = 0;
+      for (const exec::CellResult& row : rows) {
+        if (row.key.strategy != strategy.display() ||
+            row.key.dataset != variant.dataset.name) {
+          continue;
+        }
+        sum += row.metrics.apv;
+        ++count;
+      }
+      cells.push_back(count > 0 ? sum / static_cast<double>(count) : 0.0);
+    }
+    matrix.AddRow(strategy.display(), cells, 3);
+  }
+  std::printf("--- robustness (APV%s) ---\n%s\n",
+              many_seeds ? ", seed mean" : "", matrix.ToString().c_str());
+
+  if (flags.count("json") > 0) {
+    const std::string path = flags.at("json");
+    if (!exec::WriteResultsJson(path, rows)) {
+      std::fprintf(stderr, "failed writing '%s'\n", path.c_str());
+      return 1;
+    }
+    std::printf("results written to %s\n", path.c_str());
+  }
+  return 0;
+}
+
 int CmdReport(const Flags& flags) {
   const std::string dir = FlagOr(flags, "dir", "");
   const std::string trace = FlagOr(flags, "trace", "");
@@ -573,7 +736,7 @@ int CmdReport(const Flags& flags) {
 void Usage() {
   std::fprintf(stderr,
                "usage: ppn_cli <generate|train|backtest|serve|baselines|"
-               "sweep|report|help-env> [--flag value ...]\n"
+               "sweep|stress|report|help-env> [--flag value ...]\n"
                "see the header comment of tools/ppn_cli.cc for details\n");
 }
 
@@ -593,6 +756,7 @@ int main(int argc, char** argv) {
   else if (command == "serve") status = CmdServe(flags);
   else if (command == "baselines") status = CmdBaselines(flags);
   else if (command == "sweep") status = CmdSweep(flags);
+  else if (command == "stress") status = CmdStress(flags);
   else if (command == "report") status = CmdReport(flags);
   else if (command == "help-env") status = CmdHelpEnv();
   else Usage();
