@@ -22,7 +22,16 @@
 # script exits non-zero when any benchmark's median regressed by more
 # than 10%. PPN_BENCH_REPS (default 3) sets --benchmark_repetitions so
 # the reports carry median aggregates (bench_diff compares medians when
-# present, making the gate robust to single-run jitter).
+# present, making the gate robust to single-run jitter). When the gate
+# is on but no previous archive exists, the bench is reported as
+# GATE-SKIPPED (there is nothing to compare against) — NOT as a pass.
+#
+# CAVEAT: archived baselines are only meaningful against candidates from
+# the SAME HOST and the same quiet measurement window (same CPU, same
+# governor, nothing else loading the machine). A baseline produced on a
+# different box, or hours earlier under different load, makes both the
+# gate and any speedup claim noise. For A/B comparisons (e.g.
+# PPN_SIMD=scalar vs avx2) run the two sides back to back.
 cd /root/repo
 mkdir -p bench_results
 PPN_RESULTS_JSON=/root/repo/bench_results
@@ -48,12 +57,20 @@ gate_status=0
             --benchmark_out="/root/repo/bench_results/$name.json" \
             --benchmark_out_format=json
           if [ -n "$baseline" ]; then
-            echo "===== BENCH GATE ($name vs previous archive) ====="
+            echo "===== BENCH GATE: $name ====="
+            echo "comparing archive pair:"
+            echo "  baseline:  $baseline"
+            echo "  candidate: /root/repo/bench_results/$name.json"
+            echo "(same-host, same-window runs only — see header caveat)"
             if ! python3 /root/repo/tools/bench_diff.py "$baseline" \
                  "/root/repo/bench_results/$name.json"; then
               echo "BENCH_GATE_FAILED: $name"
               gate_status=1
             fi
+          elif [ "${PPN_BENCH_GATE:-0}" = "1" ]; then
+            echo "BENCH_GATE_SKIPPED: $name (no previous archive to" \
+                 "compare against — this is NOT a pass; rerun once" \
+                 "bench_results/$name.json is committed)"
           fi
           ;;
         *)

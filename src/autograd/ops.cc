@@ -96,13 +96,14 @@ Var MulScalar(const Var& a, float s) {
 
 Var Neg(const Var& a) { return MulScalar(a, -1.0f); }
 
-// The activations below use the statically-dispatched MapFused/ZipMapFused
-// kernels (tensor/ops.h) instead of the std::function Map: the functor
-// inlines into the loop. Backward passes additionally fuse the mask/
-// derivative tensor and its multiply with the incoming gradient into one
-// pass. Each fused expression keeps the seed's operation order per element
-// (derivative first, then the multiply by grad), so results are
-// bit-identical to the two-pass versions.
+// Activation forwards with an enumerated kernel (Relu/Abs/Clamp) and all
+// the fused backward passes route through EltwiseUnary/EltwiseBinary, so
+// they pick up the dispatched SIMD tables (tensor/dispatch.h). Each
+// enumerated kernel replicates the seed's per-element expression tree
+// exactly (see vec/kernels_impl.h), so results are bit-identical to the
+// former MapFused/ZipMapFused lambdas on every path. Transcendental
+// forwards (exp/log/tanh/sigmoid/sqrt) stay on scalar MapFused: libm has
+// no vector form with guaranteed identical bits.
 
 Var Exp(const Var& a) {
   Tensor out = ppn::MapFused(a->value(), [](float x) { return std::exp(x); });
@@ -123,9 +124,8 @@ Var Log(const Var& a) {
 Var Tanh(const Var& a) {
   Tensor out = ppn::MapFused(a->value(), [](float x) { return std::tanh(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->value(),
-        [](float g, float y) { return g * (1.0f - y * y); });
+    Tensor dx =
+        ppn::EltwiseBinary(vec::BinaryOp::kTanhBwd, self->grad(), self->value());
     MaybeAccumulate(self->parents[0], dx);
   });
 }
@@ -136,31 +136,26 @@ Var Sigmoid(const Var& a) {
                      : std::exp(x) / (1.0f + std::exp(x));
   });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->value(),
-        [](float g, float y) { return g * (y * (1.0f - y)); });
+    Tensor dx = ppn::EltwiseBinary(vec::BinaryOp::kSigmoidBwd, self->grad(),
+                                   self->value());
     MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Relu(const Var& a) {
-  Tensor out =
-      ppn::MapFused(a->value(), [](float x) { return x > 0.0f ? x : 0.0f; });
+  Tensor out = ppn::EltwiseUnary(vec::UnaryOp::kReluFwd, a->value());
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->parents[0]->value(),
-        [](float g, float x) { return g * (x > 0.0f ? 1.0f : 0.0f); });
+    Tensor dx = ppn::EltwiseBinary(vec::BinaryOp::kReluBwd, self->grad(),
+                                   self->parents[0]->value());
     MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Abs(const Var& a) {
-  Tensor out = ppn::MapFused(a->value(), [](float x) { return std::fabs(x); });
+  Tensor out = ppn::EltwiseUnary(vec::UnaryOp::kAbsFwd, a->value());
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->parents[0]->value(), [](float g, float x) {
-          return g * (x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f));
-        });
+    Tensor dx = ppn::EltwiseBinary(vec::BinaryOp::kAbsBwd, self->grad(),
+                                   self->parents[0]->value());
     MaybeAccumulate(self->parents[0], dx);
   });
 }
@@ -168,24 +163,18 @@ Var Abs(const Var& a) {
 Var Sqrt(const Var& a) {
   Tensor out = ppn::MapFused(a->value(), [](float x) { return std::sqrt(x); });
   return MakeOp(std::move(out), {a}, [](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->value(), [](float g, float y) {
-          return g * (0.5f / (y > 1e-12f ? y : 1e-12f));
-        });
+    Tensor dx = ppn::EltwiseBinary(vec::BinaryOp::kSqrtBwd, self->grad(),
+                                   self->value());
     MaybeAccumulate(self->parents[0], dx);
   });
 }
 
 Var Clamp(const Var& a, float lo, float hi) {
   PPN_CHECK_LE(lo, hi);
-  Tensor out = ppn::MapFused(a->value(), [lo, hi](float x) {
-    return x < lo ? lo : (x > hi ? hi : x);
-  });
+  Tensor out = ppn::EltwiseUnary(vec::UnaryOp::kClampFwd, a->value(), lo, hi);
   return MakeOp(std::move(out), {a}, [lo, hi](Node* self) {
-    Tensor dx = ppn::ZipMapFused(
-        self->grad(), self->parents[0]->value(), [lo, hi](float g, float x) {
-          return g * ((x > lo && x < hi) ? 1.0f : 0.0f);
-        });
+    Tensor dx = ppn::EltwiseBinary(vec::BinaryOp::kClampBwd, self->grad(),
+                                   self->parents[0]->value(), lo, hi);
     MaybeAccumulate(self->parents[0], dx);
   });
 }

@@ -34,6 +34,9 @@ const VarInfo kRegistry[] = {
      "Benchmark harness: append bench context results to this JSON"},
     {"PPN_NO_POOL", "flag", "off",
      "Disable the thread-local tensor buffer pool (any value but \"0\")"},
+    {"PPN_SIMD", "enum", "auto",
+     "Kernel SIMD path: auto (CPUID-selected) | avx2 | scalar; all paths "
+     "are bit-identical"},
     {"PPN_BENCH_GATE", "flag", "off",
      "run_benches.sh: diff gated benches against the archived baseline"},
     {"PPN_BENCH_REPS", "int", "3",

@@ -1,0 +1,108 @@
+#include "tensor/dispatch.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace ppn::dispatch {
+
+namespace {
+
+const vec::KernelTable* TableFor(SimdPath path) {
+  if (path == SimdPath::kAvx2) {
+    const vec::KernelTable* table = vec::Avx2KernelsOrNull();
+    PPN_CHECK(table != nullptr)
+        << "AVX2 kernel table requested but this binary was built without it";
+    return table;
+  }
+  return &vec::ScalarKernels();
+}
+
+SimdPath InitialPath() {
+  // env::StringOr treats set-but-empty like unset; an empty PPN_SIMD
+  // therefore means "auto", matching the other PPN_* string knobs.
+  const std::string spec = env::StringOr("PPN_SIMD", "auto");
+  return ResolvePathSpec(spec.c_str());
+}
+
+// The resolved path/table. Resolution happens once on first kernel use
+// (or earlier, from SetActivePathForTest); after that the hot path is a
+// single relaxed load of the table pointer.
+std::atomic<const vec::KernelTable*>& TablePointer() {
+  static std::atomic<const vec::KernelTable*> pointer{nullptr};
+  return pointer;
+}
+
+std::atomic<int>& PathCell() {
+  static std::atomic<int> cell{static_cast<int>(SimdPath::kScalar)};
+  return cell;
+}
+
+void EnsureResolved() {
+  // Resolution is idempotent (same env, same CPU), so a racing first
+  // use on two threads writes the same values; relaxed order suffices.
+  if (TablePointer().load(std::memory_order_acquire) != nullptr) return;
+  const SimdPath path = InitialPath();
+  PathCell().store(static_cast<int>(path), std::memory_order_relaxed);
+  TablePointer().store(TableFor(path), std::memory_order_release);
+}
+
+}  // namespace
+
+bool Avx2Available() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") && vec::Avx2KernelsOrNull() != nullptr;
+#else
+  return false;
+#endif
+}
+
+SimdPath ResolvePathSpec(const char* spec) {
+  PPN_CHECK(spec != nullptr) << "PPN_SIMD: null path spec";
+  if (std::strcmp(spec, "auto") == 0) {
+    return Avx2Available() ? SimdPath::kAvx2 : SimdPath::kScalar;
+  }
+  if (std::strcmp(spec, "scalar") == 0) return SimdPath::kScalar;
+  if (std::strcmp(spec, "avx2") == 0) {
+    PPN_CHECK(Avx2Available())
+        << "PPN_SIMD=avx2 forced, but AVX2 is unavailable on this host "
+           "(CPU without AVX2, or a build without the AVX2 kernel TU); "
+           "use PPN_SIMD=auto or PPN_SIMD=scalar";
+    return SimdPath::kAvx2;
+  }
+  PPN_CHECK(false) << "PPN_SIMD: unknown value \"" << spec
+                   << "\" (expected auto | avx2 | scalar)";
+  return SimdPath::kScalar;  // Unreachable.
+}
+
+SimdPath ActivePath() {
+  EnsureResolved();
+  return static_cast<SimdPath>(PathCell().load(std::memory_order_relaxed));
+}
+
+const vec::KernelTable& Kernels() {
+  const vec::KernelTable* table =
+      TablePointer().load(std::memory_order_acquire);
+  if (table == nullptr) {
+    EnsureResolved();
+    table = TablePointer().load(std::memory_order_acquire);
+  }
+  return *table;
+}
+
+const char* PathName(SimdPath path) {
+  return path == SimdPath::kAvx2 ? "avx2" : "scalar";
+}
+
+SimdPath SetActivePathForTest(SimdPath path) {
+  EnsureResolved();
+  const vec::KernelTable* table = TableFor(path);  // Aborts if unavailable.
+  const SimdPath previous = static_cast<SimdPath>(
+      PathCell().exchange(static_cast<int>(path), std::memory_order_relaxed));
+  TablePointer().store(table, std::memory_order_release);
+  return previous;
+}
+
+}  // namespace ppn::dispatch

@@ -1,0 +1,70 @@
+#ifndef PPN_TENSOR_DISPATCH_H_
+#define PPN_TENSOR_DISPATCH_H_
+
+#include "tensor/vec/kernels.h"
+
+/// \file
+/// Runtime SIMD dispatch: one portable binary, the widest kernels the
+/// host supports. At first kernel use the active `vec::KernelTable` is
+/// resolved once from CPUID plus the `PPN_SIMD` env knob:
+///
+///   PPN_SIMD=auto    (default) AVX2 when the CPU has it, else scalar.
+///   PPN_SIMD=avx2    Force the AVX2 table; aborts when the CPU (or the
+///                    build) lacks AVX2 — forcing must never silently
+///                    degrade.
+///   PPN_SIMD=scalar  Force the portable table (CI runs a full-test
+///                    lane this way; also the A/B side of bench diffs).
+///
+/// Any other value aborts with a message naming the knob. Both tables
+/// produce bit-identical results for every kernel (tests/tensor/
+/// kernel_equiv_test.cc runs the whole suite under each forced path),
+/// so the choice affects throughput only.
+
+namespace ppn::dispatch {
+
+enum class SimdPath : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// True when the CPU reports AVX2 *and* this binary carries the AVX2
+/// kernel table.
+bool Avx2Available();
+
+/// Parses a PPN_SIMD value ("auto" | "avx2" | "scalar") into a concrete
+/// path, resolving "auto" via `Avx2Available`. Aborts on malformed
+/// values and on forcing an unavailable path.
+SimdPath ResolvePathSpec(const char* spec);
+
+/// The path selected for this process (resolved once, then cached).
+SimdPath ActivePath();
+
+/// Kernel table for `ActivePath()`. The hot-path accessor: one relaxed
+/// atomic pointer load.
+const vec::KernelTable& Kernels();
+
+/// Human-readable path name ("scalar" / "avx2").
+const char* PathName(SimdPath path);
+
+/// Swaps the active path at runtime; returns the previous path. Aborts
+/// if the requested path is unavailable. For tests and benchmarks —
+/// production code selects via PPN_SIMD.
+SimdPath SetActivePathForTest(SimdPath path);
+
+/// RAII path override for tests.
+class ScopedForcePath {
+ public:
+  explicit ScopedForcePath(SimdPath path)
+      : previous_(SetActivePathForTest(path)) {}
+  ~ScopedForcePath() { SetActivePathForTest(previous_); }
+
+  ScopedForcePath(const ScopedForcePath&) = delete;
+  ScopedForcePath& operator=(const ScopedForcePath&) = delete;
+
+ private:
+  SimdPath previous_;
+};
+
+}  // namespace ppn::dispatch
+
+#endif  // PPN_TENSOR_DISPATCH_H_

@@ -7,6 +7,7 @@
 #include "common/parallel.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "tensor/dispatch.h"
 
 namespace ppn {
 
@@ -32,125 +33,61 @@ inline void RecordMatMul(int64_t m, int64_t n, int64_t k) {
 }
 
 // ---------------------------------------------------------------------------
-// Blocked matmul kernels.
-//
-// All variants compute out[i][j] = sum_p A(i,p) * B(p,j) where A(i,p) is
-// either a[i*lda + p] (row-major operand) or a[p*lda + i] (the TransA
-// layout), and B rows b + p*ldb are contiguous. Each output element keeps
-// ONE float accumulator that sums its k terms in ascending p order — the
-// exact summation order of the naive i/p/j loops — so register blocking,
-// SIMD over j (lanes are distinct output elements), and OpenMP over row
-// blocks are all bit-identical to the reference kernels. Do not introduce
-// per-element partial sums (k-splitting) here; see DESIGN.md.
-//
-// The register block holds kIB x kJB accumulators on the stack; the j
-// dimension vectorizes (contiguous B and out rows), the i dimension
-// amortizes each B row load across kIB output rows.
+// The kernel bodies live in src/tensor/vec/ (one instantiation per ISA,
+// selected at runtime by tensor/dispatch.{h,cc} — CPUID + PPN_SIMD).
+// All variants keep ONE float accumulator per output element that sums
+// its k terms in ascending order — the exact summation order of the
+// naive i/p/j loops — so register blocking, SIMD over j (lanes are
+// distinct output elements), and OpenMP over row blocks are all
+// bit-identical to the reference kernels AND across dispatch paths. Do
+// not introduce per-element partial sums (k-splitting); see DESIGN.md
+// §2.4 and §2.8.
 // ---------------------------------------------------------------------------
-
-constexpr int64_t kIB = 8;
-constexpr int64_t kJB = 8;
-
-template <bool kATransposed, int IB, int JB>
-inline void MicroKernel(const float* a, int64_t lda, const float* b,
-                        int64_t ldb, float* out, int64_t ldo, int64_t k) {
-  float acc[IB][JB] = {};
-  for (int64_t p = 0; p < k; ++p) {
-    const float* b_row = b + p * ldb;
-    float av[IB];
-    for (int i = 0; i < IB; ++i) {
-      av[i] = kATransposed ? a[p * lda + i] : a[i * lda + p];
-    }
-    for (int i = 0; i < IB; ++i) {
-      for (int j = 0; j < JB; ++j) acc[i][j] += av[i] * b_row[j];
-    }
-  }
-  for (int i = 0; i < IB; ++i) {
-    for (int j = 0; j < JB; ++j) out[i * ldo + j] = acc[i][j];
-  }
-}
-
-// Variable-size remainder block (right/bottom edges): same accumulator
-// discipline, scalar loops.
-template <bool kATransposed>
-inline void EdgeBlock(const float* a, int64_t lda, const float* b, int64_t ldb,
-                      float* out, int64_t ldo, int64_t k, int64_t ib,
-                      int64_t jb) {
-  float acc[kIB][kJB] = {};
-  for (int64_t p = 0; p < k; ++p) {
-    const float* b_row = b + p * ldb;
-    for (int64_t i = 0; i < ib; ++i) {
-      const float av = kATransposed ? a[p * lda + i] : a[i * lda + p];
-      for (int64_t j = 0; j < jb; ++j) acc[i][j] += av * b_row[j];
-    }
-  }
-  for (int64_t i = 0; i < ib; ++i) {
-    for (int64_t j = 0; j < jb; ++j) out[i * ldo + j] = acc[i][j];
-  }
-}
-
-// out[m,n] = A·B with A(i,p) as described above and B rows contiguous.
-// `a_block` points at A's element (i0, 0) advanced per row block outside;
-// here `a` is the full operand and indexing handles both layouts.
-template <bool kATransposed>
-void BlockedMatMul(const float* a, int64_t lda, const float* b, int64_t ldb,
-                   float* out, int64_t m, int64_t n, int64_t k) {
-  // OpenMP splits row blocks; every output element is computed wholly by
-  // one thread with the same per-element order, so any thread count gives
-  // bit-identical results.
-#ifdef _OPENMP
-#pragma omp parallel for if (InnerParallelEnabled() && m * n * k > 65536) \
-    schedule(static)
-#endif
-  for (int64_t i0 = 0; i0 < m; i0 += kIB) {
-    const int64_t ib = m - i0 < kIB ? m - i0 : kIB;
-    // A's row-block origin: row i0 in the row-major layout, column i0 in
-    // the transposed layout.
-    const float* a_block = kATransposed ? a + i0 : a + i0 * lda;
-    float* out_block = out + i0 * n;
-    int64_t j0 = 0;
-    if (ib == kIB) {
-      for (; j0 + kJB <= n; j0 += kJB) {
-        MicroKernel<kATransposed, kIB, kJB>(a_block, lda, b + j0, ldb,
-                                            out_block + j0, n, k);
-      }
-    }
-    for (; j0 < n; j0 += kJB) {
-      const int64_t jb = n - j0 < kJB ? n - j0 : kJB;
-      EdgeBlock<kATransposed>(a_block, lda, b + j0, ldb, out_block + j0, n, k,
-                              ib, jb);
-    }
-  }
-}
 
 }  // namespace
 
+Tensor EltwiseUnary(vec::UnaryOp op, const Tensor& a, float p0, float p1) {
+  Tensor out = Tensor::Uninitialized(a.shape());
+  dispatch::Kernels().unary(op, a.Data(), out.MutableData(), a.numel(), p0,
+                            p1);
+  return out;
+}
+
+Tensor EltwiseBinary(vec::BinaryOp op, const Tensor& a, const Tensor& b,
+                     float p0, float p1) {
+  CheckSameShape(a, b, "EltwiseBinary");
+  Tensor out = Tensor::Uninitialized(a.shape());
+  dispatch::Kernels().binary(op, a.Data(), b.Data(), out.MutableData(),
+                             a.numel(), p0, p1);
+  return out;
+}
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  return ZipMapFused(a, b, [](float x, float y) { return x + y; });
+  return EltwiseBinary(vec::BinaryOp::kAdd, a, b);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  return ZipMapFused(a, b, [](float x, float y) { return x - y; });
+  return EltwiseBinary(vec::BinaryOp::kSub, a, b);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  return ZipMapFused(a, b, [](float x, float y) { return x * y; });
+  return EltwiseBinary(vec::BinaryOp::kMul, a, b);
 }
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Div");
-  return ZipMapFused(a, b, [](float x, float y) { return x / y; });
+  return EltwiseBinary(vec::BinaryOp::kDiv, a, b);
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return MapFused(a, [s](float x) { return x + s; });
+  return EltwiseUnary(vec::UnaryOp::kAddScalar, a, s);
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return MapFused(a, [s](float x) { return x * s; });
+  return EltwiseUnary(vec::UnaryOp::kMulScalar, a, s);
 }
 
 Tensor Map(const Tensor& a, const std::function<float(float)>& fn) {
@@ -179,7 +116,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   span.AddArg("n", static_cast<double>(n));
   span.AddArg("k", static_cast<double>(k));
   Tensor out = Tensor::Uninitialized({m, n});
-  BlockedMatMul<false>(a.Data(), k, b.Data(), n, out.MutableData(), m, n, k);
+  dispatch::Kernels().matmul(a.Data(), k, b.Data(), n, out.MutableData(), m, n,
+                             k, InnerParallelEnabled());
   return out;
 }
 
@@ -195,7 +133,8 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   Tensor out = Tensor::Uninitialized({m, n});
   // a is [k, m]: A(i,p) = a[p*m + i], contiguous across the register
   // block's i dimension.
-  BlockedMatMul<true>(a.Data(), m, b.Data(), n, out.MutableData(), m, n, k);
+  dispatch::Kernels().matmul_ta(a.Data(), m, b.Data(), n, out.MutableData(), m,
+                                n, k, InnerParallelEnabled());
   return out;
 }
 
@@ -212,12 +151,13 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   // blocked kernel needs B^T. The transpose costs n*k against the m*n*k
   // multiply: a clear win whenever several output rows amortize it. For
   // very short outputs fall back to direct row dots (same ascending-p
-  // order, so both paths are bit-identical to the naive kernel).
+  // order — and the fallback is shared by every dispatch path, so all
+  // paths stay bit-identical to the naive kernel).
   if (m >= 4) {
     Tensor bt = Transpose2D(b);  // [k, n]
     Tensor out = Tensor::Uninitialized({m, n});
-    BlockedMatMul<false>(a.Data(), k, bt.Data(), n, out.MutableData(), m, n,
-                         k);
+    dispatch::Kernels().matmul(a.Data(), k, bt.Data(), n, out.MutableData(), m,
+                               n, k, InnerParallelEnabled());
     return out;
   }
   Tensor out = Tensor::Uninitialized({m, n});
@@ -260,6 +200,9 @@ Tensor Transpose2D(const Tensor& a) {
 }
 
 double SumAll(const Tensor& a) {
+  // One double accumulator over the flat array. NOT dispatched: a
+  // vectorized version would split the accumulator across lanes and
+  // change the summation order (and therefore the bits).
   double total = 0.0;
   const float* pa = a.Data();
   for (int64_t i = 0; i < a.numel(); ++i) total += pa[i];
@@ -275,14 +218,10 @@ Tensor SumRows(const Tensor& a) {
   PPN_CHECK_EQ(a.ndim(), 2);
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  // Accumulates row-by-row into the output: needs the zero init.
-  Tensor out({n});
-  const float* pa = a.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* row = pa + i * n;
-    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
-  }
+  // The kernel writes every output column exactly once (per-column
+  // register accumulators), so no zero init is needed.
+  Tensor out = Tensor::Uninitialized({n});
+  dispatch::Kernels().sum_rows(a.Data(), out.MutableData(), m, n);
   return out;
 }
 
@@ -290,15 +229,9 @@ Tensor AddRowVector(const Tensor& a, const Tensor& b) {
   PPN_CHECK_EQ(a.ndim(), 2);
   PPN_CHECK_EQ(b.ndim(), 1);
   PPN_CHECK_EQ(a.dim(1), b.dim(0));
-  const int64_t m = a.dim(0);
-  const int64_t n = a.dim(1);
   Tensor out = Tensor::Uninitialized(a.shape());
-  const float* pa = a.Data();
-  const float* pb = b.Data();
-  float* po = out.MutableData();
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t j = 0; j < n; ++j) po[i * n + j] = pa[i * n + j] + pb[j];
-  }
+  dispatch::Kernels().add_row_vector(a.Data(), b.Data(), out.MutableData(),
+                                     a.dim(0), a.dim(1));
   return out;
 }
 
@@ -325,6 +258,25 @@ inline void CopyFloats(float* dst, const float* src, int64_t count) {
   if (count > 0) {
     std::memcpy(dst, src, static_cast<size_t>(count) * sizeof(float));
   }
+}
+
+vec::Im2ColArgs MakeIm2ColArgs(const std::vector<int64_t>& input_shape,
+                               const Conv2dGeometry& g) {
+  vec::Im2ColArgs args;
+  args.n = input_shape[0];
+  args.c = input_shape[1];
+  args.h = input_shape[2];
+  args.w = input_shape[3];
+  args.out_h = g.OutH(args.h);
+  args.out_w = g.OutW(args.w);
+  args.patch = args.c * g.kernel_h * g.kernel_w;
+  args.kernel_h = g.kernel_h;
+  args.kernel_w = g.kernel_w;
+  args.dilation_h = g.dilation_h;
+  args.dilation_w = g.dilation_w;
+  args.pad_top = g.pad_top;
+  args.pad_left = g.pad_left;
+  return args;
 }
 
 }  // namespace
@@ -435,15 +387,9 @@ Tensor RandomNormal(std::vector<int64_t> shape, float mean, float stddev,
 
 Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
   PPN_CHECK_EQ(input.ndim(), 4);
-  const int64_t n = input.dim(0);
-  const int64_t c = input.dim(1);
-  const int64_t h = input.dim(2);
-  const int64_t w = input.dim(3);
-  const int64_t out_h = g.OutH(h);
-  const int64_t out_w = g.OutW(w);
-  PPN_CHECK(out_h > 0 && out_w > 0)
+  const vec::Im2ColArgs args = MakeIm2ColArgs(input.shape(), g);
+  PPN_CHECK(args.out_h > 0 && args.out_w > 0)
       << "conv output is empty for input " << ShapeToString(input.shape());
-  const int64_t patch = c * g.kernel_h * g.kernel_w;
   if (obs::Enabled()) {
     static thread_local obs::Counter& calls =
         obs::GetCounter("tensor.im2col.calls");
@@ -451,36 +397,10 @@ Tensor Im2Col(const Tensor& input, const Conv2dGeometry& g) {
   }
   obs::Span span("tensor.im2col", /*min_duration_us=*/20.0);
   // Every column element is written (out-of-bounds taps store 0.0f).
-  Tensor columns = Tensor::Uninitialized({n * out_h * out_w, patch});
-  const float* pi = input.Data();
-  float* pc = columns.MutableData();
-#ifdef _OPENMP
-#pragma omp parallel for \
-    if (InnerParallelEnabled() && n * out_h * out_w * patch > 65536) \
-    schedule(static)
-#endif
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < out_h; ++oy) {
-      for (int64_t ox = 0; ox < out_w; ++ox) {
-        float* col =
-            pc + ((b * out_h + oy) * out_w + ox) * patch;
-        int64_t col_index = 0;
-        for (int64_t ch = 0; ch < c; ++ch) {
-          for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
-            const int64_t in_y = oy - g.pad_top + ky * g.dilation_h;
-            for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
-              const int64_t in_x = ox - g.pad_left + kx * g.dilation_w;
-              float value = 0.0f;
-              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
-                value = pi[((b * c + ch) * h + in_y) * w + in_x];
-              }
-              col[col_index++] = value;
-            }
-          }
-        }
-      }
-    }
-  }
+  Tensor columns =
+      Tensor::Uninitialized({args.n * args.out_h * args.out_w, args.patch});
+  dispatch::Kernels().im2col(input.Data(), columns.MutableData(), args,
+                             InnerParallelEnabled());
   return columns;
 }
 
@@ -488,48 +408,13 @@ Tensor Col2Im(const Tensor& columns, const std::vector<int64_t>& input_shape,
               const Conv2dGeometry& g) {
   PPN_CHECK_EQ(columns.ndim(), 2);
   PPN_CHECK_EQ(static_cast<int>(input_shape.size()), 4);
-  const int64_t n = input_shape[0];
-  const int64_t c = input_shape[1];
-  const int64_t h = input_shape[2];
-  const int64_t w = input_shape[3];
-  const int64_t out_h = g.OutH(h);
-  const int64_t out_w = g.OutW(w);
-  const int64_t patch = c * g.kernel_h * g.kernel_w;
-  PPN_CHECK_EQ(columns.dim(0), n * out_h * out_w);
-  PPN_CHECK_EQ(columns.dim(1), patch);
+  const vec::Im2ColArgs args = MakeIm2ColArgs(input_shape, g);
+  PPN_CHECK_EQ(columns.dim(0), args.n * args.out_h * args.out_w);
+  PPN_CHECK_EQ(columns.dim(1), args.patch);
   // Overlapping patches accumulate: the output must start zeroed.
   Tensor image(input_shape);
-  const float* pc = columns.Data();
-  float* pi = image.MutableData();
-  // Parallel over the batch only: overlapping patches of one image
-  // accumulate into shared pixels, but images never alias each other, and
-  // the within-image accumulation order is untouched (bit-identical).
-#ifdef _OPENMP
-#pragma omp parallel for \
-    if (InnerParallelEnabled() && n * out_h * out_w * patch > 65536) \
-    schedule(static)
-#endif
-  for (int64_t b = 0; b < n; ++b) {
-    for (int64_t oy = 0; oy < out_h; ++oy) {
-      for (int64_t ox = 0; ox < out_w; ++ox) {
-        const float* col =
-            pc + ((b * out_h + oy) * out_w + ox) * patch;
-        int64_t col_index = 0;
-        for (int64_t ch = 0; ch < c; ++ch) {
-          for (int64_t ky = 0; ky < g.kernel_h; ++ky) {
-            const int64_t in_y = oy - g.pad_top + ky * g.dilation_h;
-            for (int64_t kx = 0; kx < g.kernel_w; ++kx) {
-              const int64_t in_x = ox - g.pad_left + kx * g.dilation_w;
-              const float value = col[col_index++];
-              if (in_y >= 0 && in_y < h && in_x >= 0 && in_x < w) {
-                pi[((b * c + ch) * h + in_y) * w + in_x] += value;
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  dispatch::Kernels().col2im(columns.Data(), image.MutableData(), args,
+                             InnerParallelEnabled());
   return image;
 }
 

@@ -7,19 +7,24 @@
 #include "common/check.h"
 #include "common/random.h"
 #include "tensor/tensor.h"
+#include "tensor/vec/kernels.h"
 
 /// \file
 /// Raw (non-differentiable) tensor kernels. The autograd layer composes
 /// these into differentiable operations. All binary elementwise kernels
 /// require identical shapes; broadcasting is handled one level up.
 ///
-/// Kernel rules (see DESIGN.md "Memory & kernel architecture"):
+/// Kernel rules (see DESIGN.md "Memory & kernel architecture" and §2.8):
 ///  - Outputs that are fully overwritten come from `Tensor::Uninitialized`
 ///    (skips the zero-fill); accumulating outputs zero-init.
 ///  - Every matmul variant accumulates each output element's k terms in
 ///    ascending order with a single float accumulator, so blocked /
 ///    vectorized / OpenMP versions stay bit-identical to the naive
 ///    reference loops at any block size or thread count.
+///  - Hot kernels route through `tensor/dispatch.h` to a per-ISA
+///    `vec::KernelTable` (scalar always; AVX2 when the CPU has it, or as
+///    forced by PPN_SIMD). Every table obeys the same accumulation-order
+///    contract, so the dispatch choice never changes any output bit.
 
 namespace ppn {
 
@@ -36,6 +41,18 @@ Tensor Div(const Tensor& a, const Tensor& b);
 Tensor AddScalar(const Tensor& a, float s);
 /// c = a * s.
 Tensor MulScalar(const Tensor& a, float s);
+
+/// Dispatched elementwise kernel over one input: out_i = op(a_i; p0, p1).
+/// See `vec::UnaryOp` for the op catalogue. Used by the autograd layer
+/// for activation forwards that have an enumerated kernel.
+Tensor EltwiseUnary(vec::UnaryOp op, const Tensor& a, float p0 = 0.0f,
+                    float p1 = 0.0f);
+
+/// Dispatched elementwise kernel over two same-shaped inputs:
+/// out_i = op(a_i, b_i; p0, p1). The *Bwd ops fuse an activation
+/// derivative with the incoming gradient (a = grad, b = saved tensor).
+Tensor EltwiseBinary(vec::BinaryOp op, const Tensor& a, const Tensor& b,
+                     float p0 = 0.0f, float p1 = 0.0f);
 
 /// Applies `fn` elementwise with static dispatch: the functor inlines
 /// into the loop (no per-element `std::function` call). This is the hot

@@ -15,6 +15,13 @@ namespace ppn::pool {
 
 namespace {
 
+static_assert((kAlignment & (kAlignment - 1)) == 0,
+              "pool alignment must be a power of two");
+static_assert(kAlignment % alignof(float) == 0,
+              "pool alignment must satisfy the element type");
+static_assert(kAlignment >= 64,
+              "SIMD kernels assume at least cache-line alignment");
+
 // Smallest size class: 2^3 = 8 floats (32 bytes). Classes above
 // kMaxClassLog2 would overflow int64 byte counts long before being
 // reachable; ShapeNumel already guards tensor sizes.
@@ -37,13 +44,15 @@ int64_t ClassBytes(int cls) {
 }
 
 float* RawAlloc(int cls) {
-  return static_cast<float*>(
+  float* ptr = static_cast<float*>(
       ::operator new(static_cast<size_t>(ClassBytes(cls)),
-                     std::align_val_t{64}));
+                     std::align_val_t{kAlignment}));
+  PPN_DCHECK(reinterpret_cast<uintptr_t>(ptr) % kAlignment == 0);
+  return ptr;
 }
 
 void RawFree(float* ptr) noexcept {
-  ::operator delete(ptr, std::align_val_t{64});
+  ::operator delete(ptr, std::align_val_t{kAlignment});
 }
 
 bool EnabledFromEnv() { return !env::FlagSet("PPN_NO_POOL"); }

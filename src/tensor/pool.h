@@ -38,9 +38,17 @@
 
 namespace ppn::pool {
 
-/// Returns a 64-byte-aligned buffer with room for at least `numel`
-/// floats (rounded up to the size class). Contents are UNINITIALIZED.
-/// Returns nullptr for numel == 0.
+/// Alignment of every buffer the pool hands out (both the cached path
+/// and the PPN_NO_POOL direct path allocate with this `align_val_t`).
+/// 64 bytes = one cache line = two AVX-512 lanes: the SIMD kernel tables
+/// (src/tensor/vec/) may assume `Tensor::Data()` of a freshly allocated
+/// tensor is at least this aligned, and kernels that use aligned loads
+/// on whole tensors depend on it.
+inline constexpr int64_t kAlignment = 64;
+
+/// Returns a `kAlignment`-byte-aligned buffer with room for at least
+/// `numel` floats (rounded up to the size class). Contents are
+/// UNINITIALIZED. Returns nullptr for numel == 0.
 float* Acquire(int64_t numel);
 
 /// Returns a buffer obtained from `Acquire(numel)`. Safe to call from a

@@ -1,0 +1,38 @@
+// AVX2 kernel table: kernels_impl.h instantiated with VecAvx2.
+//
+// This is the ONLY translation unit in the project compiled with -mavx2
+// (see src/tensor/CMakeLists.txt), and deliberately WITHOUT -mfma and
+// with -ffp-contract=off: the mul+add pairs in the kernels must stay
+// separate correctly-rounded operations so the AVX2 path is
+// bit-identical to the scalar one. The compiler may use AVX2 anywhere
+// in this file, which is safe because dispatch.cc only ever calls
+// through this table after CPUID confirms AVX2 support.
+//
+// On targets where the compiler does not define __AVX2__ even for this
+// TU (non-x86 builds get no -mavx2 flag), the table degrades to absent
+// and dispatch falls back to the scalar path.
+
+#include "tensor/vec/kernels.h"
+
+#ifdef __AVX2__
+
+#include "tensor/vec/kernels_impl.h"
+
+namespace ppn::vec {
+
+const KernelTable* Avx2KernelsOrNull() {
+  static const KernelTable table = detail::MakeTable<VecAvx2>();
+  return &table;
+}
+
+}  // namespace ppn::vec
+
+#else  // !__AVX2__
+
+namespace ppn::vec {
+
+const KernelTable* Avx2KernelsOrNull() { return nullptr; }
+
+}  // namespace ppn::vec
+
+#endif  // __AVX2__

@@ -1,0 +1,15 @@
+// Portable kernel table: kernels_impl.h instantiated with VecScalar.
+// Compiled with the project's baseline flags (no -mavx2), so this TU —
+// and therefore the scalar dispatch path — runs on any x86-64 host.
+
+#include "tensor/vec/kernels.h"
+#include "tensor/vec/kernels_impl.h"
+
+namespace ppn::vec {
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = detail::MakeTable<VecScalar>();
+  return table;
+}
+
+}  // namespace ppn::vec

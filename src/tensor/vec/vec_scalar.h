@@ -1,0 +1,185 @@
+#ifndef PPN_TENSOR_VEC_VEC_SCALAR_H_
+#define PPN_TENSOR_VEC_VEC_SCALAR_H_
+
+#include <bit>
+#include <cstdint>
+
+/// \file
+/// Portable fallback implementation of the `Vectorized<float>` concept
+/// (see vec.h for the concept contract): eight lanes held in a plain
+/// float array, every operation a fixed-count loop the compiler may
+/// autovectorize to whatever the baseline ISA offers. Semantics mirror
+/// the AVX2 implementation EXACTLY — including the quirks:
+///
+///  - `Blend` and the partial load/store select on the lane's TOP BIT
+///    only (vblendvps / vmaskmovps semantics), not on zero/non-zero.
+///  - Comparison masks are all-ones / all-zero lane bit patterns.
+///  - `Min`/`Max` return the SECOND operand when either lane is NaN
+///    (vminps/vmaxps semantics: `b < a ? b : a`), unlike std::min.
+///  - `LoadPartial` fills masked-out lanes with +0.0f.
+///
+/// Because every lane op is the same IEEE-754 single operation the AVX2
+/// lane performs, kernels written against this concept produce the same
+/// bits under either implementation.
+
+namespace ppn::vec {
+
+class VecScalar {
+ public:
+  static constexpr int kWidth = 8;
+
+  VecScalar() = default;
+
+  static VecScalar Broadcast(float value) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = value;
+    return out;
+  }
+
+  static VecScalar Zero() { return Broadcast(0.0f); }
+
+  /// Unaligned load of kWidth floats.
+  static VecScalar LoadU(const float* ptr) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = ptr[i];
+    return out;
+  }
+
+  /// Aligned load (pointer must be 32-byte aligned; the pool's 64-byte
+  /// buffers qualify at offset 0).
+  static VecScalar Load(const float* ptr) { return LoadU(ptr); }
+
+  /// Masked load of the first `count` lanes; the rest read as +0.0f
+  /// (vmaskmovps semantics). 0 <= count <= kWidth.
+  static VecScalar LoadPartial(const float* ptr, int64_t count) {
+    VecScalar out = Zero();
+    for (int64_t i = 0; i < count; ++i) out.lane_[i] = ptr[i];
+    return out;
+  }
+
+  void StoreU(float* ptr) const {
+    for (int i = 0; i < kWidth; ++i) ptr[i] = lane_[i];
+  }
+
+  void Store(float* ptr) const { StoreU(ptr); }
+
+  /// Masked store of the first `count` lanes; the rest of the
+  /// destination is untouched.
+  void StorePartial(float* ptr, int64_t count) const {
+    for (int64_t i = 0; i < count; ++i) ptr[i] = lane_[i];
+  }
+
+  friend VecScalar operator+(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = a.lane_[i] + b.lane_[i];
+    return out;
+  }
+  friend VecScalar operator-(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = a.lane_[i] - b.lane_[i];
+    return out;
+  }
+  friend VecScalar operator*(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = a.lane_[i] * b.lane_[i];
+    return out;
+  }
+  friend VecScalar operator/(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = a.lane_[i] / b.lane_[i];
+    return out;
+  }
+
+  /// acc + a*b as two separate correctly-rounded operations — never an
+  /// FMA (-ffp-contract=off semantics; the bit-identity contract).
+  static VecScalar MulAdd(const VecScalar& a, const VecScalar& b,
+                          const VecScalar& acc) {
+    return acc + a * b;
+  }
+
+  /// vminps: per lane `b < a ? b : a` (returns b when either is NaN).
+  static VecScalar Min(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] = b.lane_[i] < a.lane_[i] ? b.lane_[i] : a.lane_[i];
+    }
+    return out;
+  }
+
+  /// vmaxps: per lane `a < b ? b : a`.
+  static VecScalar Max(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] = a.lane_[i] < b.lane_[i] ? b.lane_[i] : a.lane_[i];
+    }
+    return out;
+  }
+
+  /// All-ones mask where a > b (ordered, quiet — vcmpps _CMP_GT_OQ).
+  static VecScalar Gt(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] =
+          std::bit_cast<float>(a.lane_[i] > b.lane_[i] ? 0xFFFFFFFFu : 0u);
+    }
+    return out;
+  }
+
+  /// All-ones mask where a < b.
+  static VecScalar Lt(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] =
+          std::bit_cast<float>(a.lane_[i] < b.lane_[i] ? 0xFFFFFFFFu : 0u);
+    }
+    return out;
+  }
+
+  /// Bitwise AND of lane patterns (for combining masks).
+  static VecScalar And(const VecScalar& a, const VecScalar& b) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] = std::bit_cast<float>(std::bit_cast<uint32_t>(a.lane_[i]) &
+                                          std::bit_cast<uint32_t>(b.lane_[i]));
+    }
+    return out;
+  }
+
+  /// Clears every sign bit (vandps with 0x7FFFFFFF): exact std::fabs,
+  /// including for NaN payloads.
+  static VecScalar Abs(const VecScalar& a) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      out.lane_[i] = std::bit_cast<float>(std::bit_cast<uint32_t>(a.lane_[i]) &
+                                          0x7FFFFFFFu);
+    }
+    return out;
+  }
+
+  /// vgatherdps: lane i reads base[idx[i]]. All eight indices must be
+  /// in bounds (no masking).
+  static VecScalar Gather(const float* base, const int32_t* idx) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) out.lane_[i] = base[idx[i]];
+    return out;
+  }
+
+  /// vblendvps: lane i takes `if_true` when mask lane i's TOP BIT is
+  /// set, else `if_false`.
+  static VecScalar Blend(const VecScalar& mask, const VecScalar& if_true,
+                         const VecScalar& if_false) {
+    VecScalar out;
+    for (int i = 0; i < kWidth; ++i) {
+      const bool top = (std::bit_cast<uint32_t>(mask.lane_[i]) >> 31) != 0;
+      out.lane_[i] = top ? if_true.lane_[i] : if_false.lane_[i];
+    }
+    return out;
+  }
+
+ private:
+  float lane_[kWidth];
+};
+
+}  // namespace ppn::vec
+
+#endif  // PPN_TENSOR_VEC_VEC_SCALAR_H_

@@ -37,6 +37,42 @@ TEST(PoolTest, AcquireReleaseRoundTripsThroughFreeList) {
   EXPECT_EQ(after.releases_cached - before.releases_cached, 2);
 }
 
+TEST(PoolTest, EveryAllocationPathIsAligned) {
+  // Odd sizes straddling class boundaries, both the cached and the
+  // pool-off paths: the SIMD kernels assume pool::kAlignment for fresh
+  // tensor buffers, so alignment must hold for every size, not just
+  // round ones.
+  const int64_t sizes[] = {1, 3, 7, 9, 17, 31, 33, 63, 65, 127, 129, 1000, 4097};
+  for (const int64_t numel : sizes) {
+    float* p = pool::Acquire(numel);
+    ASSERT_NE(p, nullptr) << "numel " << numel;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % pool::kAlignment, 0u)
+        << "numel " << numel;
+    pool::Release(p, numel);
+    // Second acquire of the same class comes from the free list — the
+    // recycled pointer must be just as aligned.
+    float* q = pool::Acquire(numel);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % pool::kAlignment, 0u)
+        << "recycled, numel " << numel;
+    pool::Release(q, numel);
+  }
+  pool::ScopedPoolDisable disable;
+  for (const int64_t numel : sizes) {
+    float* p = pool::Acquire(numel);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % pool::kAlignment, 0u)
+        << "pool off, numel " << numel;
+    pool::Release(p, numel);
+  }
+}
+
+TEST(PoolTest, TensorBuffersAreAligned) {
+  Tensor t({3, 7});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(t.Data()) % pool::kAlignment, 0u);
+  Tensor u = Tensor::Uninitialized({11});
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(u.Data()) % pool::kAlignment, 0u);
+}
+
 TEST(PoolTest, ZeroNumelIsNull) {
   EXPECT_EQ(pool::Acquire(0), nullptr);
   pool::Release(nullptr, 0);  // Must be a safe no-op.

@@ -3,12 +3,21 @@
 
 Usage:
     tools/bench_diff.py BASELINE.json CANDIDATE.json [--threshold 0.10]
+                        [--json OUT.json]
 
 Prints a per-benchmark table of wall-time deltas (negative = faster) and
-exits non-zero when any benchmark common to both files regressed by more
-than the threshold (default 10% slower real time). Benchmarks present in
-only one file are listed but never fail the run — the suite is allowed
-to grow.
+speedup ratios (baseline/candidate: >1 = candidate faster) and exits
+non-zero when any benchmark common to both files regressed by more than
+the threshold (default 10% slower real time). Benchmarks present in only
+one file are listed but never fail the run — the suite is allowed to
+grow.
+
+--json OUT.json additionally writes the comparison machine-readably:
+    {"threshold": 0.1, "regressions": ["..."],
+     "benchmarks": {"BM_X/64": {"baseline_ns": ..., "candidate_ns": ...,
+                                "delta": -0.12, "speedup": 1.14}, ...},
+     "only_baseline": [...], "only_candidate": [...]}
+(used to archive PPN_SIMD=scalar vs avx2 A/B ratios in bench_results/).
 
 The inputs are what run_benches.sh archives in bench_results/ (the
 --benchmark_out=... --benchmark_out_format=json report of
@@ -61,6 +70,9 @@ def main():
         "--threshold", type=float, default=0.10,
         help="fractional real-time increase that counts as a regression "
              "(default 0.10 = 10%%)")
+    parser.add_argument(
+        "--json", metavar="OUT",
+        help="also write the comparison as machine-readable JSON to OUT")
     args = parser.parse_args()
 
     base = load_benchmarks(args.baseline)
@@ -75,22 +87,45 @@ def main():
 
     name_width = max(len(n) for n in common)
     print(f"{'benchmark':<{name_width}}  {'baseline':>12}  "
-          f"{'candidate':>12}  {'delta':>8}")
+          f"{'candidate':>12}  {'delta':>8}  {'speedup':>8}")
     regressions = []
+    rows = {}
     for name in common:
         old, new = base[name], cand[name]
         delta = (new - old) / old if old > 0 else 0.0
+        speedup = old / new if new > 0 else float("inf")
+        rows[name] = {
+            "baseline_ns": old,
+            "candidate_ns": new,
+            "delta": delta,
+            "speedup": speedup,
+        }
         flag = ""
         if delta > args.threshold:
             regressions.append((name, delta))
             flag = "  REGRESSION"
         print(f"{name:<{name_width}}  {old:>10.0f}ns  {new:>10.0f}ns  "
-              f"{delta:>+7.1%}{flag}")
+              f"{delta:>+7.1%}  {speedup:>7.2f}x{flag}")
 
     for name in only_base:
         print(f"{name}: removed (baseline only)")
     for name in only_cand:
         print(f"{name}: new (candidate only)")
+
+    if args.json:
+        report = {
+            "baseline": args.baseline,
+            "candidate": args.candidate,
+            "threshold": args.threshold,
+            "benchmarks": rows,
+            "regressions": [name for name, _ in regressions],
+            "only_baseline": only_base,
+            "only_candidate": only_cand,
+        }
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.json}")
 
     if regressions:
         print(f"\n{len(regressions)} benchmark(s) regressed more than "
