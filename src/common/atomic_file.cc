@@ -1,8 +1,26 @@
 #include "common/atomic_file.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 
 namespace ppn {
+
+namespace {
+
+/// fsync's `path` via a short-lived descriptor. Returns false when the
+/// file cannot be opened or the kernel reports a sync failure.
+bool SyncPath(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
 
 AtomicFileWriter::AtomicFileWriter(std::string path)
     : path_(std::move(path)), temp_path_(path_ + ".tmp") {
@@ -31,10 +49,26 @@ bool AtomicFileWriter::Commit() {
     std::remove(temp_path_.c_str());
     return false;
   }
+  // fsync the temp file's DATA before the rename publishes its NAME. A
+  // rename alone orders nothing: after a crash shortly after Commit, some
+  // filesystems (notably ext4 without auto_da_alloc heuristics) would
+  // surface the new name with zero-length content — exactly the
+  // truncated-checkpoint state this class exists to rule out, and the
+  // durability the fabric's elastic worker restart leans on.
+  if (!SyncPath(temp_path_.c_str())) {
+    std::remove(temp_path_.c_str());
+    return false;
+  }
   if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
     std::remove(temp_path_.c_str());
     return false;
   }
+  // Best-effort directory sync so the rename itself is durable too. Not a
+  // commit-failure condition: the file content is already safe, and some
+  // filesystems refuse directory fsync.
+  const std::string dir =
+      std::filesystem::path(path_).parent_path().string();
+  SyncPath(dir.empty() ? "." : dir.c_str());
   return true;
 }
 

@@ -35,9 +35,11 @@ class AtomicFileWriter {
   /// True while the temporary opened and every write so far succeeded.
   bool ok() const { return out_.good(); }
 
-  /// Flushes, closes, and renames the temporary over the target. Returns
-  /// false (and removes the temporary) if any write, the close, or the
-  /// rename failed. Must be called at most once.
+  /// Flushes, closes, fsyncs, and renames the temporary over the target
+  /// (data is durable BEFORE the name flips — a crash right after Commit
+  /// cannot surface the target with truncated content). Returns false
+  /// (and removes the temporary) if any write, the close, the fsync, or
+  /// the rename failed. Must be called at most once.
   bool Commit();
 
   /// The final target path.

@@ -37,6 +37,18 @@ const VarInfo kRegistry[] = {
     {"PPN_SIMD", "enum", "auto",
      "Kernel SIMD path: auto (CPUID-selected) | avx2 | scalar; all paths "
      "are bit-identical"},
+    {"PPN_FABRIC_WORKER_TIMEOUT_S", "double", "300",
+     "Sweep fabric: claims older than this many seconds are stragglers "
+     "and get a backup task re-dispatched"},
+    {"PPN_FABRIC_MAX_RESTARTS", "int", "8",
+     "Sweep fabric: worker respawns beyond the initial fleet before the "
+     "coordinator gives up"},
+    {"PPN_FABRIC_TEST_KILL_AFTER", "slot:cells", "unset",
+     "Fabric fault injection (tests): worker <slot> SIGKILLs itself after "
+     "finishing <cells> cells; stripped from respawned workers"},
+    {"PPN_FABRIC_TEST_HANG_AFTER", "slot:cells", "unset",
+     "Fabric fault injection (tests): worker <slot> hangs forever on its "
+     "<cells>-th claim; stripped from respawned workers"},
     {"PPN_BENCH_GATE", "flag", "off",
      "run_benches.sh: diff gated benches against the archived baseline"},
     {"PPN_BENCH_REPS", "int", "3",

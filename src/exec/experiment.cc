@@ -1,16 +1,18 @@
 #include "exec/experiment.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <mutex>
 #include <set>
 #include <utility>
 
 #include "backtest/backtester.h"
 #include "ckpt/checkpoint.h"
 #include "ckpt/state_io.h"
+#include "common/atomic_file.h"
 #include "common/check.h"
 #include "exec/thread_pool.h"
 #include "obs/stats.h"
@@ -56,11 +58,86 @@ std::string JsonEscape(const std::string& text) {
   return out;
 }
 
+/// Shortest-exact decimal rendering is not needed here; %.17g is enough
+/// for any double to round-trip bit-exactly through strtod.
+std::string FormatDoubleExact(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Validates the sweep axes shared by every consumer of a spec.
+void ValidateSpec(const ExperimentSpec& spec) {
+  PPN_CHECK(spec.datasets.empty() != spec.custom_datasets.empty())
+      << "spec needs exactly one dataset source: preset `datasets` or "
+         "pre-built `custom_datasets`";
+  PPN_CHECK(!spec.strategies.empty()) << "spec has no strategies";
+  PPN_CHECK(!spec.cost_rates.empty()) << "spec has no cost rates";
+  PPN_CHECK(!spec.seeds.empty()) << "spec has no seeds";
+  std::set<std::string> labels;
+  for (const strategies::StrategySpec& strategy : spec.strategies) {
+    strategy.Validate();
+    PPN_CHECK(labels.insert(strategy.display()).second)
+        << "duplicate strategy label in spec: " << strategy.display()
+        << " (cells are keyed by label; disambiguate with StrategySpec::label)";
+  }
+  if (!spec.custom_datasets.empty()) {
+    std::set<std::string> names;
+    for (const CustomDataset& custom : spec.custom_datasets) {
+      PPN_CHECK(!custom.dataset.name.empty())
+          << "custom dataset needs a name (cells are keyed by it)";
+      PPN_CHECK(names.insert(custom.dataset.name).second)
+          << "duplicate custom dataset name in spec: " << custom.dataset.name;
+      if (!custom.cost_multipliers.empty()) {
+        PPN_CHECK_GE(static_cast<int64_t>(custom.cost_multipliers.size()),
+                     custom.dataset.panel.num_periods())
+            << "cost multipliers of " << custom.dataset.name
+            << " do not cover the panel";
+      }
+    }
+  }
+}
+
+/// Display names of the dataset axis, without generating anything.
+std::vector<std::string> DatasetDisplayNames(const ExperimentSpec& spec) {
+  std::vector<std::string> names;
+  if (spec.custom_datasets.empty()) {
+    for (const market::DatasetId id : spec.datasets) {
+      names.push_back(market::DatasetName(id));
+    }
+  } else {
+    for (const CustomDataset& custom : spec.custom_datasets) {
+      names.push_back(custom.dataset.name);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+uint64_t CellSeed(const CellKey& key) {
+  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
+  hash = FnvMix(hash, key.strategy);
+  hash = FnvMix(hash, key.dataset);
+  // Hash the IEEE bits, not a decimal rendering: formatting can round two
+  // distinct rates to the same string but never maps one rate to two.
+  uint64_t cost_bits = 0;
+  static_assert(sizeof(cost_bits) == sizeof(key.cost_rate));
+  std::memcpy(&cost_bits, &key.cost_rate, sizeof(cost_bits));
+  hash = FnvMix(hash, &cost_bits, sizeof(cost_bits));
+  hash = FnvMix(hash, &key.seed, sizeof(key.seed));
+  const uint64_t seed = Finalize(hash);
+  // Keep the seed nonzero so downstream multiply-based stream derivations
+  // (seed * k + c) never collapse streams onto their constants.
+  return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
+}
+
 // ------------------------------------------------- cell checkpoints ----
 //
 // One finished cell is one small checkpoint file named by the cell's
 // derived seed (a pure function of the cell key, so the same cell in a
-// restarted sweep maps to the same file regardless of spec ordering). The
+// restarted sweep — or a sweep sharded across fabric worker processes —
+// maps to the same file regardless of spec ordering or placement). The
 // single "cell" section echoes the full key for validation, then carries
 // the metrics and, optionally, the backtest record.
 
@@ -71,8 +148,6 @@ std::string CellCheckpointPath(const std::string& dir, uint64_t derived_seed) {
   return (std::filesystem::path(dir) / name).string();
 }
 
-/// Per-cell run-log path, named by the derived seed like the checkpoint so
-/// a rerun of the same spec overwrites in place.
 std::string CellRunLogPath(const std::string& dir, uint64_t derived_seed) {
   char name[40];
   std::snprintf(name, sizeof(name), "cell-%016llx.runlog.jsonl",
@@ -80,7 +155,128 @@ std::string CellRunLogPath(const std::string& dir, uint64_t derived_seed) {
   return (std::filesystem::path(dir) / name).string();
 }
 
-void SaveCellCheckpoint(const std::string& path, const CellResult& result) {
+std::vector<PlannedCell> EnumerateCells(const ExperimentSpec& spec) {
+  ValidateSpec(spec);
+  const std::vector<std::string> dataset_names = DatasetDisplayNames(spec);
+  std::vector<PlannedCell> cells;
+  for (size_t d = 0; d < dataset_names.size(); ++d) {
+    for (size_t s = 0; s < spec.strategies.size(); ++s) {
+      for (const double cost_rate : spec.cost_rates) {
+        for (const uint64_t seed : spec.seeds) {
+          PlannedCell cell;
+          cell.index = static_cast<int64_t>(cells.size());
+          cell.dataset_index = d;
+          cell.strategy_index = s;
+          cell.key = CellKey{spec.strategies[s].display(), dataset_names[d],
+                             cost_rate, seed};
+          // The cell's RNG root comes from its key, never from
+          // scheduling or process placement, so any worker count — and
+          // any process count — reproduces the same bits.
+          cell.derived_seed = CellSeed(cell.key);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+/// One dataset-axis entry, materialized on first use. Presets generate
+/// lazily under `once` (a fabric worker that only ever claims crypto-a
+/// cells never pays for sp500); custom datasets are referenced in place.
+struct CellPlan::DatasetSlot {
+  market::DatasetId preset_id = market::DatasetId::kCryptoA;
+  bool is_preset = false;
+  const market::MarketDataset* external = nullptr;  ///< Custom datasets.
+  const std::vector<double>* cost_multipliers = nullptr;  ///< Never null.
+  market::MarketDataset generated;
+  std::once_flag once;
+};
+
+CellPlan::CellPlan(const ExperimentSpec& spec)
+    : spec_(spec), cells_(EnumerateCells(spec)) {
+  static const std::vector<double> kNoMultipliers;
+  const size_t axis = spec.custom_datasets.empty()
+                          ? spec.datasets.size()
+                          : spec.custom_datasets.size();
+  datasets_ = std::vector<DatasetSlot>(axis);
+  for (size_t d = 0; d < axis; ++d) {
+    DatasetSlot& slot = datasets_[d];
+    if (spec.custom_datasets.empty()) {
+      slot.is_preset = true;
+      slot.preset_id = spec.datasets[d];
+      slot.cost_multipliers = &kNoMultipliers;
+    } else {
+      slot.external = &spec.custom_datasets[d].dataset;
+      slot.cost_multipliers = &spec.custom_datasets[d].cost_multipliers;
+    }
+  }
+}
+
+CellPlan::~CellPlan() = default;
+
+const market::MarketDataset& CellPlan::Dataset(size_t index) const {
+  DatasetSlot& slot = datasets_[index];
+  if (!slot.is_preset) return *slot.external;
+  std::call_once(slot.once, [&slot, this] {
+    slot.generated = market::MakeDataset(slot.preset_id, spec_.scale);
+  });
+  return slot.generated;
+}
+
+CellResult CellPlan::RunCell(const PlannedCell& cell) const {
+  obs::Span cell_span("exec.cell");
+  cell_span.AddArg("index", static_cast<double>(cell.index));
+  cell_span.AddArg("cost_rate", cell.key.cost_rate);
+  const auto start = std::chrono::steady_clock::now();
+  const market::MarketDataset& dataset = Dataset(cell.dataset_index);
+  strategies::StrategySpec cell_spec = spec_.strategies[cell.strategy_index];
+  cell_spec.scale = spec_.scale;
+  // Train at the evaluated rate (the paper's protocol) unless the spec
+  // pins a fixed train-time rate.
+  cell_spec.cost_rate = spec_.train_cost_rate >= 0.0 ? spec_.train_cost_rate
+                                                     : cell.key.cost_rate;
+  CellResult result;
+  result.key = cell.key;
+  result.derived_seed = cell.derived_seed;
+  cell_spec.seed = result.derived_seed;
+  if (!spec_.telemetry_dir.empty()) {
+    cell_spec.runlog_path =
+        CellRunLogPath(spec_.telemetry_dir, result.derived_seed);
+  }
+  const std::unique_ptr<backtest::Strategy> strategy =
+      strategies::MakeStrategy(cell_spec, dataset);
+  backtest::BacktestRecord record =
+      backtest::RunOnTestRange(strategy.get(), dataset, cell.key.cost_rate,
+                               *datasets_[cell.dataset_index].cost_multipliers);
+  result.metrics = backtest::ComputeMetrics(record);
+  if (spec_.keep_records) result.record = std::move(record);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  if (obs::Enabled()) {
+    static thread_local obs::Counter& completed =
+        obs::GetCounter("exec.cells.completed");
+    static thread_local obs::Histogram& cell_seconds =
+        obs::GetHistogram("exec.cell.seconds");
+    completed.Add(1.0);
+    cell_seconds.Observe(result.wall_seconds);
+    // One gauge per cell key: readable per-cell wall times in the
+    // profile. A watermark (not last-write) so re-running the same spec
+    // merges deterministically. Cell-grid cardinality is small enough
+    // that a metric per cell is fine.
+    obs::GetGauge("exec.cell_seconds." + result.key.strategy + "|" +
+                  result.key.dataset + "|psi=" +
+                  std::to_string(result.key.cost_rate) + "|seed=" +
+                  std::to_string(result.key.seed))
+        .UpdateMax(result.wall_seconds);
+  }
+  return result;
+}
+
+bool CellPlan::SaveCell(const std::string& dir, const CellResult& result,
+                        std::string* error) const {
+  const std::string path = CellCheckpointPath(dir, result.derived_seed);
   ckpt::CheckpointWriter writer(path);
   writer.BeginSection("cell");
   ckpt::BinWriter& out = writer.writer();
@@ -108,19 +304,15 @@ void SaveCellCheckpoint(const std::string& path, const CellResult& result) {
       ckpt::WriteDoubleVector(&out, action);
     }
   }
-  std::string error;
-  if (!writer.Commit(&error)) {
-    std::fprintf(stderr, "[exec] cell checkpoint write failed: %s\n",
-                 error.c_str());
-  }
+  return writer.Commit(error);
 }
 
-/// Restores a finished cell from `path` into `*result` (whose `key` and
-/// `derived_seed` are already set and are validated against the stored
-/// echo). False — with the reason in *error — when the file is absent,
-/// corrupt, for a different cell, or lacks a record the spec needs.
-bool TryLoadCellCheckpoint(const std::string& path, bool need_record,
-                           CellResult* result, std::string* error) {
+bool CellPlan::TryLoadCell(const std::string& dir, const PlannedCell& cell,
+                           CellResult* result, std::string* error) const {
+  const std::string path = CellCheckpointPath(dir, cell.derived_seed);
+  result->key = cell.key;
+  result->derived_seed = cell.derived_seed;
+  const bool need_record = spec_.keep_records;
   ckpt::CheckpointReader reader;
   if (!reader.Open(path, error)) return false;
   if (!reader.EnterSection("cell", error)) return false;
@@ -181,25 +373,6 @@ bool TryLoadCellCheckpoint(const std::string& path, bool need_record,
   return reader.Finish(error);
 }
 
-}  // namespace
-
-uint64_t CellSeed(const CellKey& key) {
-  uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis.
-  hash = FnvMix(hash, key.strategy);
-  hash = FnvMix(hash, key.dataset);
-  // Hash the IEEE bits, not a decimal rendering: formatting can round two
-  // distinct rates to the same string but never maps one rate to two.
-  uint64_t cost_bits = 0;
-  static_assert(sizeof(cost_bits) == sizeof(key.cost_rate));
-  std::memcpy(&cost_bits, &key.cost_rate, sizeof(cost_bits));
-  hash = FnvMix(hash, &cost_bits, sizeof(cost_bits));
-  hash = FnvMix(hash, &key.seed, sizeof(key.seed));
-  const uint64_t seed = Finalize(hash);
-  // Keep the seed nonzero so downstream multiply-based stream derivations
-  // (seed * k + c) never collapse streams onto their constants.
-  return seed == 0 ? 0x9e3779b97f4a7c15ull : seed;
-}
-
 ResultSink::ResultSink(int64_t num_cells)
     : rows_(static_cast<size_t>(num_cells)),
       filled_(static_cast<size_t>(num_cells), false) {
@@ -256,27 +429,32 @@ TablePrinter MakeMetricsTable(
 
 bool WriteResultsJson(const std::string& path,
                       const std::vector<CellResult>& rows) {
-  std::ofstream out(path);
-  if (!out.is_open()) return false;
+  // Atomic (temp-then-rename, like every other persistence path) and
+  // %.17g so every double round-trips bit-exactly: downstream equality
+  // checks — the fabric's N-process-vs-1 comparison in particular —
+  // compare these files, not in-memory rows.
+  AtomicFileWriter file(path);
+  if (!file.ok()) return false;
+  std::ofstream& out = file.stream();
   out << "[\n";
   for (size_t i = 0; i < rows.size(); ++i) {
     const CellResult& row = rows[i];
     out << "  {\"strategy\": \"" << JsonEscape(row.key.strategy)
         << "\", \"dataset\": \"" << JsonEscape(row.key.dataset)
-        << "\", \"cost_rate\": " << row.key.cost_rate
+        << "\", \"cost_rate\": " << FormatDoubleExact(row.key.cost_rate)
         << ", \"seed\": " << row.key.seed
         << ", \"derived_seed\": " << row.derived_seed
-        << ", \"apv\": " << row.metrics.apv
-        << ", \"sr_pct\": " << row.metrics.sr_pct
-        << ", \"std_pct\": " << row.metrics.std_pct
-        << ", \"mdd_pct\": " << row.metrics.mdd_pct
-        << ", \"cr\": " << row.metrics.cr
-        << ", \"turnover\": " << row.metrics.turnover
-        << ", \"wall_seconds\": " << row.wall_seconds << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << ", \"apv\": " << FormatDoubleExact(row.metrics.apv)
+        << ", \"sr_pct\": " << FormatDoubleExact(row.metrics.sr_pct)
+        << ", \"std_pct\": " << FormatDoubleExact(row.metrics.std_pct)
+        << ", \"mdd_pct\": " << FormatDoubleExact(row.metrics.mdd_pct)
+        << ", \"cr\": " << FormatDoubleExact(row.metrics.cr)
+        << ", \"turnover\": " << FormatDoubleExact(row.metrics.turnover)
+        << ", \"wall_seconds\": " << FormatDoubleExact(row.wall_seconds)
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "]\n";
-  return out.good();
+  return file.Commit();
 }
 
 ExperimentRunner::ExperimentRunner(int num_workers)
@@ -287,82 +465,9 @@ ExperimentRunner::ExperimentRunner(int num_workers)
 ExperimentRunner::ExperimentRunner()
     : ExperimentRunner(DefaultWorkerCount()) {}
 
-std::vector<CellResult> ExperimentRunner::Run(
-    const ExperimentSpec& spec) const {
-  PPN_CHECK(spec.datasets.empty() != spec.custom_datasets.empty())
-      << "spec needs exactly one dataset source: preset `datasets` or "
-         "pre-built `custom_datasets`";
-  PPN_CHECK(!spec.strategies.empty()) << "spec has no strategies";
-  PPN_CHECK(!spec.cost_rates.empty()) << "spec has no cost rates";
-  PPN_CHECK(!spec.seeds.empty()) << "spec has no seeds";
-  std::set<std::string> labels;
-  for (const strategies::StrategySpec& strategy : spec.strategies) {
-    strategy.Validate();
-    PPN_CHECK(labels.insert(strategy.display()).second)
-        << "duplicate strategy label in spec: " << strategy.display()
-        << " (cells are keyed by label; disambiguate with StrategySpec::label)";
-  }
-
-  // Datasets are resolved once, serially, before any cell runs: every cell
-  // then reads the shared immutable panels, and generation cost is not
-  // multiplied across the grid. Preset ids are generated here; custom
-  // datasets are referenced in place. Either way the dataset axis is fixed
-  // before the pool starts, so scheduling cannot touch it.
-  std::vector<market::MarketDataset> generated;
-  generated.reserve(spec.datasets.size());
-  for (const market::DatasetId id : spec.datasets) {
-    generated.push_back(market::MakeDataset(id, spec.scale));
-  }
-  static const std::vector<double> kNoMultipliers;
-  struct DatasetEntry {
-    const market::MarketDataset* dataset;
-    const std::vector<double>* cost_multipliers;  ///< Never null; may be empty.
-    std::string display_name;
-  };
-  std::vector<DatasetEntry> datasets;
-  if (spec.custom_datasets.empty()) {
-    for (size_t d = 0; d < generated.size(); ++d) {
-      datasets.push_back(DatasetEntry{&generated[d], &kNoMultipliers,
-                                      market::DatasetName(spec.datasets[d])});
-    }
-  } else {
-    std::set<std::string> names;
-    for (const CustomDataset& custom : spec.custom_datasets) {
-      PPN_CHECK(!custom.dataset.name.empty())
-          << "custom dataset needs a name (cells are keyed by it)";
-      PPN_CHECK(names.insert(custom.dataset.name).second)
-          << "duplicate custom dataset name in spec: " << custom.dataset.name;
-      if (!custom.cost_multipliers.empty()) {
-        PPN_CHECK_GE(
-            static_cast<int64_t>(custom.cost_multipliers.size()),
-            custom.dataset.panel.num_periods())
-            << "cost multipliers of " << custom.dataset.name
-            << " do not cover the panel";
-      }
-      datasets.push_back(DatasetEntry{&custom.dataset,
-                                      &custom.cost_multipliers,
-                                      custom.dataset.name});
-    }
-  }
-
-  struct Cell {
-    int64_t index;
-    size_t dataset_index;
-    size_t strategy_index;
-    double cost_rate;
-    uint64_t seed;
-  };
-  std::vector<Cell> cells;
-  for (size_t d = 0; d < datasets.size(); ++d) {
-    for (size_t s = 0; s < spec.strategies.size(); ++s) {
-      for (const double cost_rate : spec.cost_rates) {
-        for (const uint64_t seed : spec.seeds) {
-          cells.push_back(Cell{static_cast<int64_t>(cells.size()), d, s,
-                               cost_rate, seed});
-        }
-      }
-    }
-  }
+std::vector<CellResult> ExperimentRunner::Run(const ExperimentSpec& spec,
+                                              RunStats* stats) const {
+  const CellPlan plan(spec);
 
   if (!spec.checkpoint_dir.empty()) {
     std::error_code ec;
@@ -377,90 +482,65 @@ std::vector<CellResult> ExperimentRunner::Run(
                    << ": " << ec.message();
   }
 
-  ResultSink sink(static_cast<int64_t>(cells.size()));
+  std::atomic<int64_t> completed{0};
+  std::atomic<int64_t> restored{0};
+  std::atomic<int64_t> ckpt_failures{0};
+  ResultSink sink(static_cast<int64_t>(plan.cells().size()));
   ThreadPool pool(num_workers_);
-  for (const Cell& cell : cells) {
-    pool.Submit([&spec, &datasets, &sink, cell] {
-      obs::Span cell_span("exec.cell");
-      cell_span.AddArg("index", static_cast<double>(cell.index));
-      cell_span.AddArg("cost_rate", cell.cost_rate);
-      const auto start = std::chrono::steady_clock::now();
-      const DatasetEntry& entry = datasets[cell.dataset_index];
-      const market::MarketDataset& dataset = *entry.dataset;
-      strategies::StrategySpec cell_spec = spec.strategies[cell.strategy_index];
-      cell_spec.scale = spec.scale;
-      // Train at the evaluated rate (the paper's protocol) unless the spec
-      // pins a fixed train-time rate.
-      cell_spec.cost_rate =
-          spec.train_cost_rate >= 0.0 ? spec.train_cost_rate : cell.cost_rate;
-      CellResult result;
-      result.key = CellKey{cell_spec.display(), entry.display_name,
-                           cell.cost_rate, cell.seed};
-      // The cell's RNG root comes from its key, never from scheduling, so
-      // any worker count reproduces the same bits.
-      result.derived_seed = CellSeed(result.key);
-      cell_spec.seed = result.derived_seed;
-      if (!spec.telemetry_dir.empty()) {
-        cell_spec.runlog_path =
-            CellRunLogPath(spec.telemetry_dir, result.derived_seed);
-      }
-      const std::string cell_ckpt_path =
-          spec.checkpoint_dir.empty()
-              ? std::string()
-              : CellCheckpointPath(spec.checkpoint_dir, result.derived_seed);
-      if (!cell_ckpt_path.empty()) {
+  for (const PlannedCell& cell : plan.cells()) {
+    pool.Submit([&plan, &spec, &sink, &completed, &restored, &ckpt_failures,
+                 &cell] {
+      if (!spec.checkpoint_dir.empty()) {
+        CellResult result;
         std::string load_error;
-        if (TryLoadCellCheckpoint(cell_ckpt_path, spec.keep_records, &result,
-                                  &load_error)) {
+        if (plan.TryLoadCell(spec.checkpoint_dir, cell, &result,
+                             &load_error)) {
+          restored.fetch_add(1, std::memory_order_relaxed);
           if (obs::Enabled()) {
-            static thread_local obs::Counter& restored =
+            static thread_local obs::Counter& counter =
                 obs::GetCounter("exec.cells.restored");
-            restored.Add(1.0);
+            counter.Add(1.0);
           }
           sink.Set(cell.index, std::move(result));
           return;
         }
         // Fall through to a fresh run; a missing file is the normal cold
         // path, anything else is worth a note.
-        if (std::filesystem::exists(cell_ckpt_path)) {
+        const std::string path =
+            CellCheckpointPath(spec.checkpoint_dir, cell.derived_seed);
+        if (std::filesystem::exists(path)) {
           std::fprintf(stderr, "[exec] ignoring cell checkpoint %s: %s\n",
-                       cell_ckpt_path.c_str(), load_error.c_str());
+                       path.c_str(), load_error.c_str());
         }
       }
-      const std::unique_ptr<backtest::Strategy> strategy =
-          strategies::MakeStrategy(cell_spec, dataset);
-      backtest::BacktestRecord record = backtest::RunOnTestRange(
-          strategy.get(), dataset, cell.cost_rate, *entry.cost_multipliers);
-      result.metrics = backtest::ComputeMetrics(record);
-      if (spec.keep_records) result.record = std::move(record);
-      result.wall_seconds =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      if (!cell_ckpt_path.empty()) {
-        SaveCellCheckpoint(cell_ckpt_path, result);
-      }
-      if (obs::Enabled()) {
-        static thread_local obs::Counter& completed =
-            obs::GetCounter("exec.cells.completed");
-        static thread_local obs::Histogram& cell_seconds =
-            obs::GetHistogram("exec.cell.seconds");
-        completed.Add(1.0);
-        cell_seconds.Observe(result.wall_seconds);
-        // One gauge per cell key: readable per-cell wall times in the
-        // profile. A watermark (not last-write) so re-running the same spec
-        // merges deterministically. Cell-grid cardinality is small enough
-        // that a metric per cell is fine.
-        obs::GetGauge("exec.cell_seconds." + result.key.strategy + "|" +
-                      result.key.dataset + "|psi=" +
-                      std::to_string(result.key.cost_rate) + "|seed=" +
-                      std::to_string(result.key.seed))
-            .UpdateMax(result.wall_seconds);
+      CellResult result = plan.RunCell(cell);
+      completed.fetch_add(1, std::memory_order_relaxed);
+      if (!spec.checkpoint_dir.empty()) {
+        std::string save_error;
+        if (!plan.SaveCell(spec.checkpoint_dir, result, &save_error)) {
+          // The cell's in-memory result is intact; only durability is
+          // lost. Count it so the sweep summary can surface the loss —
+          // an fprintf alone disappears into scrollback while a rerun
+          // silently recomputes the cell.
+          ckpt_failures.fetch_add(1, std::memory_order_relaxed);
+          if (obs::Enabled()) {
+            static thread_local obs::Counter& counter =
+                obs::GetCounter("exec.cells.ckpt_write_failed");
+            counter.Add(1.0);
+          }
+          std::fprintf(stderr, "[exec] cell checkpoint write failed: %s\n",
+                       save_error.c_str());
+        }
       }
       sink.Set(cell.index, std::move(result));
     });
   }
   pool.Wait();
+  if (stats != nullptr) {
+    stats->cells_completed = completed.load(std::memory_order_relaxed);
+    stats->cells_restored = restored.load(std::memory_order_relaxed);
+    stats->ckpt_write_failures = ckpt_failures.load(std::memory_order_relaxed);
+  }
   return sink.Take();
 }
 

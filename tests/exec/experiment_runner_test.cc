@@ -6,6 +6,7 @@
 #include "exec/experiment.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
@@ -278,6 +279,60 @@ TEST(WriteResultsJsonTest, DumpsKeyFieldsAndMetrics) {
   EXPECT_NE(json.find("\"UBAH\""), std::string::npos);
   EXPECT_NE(json.find("\"Crypto-A\""), std::string::npos);
   EXPECT_NE(json.find("apv"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(WriteResultsJsonTest, DoublesRoundTripBitExactly) {
+  // The fabric's merged-results equality check compares JSON files from
+  // different runs, so every double must survive the text round-trip
+  // bit-for-bit — %.17g, not a display precision.
+  CellResult result;
+  result.key = CellKey{"UBAH", "Crypto-A", 1.0 / 3.0, 1};
+  result.derived_seed = CellSeed(result.key);
+  result.metrics.apv = 1.0 + 1e-15;        // Lost at < 16 digits.
+  result.metrics.sr_pct = 0.1;             // Not exactly representable.
+  result.metrics.turnover = 3.0e-300;      // Extreme exponent.
+  const std::string path =
+      testing::TempDir() + "/exec_experiment_results_roundtrip.json";
+  ASSERT_TRUE(WriteResultsJson(path, {result}));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  auto extract = [&json](const std::string& field) {
+    const size_t at = json.find("\"" + field + "\":");
+    EXPECT_NE(at, std::string::npos) << field;
+    const size_t start = at + field.size() + 3;
+    size_t end = start;
+    while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+    return std::strtod(json.substr(start, end - start).c_str(), nullptr);
+  };
+  EXPECT_EQ(extract("cost_rate"), 1.0 / 3.0);
+  EXPECT_EQ(extract("apv"), 1.0 + 1e-15);
+  EXPECT_EQ(extract("sr_pct"), 0.1);
+  EXPECT_EQ(extract("turnover"), 3.0e-300);
+  std::remove(path.c_str());
+}
+
+TEST(WriteResultsJsonTest, WritesAtomically) {
+  // An existing target must never be visible half-overwritten: the new
+  // content arrives via temp-then-rename, and no .tmp residue remains.
+  const std::string path =
+      testing::TempDir() + "/exec_experiment_results_atomic.json";
+  {
+    std::ofstream prior(path);
+    prior << "prior content";
+  }
+  CellResult result;
+  result.key = CellKey{"UBAH", "Crypto-A", 0.0025, 1};
+  ASSERT_TRUE(WriteResultsJson(path, {result}));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str().find("prior content"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"UBAH\""), std::string::npos);
+  std::ifstream temp(path + ".tmp");
+  EXPECT_FALSE(temp.good());
   std::remove(path.c_str());
 }
 

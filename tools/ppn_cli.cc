@@ -15,7 +15,8 @@
 //                     [--strategies UBAH,EIIE,PPN --costs 0.0025,0.01
 //                      --seeds 1,2 --steps 400 --gamma 1e-3 --lambda 1e-4
 //                      --workers 4 --json results.json
-//                      --checkpoint-dir ckpt --telemetry-dir telemetry]
+//                      --checkpoint-dir ckpt --telemetry-dir telemetry
+//                      --processes 4 --fabric-dir scratch]
 //   ppn_cli report    --dir telemetry [--window 50 --trace trace.json]
 //   ppn_cli stress    --dataset crypto-a
 //                     [--packs flash-crash,jump-cluster,corr-break,
@@ -36,7 +37,11 @@
 // `--workers` count.
 // `sweep` fans the (strategy × dataset × cost × seed) grid across a worker
 // pool (default: PPN_WORKERS or the hardware thread count) with results
-// bit-identical at any worker count.
+// bit-identical at any worker count. `--processes N` switches to the
+// multi-process fabric (src/exec/fabric.h): the coordinator re-execs this
+// binary as the hidden `sweep-worker` subcommand, one process per slot,
+// with work-stealing and elastic restart — still bit-identical, including
+// across worker crashes (see PPN_FABRIC_* in `help-env`).
 //
 // Checkpointing: `train --checkpoint-dir` snapshots the full training
 // state (parameters, Adam moments, RNG streams, PVM, step counters) every
@@ -54,11 +59,14 @@
 // Chrome trace captured via PPN_TRACE_JSON=<file> (open the file itself
 // in ui.perfetto.dev for the timeline).
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -70,6 +78,7 @@
 #include "common/parse.h"
 #include "common/table_printer.h"
 #include "exec/experiment.h"
+#include "exec/fabric.h"
 #include "exec/thread_pool.h"
 #include "market/io.h"
 #include "market/presets.h"
@@ -444,10 +453,16 @@ std::vector<std::string> SplitCsvList(const std::string& text) {
   return parts;
 }
 
-int CmdSweep(const Flags& flags) {
-  exec::ExperimentSpec spec;
-  spec.title = "sweep";
-  spec.scale = GetRunScale();
+/// Builds the sweep `ExperimentSpec` from the shared sweep flags
+/// (--datasets/--strategies/--costs/--seeds/--gamma/--lambda/--steps/
+/// --checkpoint-dir/--telemetry-dir). Used by `sweep` (coordinator or
+/// in-process) AND by the hidden `sweep-worker` subcommand — both sides of
+/// the fabric MUST derive the spec from the same flags, or the worker's
+/// seed validation rejects every task. Returns 0 on success, else the
+/// process exit code.
+int BuildSweepSpec(const Flags& flags, exec::ExperimentSpec* spec) {
+  spec->title = "sweep";
+  spec->scale = GetRunScale();
   const std::string datasets_flag =
       FlagOr(flags, "datasets", FlagOr(flags, "dataset", "crypto-a"));
   for (const std::string& name : SplitCsvList(datasets_flag)) {
@@ -456,7 +471,7 @@ int CmdSweep(const Flags& flags) {
       std::fprintf(stderr, "unknown dataset '%s'\n", name.c_str());
       return 2;
     }
-    spec.datasets.push_back(id);
+    spec->datasets.push_back(id);
   }
   // Absent --strategies sweeps the whole registry; an explicitly empty
   // value is almost certainly a scripting mistake, not a request for the
@@ -479,16 +494,16 @@ int CmdSweep(const Flags& flags) {
     strategy.lambda = NumFlagOr(flags, "lambda", strategy.lambda);
     strategy.base_steps =
         static_cast<int64_t>(NumFlagOr(flags, "steps", strategy.base_steps));
-    spec.strategies.push_back(strategy);
+    spec->strategies.push_back(strategy);
   }
   if (flags.count("costs") > 0) {
-    spec.cost_rates.clear();
+    spec->cost_rates.clear();
     for (const std::string& rate : SplitCsvList(flags.at("costs"))) {
-      spec.cost_rates.push_back(ParseDoubleOrDie(rate, "--costs"));
+      spec->cost_rates.push_back(ParseDoubleOrDie(rate, "--costs"));
     }
   }
   if (flags.count("seeds") > 0) {
-    spec.seeds.clear();
+    spec->seeds.clear();
     for (const std::string& seed : SplitCsvList(flags.at("seeds"))) {
       const int64_t value = ParseInt64OrDie(seed, "--seeds");
       if (value < 0) {
@@ -496,30 +511,115 @@ int CmdSweep(const Flags& flags) {
                      seed.c_str());
         return 2;
       }
-      spec.seeds.push_back(static_cast<uint64_t>(value));
+      spec->seeds.push_back(static_cast<uint64_t>(value));
     }
   }
 
-  spec.checkpoint_dir = FlagOr(flags, "checkpoint-dir", "");
-  spec.telemetry_dir = FlagOr(flags, "telemetry-dir", "");
-  if (spec.telemetry_dir.empty()) {
+  spec->checkpoint_dir = FlagOr(flags, "checkpoint-dir", "");
+  spec->telemetry_dir = FlagOr(flags, "telemetry-dir", "");
+  if (spec->telemetry_dir.empty()) {
     // Env-var spelling, for parity with the bench binaries.
-    spec.telemetry_dir = env::StringOr("PPN_RUNLOG_DIR", "");
+    spec->telemetry_dir = env::StringOr("PPN_RUNLOG_DIR", "");
   }
   // Asking for run logs implies turning the obs layer on (RunLog::Open is
   // gated on obs::Enabled(), like every other sink).
-  if (!spec.telemetry_dir.empty()) obs::SetEnabled(true);
+  if (!spec->telemetry_dir.empty()) obs::SetEnabled(true);
+  return 0;
+}
 
-  const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
-  const exec::ExperimentRunner runner(
-      workers >= 0 ? workers : exec::DefaultWorkerCount());
-  std::printf("sweep: %zu cells across %d workers\n\n",
-              spec.datasets.size() * spec.strategies.size() *
-                  spec.cost_rates.size() * spec.seeds.size(),
-              runner.num_workers());
+/// Hidden subcommand: one fabric worker process. Spawned by
+/// `sweep --processes N`; not part of the public CLI surface.
+int CmdSweepWorker(const Flags& flags) {
+  exec::ExperimentSpec spec;
+  const int status = BuildSweepSpec(flags, &spec);
+  if (status != 0) return status;
+  const std::string fabric_dir = FlagOr(flags, "fabric-dir", "");
+  if (fabric_dir.empty()) {
+    std::fprintf(stderr, "sweep-worker needs --fabric-dir\n");
+    return 2;
+  }
+  return exec::FabricWorkerMain(
+      spec, fabric_dir,
+      static_cast<int>(NumFlagOr(flags, "worker-slot", 0)),
+      static_cast<int>(NumFlagOr(flags, "worker-gen", 0)));
+}
+
+int CmdSweep(const Flags& flags) {
+  exec::ExperimentSpec spec;
+  const int build_status = BuildSweepSpec(flags, &spec);
+  if (build_status != 0) return build_status;
+
   const bool many_costs = spec.cost_rates.size() > 1;
   const bool many_seeds = spec.seeds.size() > 1;
-  const std::vector<exec::CellResult> rows = runner.Run(spec);
+  const int processes = static_cast<int>(NumFlagOr(flags, "processes", 0));
+  std::vector<exec::CellResult> rows;
+  int64_t ckpt_write_failures = 0;
+  if (processes > 0) {
+    // Multi-process fabric: re-exec this binary as `sweep-worker`,
+    // forwarding exactly the spec-building flags (anything else —
+    // --processes, --json, --workers, --fabric-dir — is coordinator-only).
+    exec::FabricOptions options;
+    options.num_processes = processes;
+    options.fabric_dir = FlagOr(flags, "fabric-dir", "");
+    if (options.fabric_dir.empty()) {
+      options.fabric_dir =
+          (std::filesystem::temp_directory_path() /
+           ("ppn-fabric-" + std::to_string(::getpid())))
+              .string();
+    } else {
+      options.keep_fabric_dir = true;  // User-chosen scratch: leave it.
+    }
+    std::error_code self_error;
+    const std::string self =
+        std::filesystem::canonical("/proc/self/exe", self_error).string();
+    if (self_error) {
+      std::fprintf(stderr, "cannot resolve own binary path: %s\n",
+                   self_error.message().c_str());
+      return 1;
+    }
+    options.worker_argv = {self, "sweep-worker"};
+    for (const auto& [key, value] : flags) {
+      if (key == "processes" || key == "fabric-dir" || key == "json" ||
+          key == "workers") {
+        continue;
+      }
+      options.worker_argv.push_back("--" + key);
+      options.worker_argv.push_back(value);
+    }
+    std::printf("sweep: %zu cells across %d worker processes\n\n",
+                spec.datasets.size() * spec.strategies.size() *
+                    spec.cost_rates.size() * spec.seeds.size(),
+                processes);
+    exec::FabricStats stats;
+    rows = exec::RunSweepFabric(spec, options, &stats);
+    ckpt_write_failures = stats.ckpt_write_failures;
+    std::printf("fabric: %lld workers spawned (%lld died, %lld restarted), "
+                "%lld cells stolen, %lld re-dispatched, %lld restored\n\n",
+                static_cast<long long>(stats.workers_spawned),
+                static_cast<long long>(stats.workers_died),
+                static_cast<long long>(stats.workers_restarted),
+                static_cast<long long>(stats.cells_stolen),
+                static_cast<long long>(stats.cells_redispatched),
+                static_cast<long long>(stats.cells_restored));
+  } else {
+    const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
+    const exec::ExperimentRunner runner(
+        workers >= 0 ? workers : exec::DefaultWorkerCount());
+    std::printf("sweep: %zu cells across %d workers\n\n",
+                spec.datasets.size() * spec.strategies.size() *
+                    spec.cost_rates.size() * spec.seeds.size(),
+                runner.num_workers());
+    exec::RunStats stats;
+    rows = runner.Run(spec, &stats);
+    ckpt_write_failures = stats.ckpt_write_failures;
+  }
+  if (ckpt_write_failures > 0) {
+    std::fprintf(stderr,
+                 "WARNING: %lld cell checkpoint write(s) FAILED — results "
+                 "are complete in this output, but a rerun will recompute "
+                 "those cells (disk full? permissions?)\n",
+                 static_cast<long long>(ckpt_write_failures));
+  }
 
   for (const market::DatasetId id : spec.datasets) {
     const std::string dataset_name = market::DatasetName(id);
@@ -756,6 +856,7 @@ int main(int argc, char** argv) {
   else if (command == "serve") status = CmdServe(flags);
   else if (command == "baselines") status = CmdBaselines(flags);
   else if (command == "sweep") status = CmdSweep(flags);
+  else if (command == "sweep-worker") status = CmdSweepWorker(flags);
   else if (command == "stress") status = CmdStress(flags);
   else if (command == "report") status = CmdReport(flags);
   else if (command == "help-env") status = CmdHelpEnv();
