@@ -38,8 +38,9 @@ const VarInfo kRegistry[] = {
      "Kernel SIMD path: auto (CPUID-selected) | avx2 | scalar; all paths "
      "are bit-identical"},
     {"PPN_FABRIC_WORKER_TIMEOUT_S", "double", "300",
-     "Sweep fabric: claims older than this many seconds are stragglers "
-     "and get a backup task re-dispatched"},
+     "Sweep fabric: claims observed unchanged for this many seconds are "
+     "stragglers and get a backup task re-dispatched (capped per cell, "
+     "never fatal)"},
     {"PPN_FABRIC_MAX_RESTARTS", "int", "8",
      "Sweep fabric: worker respawns beyond the initial fleet before the "
      "coordinator gives up"},

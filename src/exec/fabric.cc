@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -46,6 +47,17 @@ std::string TaskFileName(int64_t index, int attempt) {
   std::snprintf(name, sizeof(name), "T%lld.a%d.task",
                 static_cast<long long>(index), attempt);
   return name;
+}
+
+/// True when `name` ends in ".task" — a fully published task file. The
+/// claim scan must never touch anything else: an in-flight temp (e.g. a
+/// "*.task.tmp" from an atomic writer) renamed away mid-write would make
+/// the writer's commit fail and abort the sweep for a phantom reason.
+bool HasTaskSuffix(const std::string& name) {
+  constexpr char kSuffix[] = ".task";
+  constexpr size_t kLen = sizeof(kSuffix) - 1;
+  return name.size() > kLen &&
+         name.compare(name.size() - kLen, kLen, kSuffix) == 0;
 }
 
 /// Parses "T<index>.a<attempt>" from the front of a queue/claim/fail file
@@ -311,14 +323,6 @@ pid_t SpawnWorker(const FabricOptions& options, const std::string& fabric_dir,
   return pid;
 }
 
-double ClaimAgeSeconds(const fs::path& claim) {
-  std::error_code ec;
-  const auto mtime = fs::last_write_time(claim, ec);
-  if (ec) return 0.0;  // Vanished (completed) — not stale.
-  const auto now = fs::file_time_type::clock::now();
-  return std::chrono::duration<double>(now - mtime).count();
-}
-
 // ------------------------------------------------- profile merging ----
 
 /// Folds one worker profile JSON into the coordinator's obs registry:
@@ -402,9 +406,12 @@ int FabricWorkerMain(const ExperimentSpec& spec, const std::string& fabric_dir,
         int attempt = 0;
         const std::string task_path =
             (fs::path(shard_dir) / name).string();
-        if (!ParseIndexAttempt(name, &index, &attempt)) {
-          // Not a task file we understand: quarantine it for the
-          // coordinator rather than looping over it forever.
+        if (!HasTaskSuffix(name) ||
+            !ParseIndexAttempt(name, &index, &attempt)) {
+          // Not a published task file: quarantine it for the coordinator
+          // rather than looping over it forever. Safe because the
+          // coordinator publishes tasks by rename from a staging dir, so
+          // nothing of its own is ever mid-write in a shard.
           ::rename(task_path.c_str(),
                    (corrupt / (name + ".corrupt")).string().c_str());
           continue;
@@ -415,6 +422,11 @@ int FabricWorkerMain(const ExperimentSpec& spec, const std::string& fabric_dir,
         // Atomic claim: exactly one renamer wins; losers see ENOENT and
         // move on.
         if (::rename(task_path.c_str(), target.c_str()) == 0) {
+          // Stamp the claim with the CLAIM time — rename preserves mtime,
+          // so the file would otherwise still carry the task's write
+          // time. Debugging aid only: the coordinator ages claims against
+          // its own first-seen clock, never this timestamp.
+          ::utimensat(AT_FDCWD, target.c_str(), nullptr, 0);
           claim_path = target;
           task_index = index;
           task_attempt = attempt;
@@ -551,7 +563,9 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
   const fs::path done_dir = fs::path(dir) / "done";
   const fs::path failed_dir = fs::path(dir) / "failed";
   const fs::path corrupt_dir = fs::path(dir) / "corrupt";
+  const fs::path staging_dir = fs::path(dir) / "staging";
   for (int s = 0; s < options.num_processes; ++s) MakeDirs(ShardDir(dir, s));
+  MakeDirs(staging_dir.string());
   MakeDirs(claims.string());
   MakeDirs(done_dir.string());
   MakeDirs(failed_dir.string());
@@ -560,11 +574,46 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
   MakeDirs(cells_dir);
   if (!spec.telemetry_dir.empty()) MakeDirs(spec.telemetry_dir);
 
+  /// An index parsed from a claim/corrupt/fail file NAME is untrusted: a
+  /// reused fabric dir can hold entries from a previous, larger spec, and
+  /// indexing attempts/cells with one would be out-of-bounds UB.
+  auto in_range = [total](int64_t index) {
+    return index >= 0 && index < total;
+  };
+
+  // Tasks are PUBLISHED by writing into staging/ and renaming into the
+  // shard: an AtomicFileWriter temp inside the shard itself ("T5.a1.task
+  // .tmp") would be visible to live workers mid-write — claimed or
+  // quarantined out from under the writer, failing the commit and
+  // aborting the sweep with a phantom "exceeded max_cell_attempts".
+  auto publish_task = [&](int64_t index, int attempt) -> bool {
+    const std::string name = TaskFileName(index, attempt);
+    const std::string staged = (staging_dir / name).string();
+    if (!WriteFileAtomic(staged, TaskContent(cells[static_cast<size_t>(
+                                     index)]))) {
+      return false;
+    }
+    const int shard = static_cast<int>(index % options.num_processes);
+    const std::string dest =
+        (fs::path(ShardDir(dir, shard)) / name).string();
+    return ::rename(staged.c_str(), dest.c_str()) == 0;
+  };
+
   // Queue: cells round-robin across shards, so each worker starts on an
   // interleaved slice of the grid and stealing only kicks in for
   // stragglers. Cells already checkpointed (a resumed sweep) are not
   // queued at all — the assembly loads them directly.
-  std::vector<int> attempts(static_cast<size_t>(total), 0);
+  //
+  // Per-cell bookkeeping is split three ways: `dispatches` is the
+  // monotonic task-name counter (every queue file needs a fresh attempt
+  // number), `failures` is the abort budget (worker deaths, corruption,
+  // failed commits, lost checkpoints), and `backups` caps speculative
+  // straggler duplicates WITHOUT counting toward the abort budget — a
+  // healthy cell that merely runs longer than the timeout must never
+  // take the sweep down.
+  std::vector<int> dispatches(static_cast<size_t>(total), 0);
+  std::vector<int> failures(static_cast<size_t>(total), 0);
+  std::vector<int> backups(static_cast<size_t>(total), 0);
   const CellPlan assembly_plan(spec);  // Datasets stay ungenerated.
   int64_t queued = 0;
   for (const PlannedCell& cell : cells) {
@@ -573,29 +622,34 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
     if (assembly_plan.TryLoadCell(cells_dir, cell, &probe, &probe_error)) {
       continue;  // Complete from a previous run; nothing to dispatch.
     }
-    const int shard = static_cast<int>(cell.index %
-                                       options.num_processes);
-    const std::string path =
-        (fs::path(ShardDir(dir, shard)) / TaskFileName(cell.index, 0))
-            .string();
-    PPN_CHECK(WriteFileAtomic(path, TaskContent(cell)))
-        << "cannot write queue file " << path;
+    PPN_CHECK(publish_task(cell.index, 0))
+        << "cannot write queue file for cell T" << cell.index;
     ++queued;
   }
   if (options.after_queue_hook) options.after_queue_hook();
 
-  // Requeues a cell for another attempt; false (sweep must abort) when
-  // the per-cell attempt budget is exhausted.
+  // Requeues a cell after a FAILURE; false (sweep must abort) when the
+  // per-cell failure budget is exhausted. Straggler backups go through
+  // dispatch_backup instead.
   auto requeue = [&](int64_t index) -> bool {
-    int& attempt = attempts[static_cast<size_t>(index)];
-    ++attempt;
-    if (attempt >= options.max_cell_attempts) return false;
-    const int shard = static_cast<int>(index % options.num_processes);
-    const std::string path =
-        (fs::path(ShardDir(dir, shard)) / TaskFileName(index, attempt))
-            .string();
-    return WriteFileAtomic(path,
-                           TaskContent(cells[static_cast<size_t>(index)]));
+    PPN_CHECK(in_range(index));
+    if (++failures[static_cast<size_t>(index)] >=
+        options.max_cell_attempts) {
+      return false;
+    }
+    return publish_task(index, ++dispatches[static_cast<size_t>(index)]);
+  };
+
+  // Dispatches a speculative duplicate for a straggler; false when the
+  // per-cell backup cap is spent (or the write failed). Never fatal: the
+  // slow claim holder may yet finish, and identical bits make whichever
+  // copy commits first the winner.
+  auto dispatch_backup = [&](int64_t index) -> bool {
+    PPN_CHECK(in_range(index));
+    int& used = backups[static_cast<size_t>(index)];
+    if (used >= options.max_cell_attempts) return false;
+    ++used;
+    return publish_task(index, ++dispatches[static_cast<size_t>(index)]);
   };
 
   std::vector<Child> children;
@@ -623,6 +677,14 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
   // Claims the coordinator already re-dispatched as stragglers: one
   // duplicate per stuck claim, not one per poll tick.
   std::set<std::string> redispatched;
+  // When each claim was FIRST OBSERVED by the supervision loop. This is
+  // what staleness ages against: rename(2) preserves mtime, so a claim
+  // file's on-disk timestamp reflects when the TASK was written, and a
+  // cell whose queue wait exceeded the timeout would look stale the
+  // instant it was claimed. Claim names are unique per dispatch
+  // (index, attempt, slot, gen), so first-seen is unambiguous.
+  std::map<std::string, std::chrono::steady_clock::time_point>
+      claim_first_seen;
   bool complete = queued == 0;
   std::string abort_reason;
 
@@ -662,6 +724,10 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
         if (slot != child.slot || gen != child.gen) continue;
         std::error_code ec;
         fs::remove(claims / name, ec);
+        if (!in_range(index)) {
+          ++stats.queue_corrupt;  // Foreign entry (reused fabric dir).
+          continue;
+        }
         ++stats.cells_redispatched;
         if (!requeue(index)) {
           abort_reason = "cell T" + std::to_string(index) +
@@ -679,6 +745,7 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
       fs::remove(corrupt_dir / name, ec);
       ++stats.queue_corrupt;
       if (!ParseIndexAttempt(name, &index, &attempt)) continue;
+      if (!in_range(index)) continue;  // Junk from a reused fabric dir.
       ++stats.cells_redispatched;
       if (!requeue(index)) {
         abort_reason = "cell T" + std::to_string(index) +
@@ -694,6 +761,10 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
       std::error_code ec;
       fs::remove(failed_dir / name, ec);
       if (!ParseClaimOwner(name, &index, &attempt, &slot, &gen)) continue;
+      if (!in_range(index)) {
+        ++stats.queue_corrupt;  // Foreign entry (reused fabric dir).
+        continue;
+      }
       ++stats.ckpt_write_failures;
       ++stats.cells_redispatched;
       if (!requeue(index)) {
@@ -703,24 +774,55 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
       }
     }
 
-    // 4. Stragglers: a claim older than the timeout gets a backup task
-    //    (speculative duplicate, not a kill — identical bits make the
-    //    duplicate harmless, and the slow worker may yet finish first).
-    for (const std::string& name : ListDirSorted(claims.string())) {
-      if (redispatched.count(name) > 0) continue;
-      int64_t index = 0;
-      int attempt = 0, slot = 0, gen = 0;
-      if (!ParseClaimOwner(name, &index, &attempt, &slot, &gen)) continue;
-      if (ClaimAgeSeconds(claims / name) < timeout_s) continue;
-      redispatched.insert(name);
-      ++stats.cells_redispatched;
-      std::fprintf(stderr,
-                   "[fabric] claim %s stale (> %.1fs); re-dispatching a "
-                   "backup task\n",
-                   name.c_str(), timeout_s);
-      if (!requeue(index)) {
-        abort_reason = "cell T" + std::to_string(index) +
-                       " exceeded max_cell_attempts via straggler backups";
+    // 4. Stragglers: a claim observed unchanged for longer than the
+    //    timeout gets a backup task (speculative duplicate, not a kill —
+    //    identical bits make the duplicate harmless, and the slow worker
+    //    may yet finish first). Backups are capped per cell but NEVER
+    //    abort: only real failures spend the max_cell_attempts budget.
+    {
+      const auto now = std::chrono::steady_clock::now();
+      std::set<std::string> live_claims;
+      for (const std::string& name : ListDirSorted(claims.string())) {
+        int64_t index = 0;
+        int attempt = 0, slot = 0, gen = 0;
+        if (!ParseClaimOwner(name, &index, &attempt, &slot, &gen)) continue;
+        if (!in_range(index)) {
+          // Foreign claim (reused fabric dir): it can never complete
+          // against this spec, so discard it instead of indexing with it.
+          std::error_code ec;
+          fs::remove(claims / name, ec);
+          ++stats.queue_corrupt;
+          continue;
+        }
+        live_claims.insert(name);
+        if (redispatched.count(name) > 0) continue;
+        const auto [seen, first_sighting] = claim_first_seen.emplace(name,
+                                                                     now);
+        if (first_sighting) continue;  // The stale clock starts here.
+        if (std::chrono::duration<double>(now - seen->second).count() <
+            timeout_s) {
+          continue;
+        }
+        redispatched.insert(name);
+        if (!dispatch_backup(index)) {
+          std::fprintf(stderr,
+                       "[fabric] claim %s stale (> %.1fs) but its backup "
+                       "budget is spent; waiting on the claim holder\n",
+                       name.c_str(), timeout_s);
+          continue;
+        }
+        ++stats.cells_redispatched;
+        std::fprintf(stderr,
+                     "[fabric] claim %s stale (> %.1fs); re-dispatching a "
+                     "backup task\n",
+                     name.c_str(), timeout_s);
+      }
+      // Completed (vanished) claims leave the first-seen map so it stays
+      // bounded by the number of in-flight claims.
+      for (auto it = claim_first_seen.begin();
+           it != claim_first_seen.end();) {
+        it = live_claims.count(it->first) > 0 ? std::next(it)
+                                              : claim_first_seen.erase(it);
       }
     }
 
@@ -735,7 +837,7 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
       int64_t missing = 0;
       for (const PlannedCell& cell : cells) {
         if (fs::exists(done_dir / DoneFileName(cell.index)) ||
-            attempts[static_cast<size_t>(cell.index)] == 0) {
+            dispatches[static_cast<size_t>(cell.index)] == 0) {
           CellResult probe;
           std::string probe_error;
           if (assembly_plan.TryLoadCell(cells_dir, cell, &probe,

@@ -21,6 +21,10 @@
 /// ## Protocol (everything lives under `fabric_dir`)
 ///
 ///   queue/shard-<s>/T<index>.a<attempt>.task   one claimable cell
+///   staging/                                   task files mid-write; the
+///                                              coordinator publishes by
+///                                              rename so shards only ever
+///                                              hold complete `.task` files
 ///   claims/T<index>.a<k>.s<slot>.g<gen>.claim  claimed by worker slot/gen
 ///   done/T<index>.done                         cell finished + persisted
 ///   failed/T<index>.a<k>.s<slot>.g<gen>.fail   checkpoint commit failed
@@ -48,13 +52,19 @@
 ///
 ///   worker exits nonzero / dies by signal → requeue its claims, respawn
 ///     the slot with exponential backoff, bounded by `max_restarts`
-///   claim older than `worker_timeout_s`    → straggler: re-dispatch a
+///   claim unchanged for `worker_timeout_s` → straggler: re-dispatch a
 ///     duplicate task (checkpoint commits are idempotent — identical
-///     bits — so whoever finishes first wins and the other is harmless)
+///     bits — so whoever finishes first wins and the other is harmless).
+///     Staleness ages against the coordinator's FIRST-SEEN clock, not the
+///     claim file's mtime (rename preserves mtime, which reflects queue
+///     wait). Backups are capped per cell but are speculative, not
+///     failures: they never spend the abort budget.
 ///   corrupt/mismatched task file           → rewrite from the
 ///     coordinator's authoritative cell list, bounded per cell
 ///   done marker without a loadable ckpt    → drop the marker, requeue
-///   cell failing `max_cell_attempts` times → abort loudly
+///   cell FAILING `max_cell_attempts` times → abort loudly (worker
+///     deaths, corruption, failed commits, lost checkpoints — not
+///     straggler backups)
 ///
 /// Observability: `exec.fabric.*` counters (workers spawned / died /
 /// restarted, cells stolen / re-dispatched, corrupt queue files, failed
@@ -100,7 +110,11 @@ struct FabricOptions {
   /// (default 8).
   int max_restarts = -1;
 
-  /// Times one cell may be (re)queued before the sweep aborts.
+  /// FAILURE-driven requeues (worker death, corrupt task, failed
+  /// checkpoint commit, lost checkpoint) one cell may absorb before the
+  /// sweep aborts. Speculative straggler backups are capped at the same
+  /// count per cell but never abort — a cell legitimately slower than
+  /// `worker_timeout_s` keeps its original claim running.
   int max_cell_attempts = 4;
 
   /// Supervision poll interval.

@@ -7,6 +7,7 @@
 
 #include "exec/fabric.h"
 
+#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -179,6 +180,67 @@ TEST(FabricTest, CorruptQueueFileIsRecoveredFromTheCellList) {
   const std::vector<CellResult> rows = RunSweepFabric(spec, options, &stats);
   ExpectIdenticalRows(InProcessRows(spec), rows);
   EXPECT_GE(stats.queue_corrupt, 1);
+}
+
+TEST(FabricTest, PreAgedQueueFilesDoNotTriggerSpuriousBackups) {
+  // rename(2) preserves mtime, so a claim file's on-disk timestamp is
+  // really the task's write time. Age every queued task an hour into the
+  // past: if staleness were judged from mtime, every cell would look like
+  // a straggler the instant it was claimed. The coordinator must age
+  // claims against its own first-seen clock and dispatch no backups.
+  const ExperimentSpec spec = SmallSpec();
+  FabricOptions options = BaseOptions("pre_aged");
+  options.num_processes = 2;
+  options.worker_timeout_s = 5.0;  // Far above any real cell's runtime.
+  options.after_queue_hook = [&options] {
+    const auto past = std::filesystem::file_time_type::clock::now() -
+                      std::chrono::hours(1);
+    for (int shard = 0; shard < 2; ++shard) {
+      const std::string dir =
+          options.fabric_dir + "/queue/shard-" + std::to_string(shard);
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        std::filesystem::last_write_time(entry.path(), past);
+      }
+    }
+  };
+  FabricStats stats;
+  const std::vector<CellResult> rows = RunSweepFabric(spec, options, &stats);
+  ExpectIdenticalRows(InProcessRows(spec), rows);
+  EXPECT_EQ(stats.cells_redispatched, 0);
+}
+
+TEST(FabricTest, ForeignEntriesFromAReusedFabricDirAreDiscarded) {
+  // A reused fabric dir can hold claim/fail/task/corrupt entries from a
+  // previous, larger spec. Indices parsed from those names must be
+  // bounds-checked and the entries discarded — never used to index the
+  // coordinator's per-cell state, and never computed by a worker.
+  const ExperimentSpec spec = SmallSpec();
+  FabricOptions options = BaseOptions("foreign");
+  options.num_processes = 2;
+  options.after_queue_hook = [&options] {
+    auto drop = [&options](const std::string& rel,
+                           const std::string& content) {
+      std::ofstream out(options.fabric_dir + "/" + rel, std::ios::binary);
+      out << content;
+      ASSERT_TRUE(out.good()) << rel;
+    };
+    drop("claims/T999.a0.s7.g9.claim", "ppnfab1 999 00000000deadbeef\n");
+    drop("failed/T500.a0.s7.g9.fail", "ppnfab1 500 00000000deadbeef\n");
+    drop("corrupt/T888.a0.task.corrupt", "scribble\n");
+    drop("queue/shard-0/T777.a0.task", "ppnfab1 777 00000000deadbeef\n");
+    // An in-flight-looking temp must never be claimed AS its base task;
+    // workers quarantine it, and the coordinator recovers cell 3 from
+    // its authoritative list.
+    drop("queue/shard-0/T3.a0.task.tmp", "ppnfab1 3 00000000deadbeef\n");
+  };
+  FabricStats stats;
+  const std::vector<CellResult> rows = RunSweepFabric(spec, options, &stats);
+  ExpectIdenticalRows(InProcessRows(spec), rows);
+  // The pre-dropped claim, fail marker, and corrupt entry are processed
+  // on the coordinator's first supervision pass, so they are always in
+  // the discard count; the shard junk is quarantined by workers on a
+  // schedule of its own and only sometimes lands before completion.
+  EXPECT_GE(stats.queue_corrupt, 3);
 }
 
 TEST(FabricTest, HungWorkerCellIsRedispatchedToABackup) {
