@@ -2,6 +2,7 @@
 #define PPN_BENCH_BENCH_UTIL_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,10 @@
 #include "common/table_printer.h"
 #include "exec/experiment.h"
 #include "market/presets.h"
+
+namespace ppn::obs {
+class StatsSampler;
+}  // namespace ppn::obs
 
 /// \file
 /// Shared machinery of the experiment harness. A `BenchContext` owns the
@@ -30,7 +35,9 @@ class BenchContext {
   /// Prints the bench header for `title` at the active `PPN_SCALE` tier.
   explicit BenchContext(std::string title);
 
-  /// Writes the merged obs profile to `PPN_PROFILE_JSON` when that
+  /// Stops the periodic stats sampler (if `PPN_STATS_JSONL` started one in
+  /// the constructor), prints the `PPN_HEALTH` verdict when rules are set,
+  /// and writes the merged obs profile to `PPN_PROFILE_JSON` when that
   /// variable is set (after every spec of the binary has run).
   ~BenchContext();
 
@@ -64,6 +71,7 @@ class BenchContext {
   std::string title_;
   RunScale scale_;
   exec::ExperimentRunner runner_;
+  std::unique_ptr<obs::StatsSampler> sampler_;
   std::map<market::DatasetId, market::MarketDataset> datasets_;
 };
 

@@ -32,6 +32,14 @@
 # different box, or hours earlier under different load, makes both the
 # gate and any speedup claim noise. For A/B comparisons (e.g.
 # PPN_SIMD=scalar vs avx2) run the two sides back to back.
+#
+# Observability: each bench also runs with PPN_STATS_JSONL set, archiving
+# a periodic ppn.stats.v1 time-series stream ("<bench>.stats.jsonl") next
+# to its profile — inspect live with `ppn_cli top --dir
+# bench_results/<bench>.stats.jsonl`. SLO gate: when PPN_HEALTH is set
+# (e.g. PPN_HEALTH='exec.cell.seconds.p99<=2s') each bench prints a
+# PPN_HEALTH: PASS|FAIL verdict at exit; any FAIL in the combined output
+# makes this script exit non-zero.
 cd /root/repo
 mkdir -p bench_results
 PPN_RESULTS_JSON=/root/repo/bench_results
@@ -52,6 +60,7 @@ gate_status=0
             baseline="/root/repo/bench_results/$name.baseline.json"
           fi
           PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" \
+            PPN_STATS_JSONL="/root/repo/bench_results/$name.stats.jsonl" \
             "$b" \
             --benchmark_repetitions="${PPN_BENCH_REPS:-3}" \
             --benchmark_out="/root/repo/bench_results/$name.json" \
@@ -74,7 +83,9 @@ gate_status=0
           fi
           ;;
         *)
-          PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" "$b"
+          PPN_PROFILE_JSON="/root/repo/bench_results/$name.profile.json" \
+            PPN_STATS_JSONL="/root/repo/bench_results/$name.stats.jsonl" \
+            "$b"
           ;;
       esac
       echo ""
@@ -82,4 +93,12 @@ gate_status=0
   done
   echo "ALL_BENCHES_DONE"
 } > /root/repo/bench_output.txt 2>&1
+# SLO gate: a bench dtor cannot change its process exit status, so the
+# health verdict is gated here off the grep-stable token each bench
+# prints when PPN_HEALTH is set.
+if grep -q "PPN_HEALTH: FAIL" /root/repo/bench_output.txt; then
+  echo "BENCH_HEALTH_FAILED: a PPN_HEALTH rule was violated (see" \
+       "bench_output.txt for the [health] lines)" >&2
+  gate_status=1
+fi
 exit "$gate_status"

@@ -30,6 +30,15 @@ const VarInfo kRegistry[] = {
      "Drop trace spans shorter than this many microseconds"},
     {"PPN_RUNLOG_DIR", "path", "unset",
      "Directory for streaming per-step run logs (one JSONL per run)"},
+    {"PPN_STATS_JSONL", "path", "unset",
+     "Stream periodic ppn.stats.v1 registry samples to this JSONL path "
+     "(fabric workers get per-worker redirected streams)"},
+    {"PPN_SAMPLE_MS", "int", "250",
+     "Stats sampler window in milliseconds (must be >= 1)"},
+    {"PPN_HEALTH", "rules", "unset",
+     "Comma-separated SLO rules (<metric><op><value>, e.g. "
+     "serve.decide.latency.seconds.p99<5ms) checked per sample window "
+     "and at exit; any violation makes the run exit nonzero"},
     {"PPN_RESULTS_JSON", "path", "unset",
      "Benchmark harness: append bench context results to this JSON"},
     {"PPN_NO_POOL", "flag", "off",

@@ -22,8 +22,10 @@
 #include "common/env.h"
 #include "common/json.h"
 #include "common/parse.h"
+#include "obs/sampler.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 
 extern char** environ;
 
@@ -263,7 +265,11 @@ ExecImage BuildExecImage(const FabricOptions& options,
   // replacement must not re-die on the same injected fault), and obs sink
   // paths are redirected per worker so children never clobber the
   // coordinator's own profile/trace files.
-  std::set<std::string> drop = {"PPN_PROFILE_JSON", "PPN_TRACE_JSON"};
+  // PPN_HEALTH stays coordinator-only: a worker tripping a health rule
+  // would exit nonzero and read as a death, burning the restart budget
+  // for an SLO miss; the coordinator judges health on the merged view.
+  std::set<std::string> drop = {"PPN_PROFILE_JSON", "PPN_TRACE_JSON",
+                                "PPN_STATS_JSONL", "PPN_HEALTH"};
   if (gen > 0) {
     drop.insert("PPN_FABRIC_TEST_KILL_AFTER");
     drop.insert("PPN_FABRIC_TEST_HANG_AFTER");
@@ -287,6 +293,11 @@ ExecImage BuildExecImage(const FabricOptions& options,
     std::snprintf(name, sizeof(name), "worker-%d.g%d.trace.json", slot, gen);
     image.env_storage.push_back(
         "PPN_TRACE_JSON=" + (fs::path(fabric_dir) / "obs" / name).string());
+  }
+  if (env::HasValue("PPN_STATS_JSONL")) {
+    std::snprintf(name, sizeof(name), "worker-%d.g%d.stats.jsonl", slot, gen);
+    image.env_storage.push_back(
+        "PPN_STATS_JSONL=" + (fs::path(fabric_dir) / "obs" / name).string());
   }
 
   for (std::string& arg : image.argv_storage) {
@@ -329,16 +340,23 @@ pid_t SpawnWorker(const FabricOptions& options, const std::string& fabric_dir,
 /// counters add, gauges take the max — the same merge semantics the
 /// per-thread shards use in-process, lifted across processes. Histogram
 /// and trace detail stays in the per-worker files (log2 buckets cannot
-/// be re-observed exactly).
-void MergeWorkerProfile(const std::string& path) {
+/// be re-observed exactly). False when the profile cannot be read or
+/// parsed — the caller counts it (`exec.fabric.profile_merge_failed`)
+/// and surfaces it in the sweep summary; a silently dropped profile
+/// understates the merged counters with no trace in the results.
+bool MergeWorkerProfile(const std::string& path) {
   std::string text;
-  if (!ReadFileToString(path, &text)) return;
+  if (!ReadFileToString(path, &text)) {
+    std::fprintf(stderr, "[fabric] skipping unreadable profile %s\n",
+                 path.c_str());
+    return false;
+  }
   JsonValue root;
   std::string error;
   if (!ParseJson(text, &root, &error) || !root.is_object()) {
     std::fprintf(stderr, "[fabric] skipping unreadable profile %s: %s\n",
                  path.c_str(), error.c_str());
-    return;
+    return false;
   }
   const JsonValue* counters = root.Find("counters");
   if (counters != nullptr && counters->is_object()) {
@@ -352,6 +370,7 @@ void MergeWorkerProfile(const std::string& path) {
       if (value.is_number()) obs::GetGauge(name).UpdateMax(value.AsNumber());
     }
   }
+  return true;
 }
 
 }  // namespace
@@ -587,6 +606,12 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
   // quarantined out from under the writer, failing the commit and
   // aborting the sweep with a phantom "exceeded max_cell_attempts".
   auto publish_task = [&](int64_t index, int attempt) -> bool {
+    // The dispatch span carries the cell index so the trace stitcher can
+    // draw a flow arrow from this span's end to the worker-side
+    // `exec.cell` span that eventually claims the task.
+    obs::Span dispatch_span("fabric.dispatch");
+    dispatch_span.AddArg("index", static_cast<double>(index));
+    dispatch_span.AddArg("attempt", static_cast<double>(attempt));
     const std::string name = TaskFileName(index, attempt);
     const std::string staged = (staging_dir / name).string();
     if (!WriteFileAtomic(staged, TaskContent(cells[static_cast<size_t>(
@@ -907,9 +932,35 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
         std::chrono::duration<double>(options.poll_interval_s));
   }
 
-  // Shut the fleet down: anything still alive (hung stragglers whose
-  // cells were finished by backups) goes down hard, like any disposable
-  // worker.
+  // Shut the fleet down. A worker that drained the queue is already on
+  // its clean-exit path — writing its status file and flushing its
+  // trace + stats stream — and the coordinator can observe every cell
+  // complete (checkpoints land first) while that flush is still in
+  // flight, especially on a loaded machine. Give live workers a bounded
+  // grace to finish, or the kill below eats their end-of-run telemetry.
+  const auto grace_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(
+              std::max(0.0, options.shutdown_grace_s)));
+  bool any_alive = true;
+  while (any_alive && std::chrono::steady_clock::now() < grace_deadline) {
+    any_alive = false;
+    for (Child& child : children) {
+      if (!child.alive) continue;
+      int wait_status = 0;
+      if (::waitpid(child.pid, &wait_status, WNOHANG) == child.pid) {
+        child.alive = false;
+      } else {
+        any_alive = true;
+      }
+    }
+    if (any_alive) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  // Anything still alive (hung stragglers whose cells were finished by
+  // backups) goes down hard, like any disposable worker.
   for (Child& child : children) {
     if (!child.alive) continue;
     ::kill(child.pid, SIGKILL);
@@ -936,7 +987,7 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
       }
     } else if (obs::Enabled() && name.rfind(".profile.json") ==
                                      name.size() - 13) {
-      MergeWorkerProfile(path);
+      if (!MergeWorkerProfile(path)) ++stats.profile_merge_failed;
     }
   }
   if (obs::Enabled()) {
@@ -954,11 +1005,74 @@ std::vector<CellResult> RunSweepFabric(const ExperimentSpec& spec,
         .Add(static_cast<double>(stats.queue_corrupt));
     obs::GetCounter("exec.fabric.ckpt_write_failed")
         .Add(static_cast<double>(stats.ckpt_write_failures));
+    obs::GetCounter("exec.fabric.profile_merge_failed")
+        .Add(static_cast<double>(stats.profile_merge_failed));
   }
   if (stats_out != nullptr) *stats_out = stats;
   PPN_CHECK(abort_reason.empty())
       << "fabric sweep failed: " << abort_reason << " (scratch kept at "
       << dir << "; see obs/worker-*.log)";
+
+  // Stitch the cross-process observability artifacts while the scratch
+  // dir still holds the per-worker files. Merged outputs are also copied
+  // next to the user's own sink paths so they survive scratch cleanup.
+  if (env::HasValue("PPN_TRACE_JSON")) {
+    const std::string coord_trace =
+        (fs::path(dir) / "obs" / "coordinator.trace.json").string();
+    obs::WriteTraceJson(coord_trace);
+    const std::string merged =
+        (fs::path(dir) / "obs" / "merged.trace.json").string();
+    std::string merge_error;
+    obs::TraceMergeStats merge_stats;
+    if (obs::MergeFabricTraces(dir, merged, &merge_error, &merge_stats)) {
+      const std::string persist =
+          env::StringOr("PPN_TRACE_JSON", "") + ".merged.json";
+      std::error_code copy_ec;
+      fs::copy_file(merged, persist, fs::copy_options::overwrite_existing,
+                    copy_ec);
+      std::fprintf(stderr,
+                   "[fabric] merged trace: %d processes, %lld events, "
+                   "%lld flow pairs -> %s\n",
+                   merge_stats.processes,
+                   static_cast<long long>(merge_stats.events),
+                   static_cast<long long>(merge_stats.flow_pairs),
+                   copy_ec ? merged.c_str() : persist.c_str());
+    } else {
+      std::fprintf(stderr, "[fabric] trace merge failed: %s\n",
+                   merge_error.c_str());
+    }
+  }
+  if (env::HasValue("PPN_STATS_JSONL")) {
+    std::vector<std::string> streams;
+    for (const std::string& name :
+         ListDirSorted((fs::path(dir) / "obs").string())) {
+      const std::string suffix = ".stats.jsonl";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0 &&
+          name != "merged.stats.jsonl") {  // a prior merge's own output
+        streams.push_back((fs::path(dir) / "obs" / name).string());
+      }
+    }
+    if (!streams.empty()) {
+      const std::string merged =
+          (fs::path(dir) / "obs" / "merged.stats.jsonl").string();
+      std::string merge_error;
+      if (obs::MergeStatsStreams(streams, merged, &merge_error)) {
+        const std::string persist =
+            env::StringOr("PPN_STATS_JSONL", "") + ".workers.jsonl";
+        std::error_code copy_ec;
+        fs::copy_file(merged, persist, fs::copy_options::overwrite_existing,
+                      copy_ec);
+        std::fprintf(stderr, "[fabric] merged %zu worker stats streams -> %s\n",
+                     streams.size(),
+                     copy_ec ? merged.c_str() : persist.c_str());
+      } else {
+        std::fprintf(stderr, "[fabric] stats stream merge failed: %s\n",
+                     merge_error.c_str());
+      }
+    }
+  }
 
   // Assemble the merged rows from the cell checkpoints — the only state
   // that ever crossed a process boundary.

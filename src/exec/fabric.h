@@ -30,7 +30,11 @@
 ///   failed/T<index>.a<k>.s<slot>.g<gen>.fail   checkpoint commit failed
 ///   corrupt/<name>.corrupt                     unreadable/mismatched task
 ///   cells/cell-<seed>.ckpt                     the ONLY result state
-///   obs/worker-<slot>.g<gen>.{log,status,profile.json}
+///   obs/worker-<slot>.g<gen>.{log,status,profile.json,trace.json,
+///                              stats.jsonl}
+///   obs/{coordinator.trace.json,merged.trace.json,merged.stats.jsonl}
+///                                              written at assembly when
+///                                              tracing/sampling is on
 ///
 /// A task file carries `ppnfab1 <index> <derived_seed hex>`; the worker
 /// validates the seed echo against its own `CellPlan`, so a coordinator
@@ -68,9 +72,14 @@
 ///
 /// Observability: `exec.fabric.*` counters (workers spawned / died /
 /// restarted, cells stolen / re-dispatched, corrupt queue files, failed
-/// checkpoint writes), per-worker console logs, and — when obs is on —
-/// per-worker profile JSONs whose counters and gauges are merged into the
-/// coordinator's registry so one report covers the whole sweep.
+/// checkpoint writes, profiles dropped unmerged), per-worker console
+/// logs, and — when obs is on — per-worker profile JSONs whose counters
+/// and gauges are merged into the coordinator's registry so one report
+/// covers the whole sweep. With `PPN_TRACE_JSON` set, the assembly also
+/// stitches the coordinator's and every worker generation's Chrome
+/// traces into one Perfetto timeline (obs/trace_merge.h), copied to
+/// `$PPN_TRACE_JSON.merged.json`; with `PPN_STATS_JSONL` set, per-worker
+/// `ppn.stats.v1` streams are merged to `$PPN_STATS_JSONL.workers.jsonl`.
 
 namespace ppn::exec {
 
@@ -85,6 +94,7 @@ struct FabricStats {
   int64_t queue_corrupt = 0;       ///< Corrupt task files recovered.
   int64_t ckpt_write_failures = 0; ///< Worker-side failed cell commits.
   int64_t cells_restored = 0;      ///< Loaded from pre-existing ckpts.
+  int64_t profile_merge_failed = 0;  ///< Worker profiles dropped unmerged.
 };
 
 struct FabricOptions {
@@ -119,6 +129,14 @@ struct FabricOptions {
 
   /// Supervision poll interval.
   double poll_interval_s = 0.05;
+
+  /// How long the shutdown path waits for still-live workers to finish
+  /// their clean exit (status file, trace + stats stream flush) before
+  /// SIGKILLing them. Workers that already exited cost nothing; only a
+  /// genuinely hung worker pays the full grace. 0 restores the old
+  /// kill-immediately behavior (which loses end-of-run telemetry from
+  /// any worker slower to exit than the coordinator's final poll).
+  double shutdown_grace_s = 5.0;
 
   /// Leave `fabric_dir` in place after success (debugging; always left
   /// in place on failure).

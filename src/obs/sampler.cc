@@ -1,0 +1,596 @@
+#include "obs/sampler.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/check.h"
+#include "common/env.h"
+#include "common/json.h"
+
+namespace ppn::obs {
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[40];
+  if (std::isfinite(value)) {
+    std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "null");
+  }
+  *out += buffer;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buffer[8];
+      std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buffer;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stream readers — always compiled (only need common/json).
+
+bool ReadStatsStream(const std::string& path, StatsStream* out,
+                     std::string* error) {
+  *out = StatsStream{};
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  if (!std::getline(in, line)) {
+    if (error != nullptr) *error = "empty stream " + path;
+    return false;
+  }
+  JsonValue header;
+  if (!ParseJson(line, &header) || !header.is_object() ||
+      header.StringOr("schema", "") != "ppn.stats.v1") {
+    if (error != nullptr) {
+      *error = "not a ppn.stats.v1 stream: " + path;
+    }
+    return false;
+  }
+  out->process = header.StringOr("process", "");
+  out->sample_ms = static_cast<int64_t>(header.NumberOr("sample_ms", 0.0));
+  out->start_unix_ms =
+      static_cast<int64_t>(header.NumberOr("start_unix_ms", 0.0));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue value;
+    // A torn trailing line (sampler mid-write) is expected; skip quietly.
+    if (!ParseJson(line, &value) || !value.is_object()) continue;
+    StatsSample sample;
+    sample.t_ms = value.NumberOr("t_ms", 0.0);
+    sample.window_ms = value.NumberOr("window_ms", 0.0);
+    if (const JsonValue* counters = value.Find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, member] : counters->AsObject()) {
+        if (member.is_number()) sample.counters[name] = member.AsNumber();
+      }
+    }
+    if (const JsonValue* gauges = value.Find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+      for (const auto& [name, member] : gauges->AsObject()) {
+        if (member.is_number()) sample.gauges[name] = member.AsNumber();
+      }
+    }
+    if (const JsonValue* hists = value.Find("hists");
+        hists != nullptr && hists->is_object()) {
+      for (const auto& [name, member] : hists->AsObject()) {
+        if (!member.is_object()) continue;
+        StatsHistWindow window;
+        window.count = static_cast<int64_t>(member.NumberOr("count", 0.0));
+        window.mean = member.NumberOr("mean", 0.0);
+        window.min = member.NumberOr("min", 0.0);
+        window.max = member.NumberOr("max", 0.0);
+        window.p50 = member.NumberOr("p50", 0.0);
+        window.p95 = member.NumberOr("p95", 0.0);
+        window.p99 = member.NumberOr("p99", 0.0);
+        sample.hists[name] = window;
+      }
+    }
+    if (const JsonValue* health = value.Find("health");
+        health != nullptr && health->is_array()) {
+      for (const JsonValue& verdict : health->AsArray()) {
+        if (!verdict.is_object()) continue;
+        ++sample.health_checked;
+        const JsonValue* ok = verdict.Find("ok");
+        if (ok != nullptr && ok->is_bool() && !ok->AsBool()) {
+          ++sample.health_failed;
+        }
+      }
+    }
+    out->samples.push_back(std::move(sample));
+  }
+  return true;
+}
+
+bool MergeStatsStreams(const std::vector<std::string>& inputs,
+                       const std::string& out_path, std::string* error,
+                       int* skipped) {
+  struct MergedLine {
+    double t_unix_ms;
+    size_t order;  ///< Tie-break: stable within and across streams.
+    std::string text;
+  };
+  std::vector<MergedLine> lines;
+  std::vector<std::string> processes;
+  int skipped_count = 0;
+  size_t order = 0;
+  for (const std::string& input : inputs) {
+    StatsStream parsed;
+    if (!ReadStatsStream(input, &parsed)) {
+      ++skipped_count;
+      continue;
+    }
+    // Re-read raw lines so the merged stream preserves each sample's
+    // original bytes (doubles stay bit-exact through the merge).
+    std::ifstream in(input);
+    std::string line;
+    std::getline(in, line);  // Header, already parsed.
+    std::string process = parsed.process.empty() ? input : parsed.process;
+    processes.push_back(process);
+    std::string prefix = "{\"process\": \"" + JsonEscape(process) + "\"";
+    while (std::getline(in, line)) {
+      size_t open = line.find('{');
+      if (open == std::string::npos) continue;
+      JsonValue value;
+      if (!ParseJson(line, &value) || !value.is_object()) continue;
+      double t_ms = value.NumberOr("t_ms", 0.0);
+      double t_unix_ms = static_cast<double>(parsed.start_unix_ms) + t_ms;
+      std::string text = prefix + ", \"t_unix_ms\": ";
+      AppendDouble(&text, t_unix_ms);
+      std::string rest = line.substr(open + 1);
+      size_t body = rest.find_first_not_of(" \t");
+      if (body == std::string::npos || rest[body] == '}') {
+        text += "}";
+      } else {
+        text += ", " + rest;
+      }
+      lines.push_back({t_unix_ms, order++, std::move(text)});
+    }
+  }
+  if (skipped != nullptr) *skipped = skipped_count;
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const MergedLine& a, const MergedLine& b) {
+                     if (a.t_unix_ms != b.t_unix_ms) {
+                       return a.t_unix_ms < b.t_unix_ms;
+                     }
+                     return a.order < b.order;
+                   });
+  AtomicFileWriter writer(out_path);
+  if (!writer.ok()) {
+    if (error != nullptr) *error = "cannot open " + out_path;
+    return false;
+  }
+  std::string header = "{\"schema\": \"ppn.stats.merged.v1\", \"streams\": [";
+  for (size_t i = 0; i < processes.size(); ++i) {
+    if (i > 0) header += ", ";
+    header += "\"" + JsonEscape(processes[i]) + "\"";
+  }
+  header += "]}\n";
+  writer.stream() << header;
+  for (const MergedLine& line : lines) {
+    writer.stream() << line.text << "\n";
+  }
+  if (!writer.Commit()) {
+    if (error != nullptr) *error = "cannot write " + out_path;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sampler — compiles out with the rest of the obs write path.
+
+#ifndef PPN_OBS_DISABLED
+
+namespace {
+
+constexpr size_t kQueueCapacity = 1024;
+
+/// Lower bound of histogram bucket `index` (inclusive); bucket 0 also
+/// absorbs clamped non-positive values, so its floor is 0.
+double BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  return HistogramBucketUpperBound(index - 1);
+}
+
+/// Per-window histogram: bucket-wise delta of two cumulative snapshots.
+/// The window's exact min/max are not recoverable from cumulative
+/// watermarks, so they are estimated from the first/last nonempty delta
+/// bucket (tightened by the cumulative watermarks, which bound every
+/// window) — exactly the resolution `Percentile` already has.
+HistogramSnapshot WindowHistogram(const HistogramSnapshot* prev,
+                                  const HistogramSnapshot& cur) {
+  HistogramSnapshot delta;
+  delta.count = cur.count - (prev != nullptr ? prev->count : 0);
+  if (delta.count <= 0) return delta;
+  delta.sum = cur.sum - (prev != nullptr ? prev->sum : 0.0);
+  int first = -1;
+  int last = -1;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    delta.buckets[i] =
+        cur.buckets[i] - (prev != nullptr ? prev->buckets[i] : 0);
+    if (delta.buckets[i] > 0) {
+      if (first < 0) first = i;
+      last = i;
+    }
+  }
+  if (prev == nullptr || prev->count <= 0) {
+    // First active window: cumulative == window, watermarks are exact.
+    delta.min = cur.min;
+    delta.max = cur.max;
+  } else {
+    delta.min = std::max(BucketLowerBound(first), cur.min);
+    delta.max = std::min(HistogramBucketUpperBound(last), cur.max);
+    if (delta.min > delta.max) delta.min = delta.max;
+  }
+  return delta;
+}
+
+/// Counter deltas + current gauges + per-window histograms: the view one
+/// sample line describes, and the view window health rules see.
+Snapshot WindowView(const Snapshot& prev, const Snapshot& cur) {
+  Snapshot window;
+  for (const auto& [name, value] : cur.counters) {
+    auto it = prev.counters.find(name);
+    double delta = value - (it != prev.counters.end() ? it->second : 0.0);
+    if (delta != 0.0) window.counters[name] = delta;
+  }
+  window.gauges = cur.gauges;
+  for (const auto& [name, hist] : cur.histograms) {
+    auto it = prev.histograms.find(name);
+    HistogramSnapshot delta = WindowHistogram(
+        it != prev.histograms.end() ? &it->second : nullptr, hist);
+    if (delta.count > 0) window.histograms[name] = delta;
+  }
+  return window;
+}
+
+void AppendHistogram(std::string* out, const HistogramSnapshot& hist) {
+  *out += "{\"count\": " + std::to_string(hist.count);
+  const std::pair<const char*, double> stats[] = {
+      {"mean", hist.count > 0 ? hist.sum / static_cast<double>(hist.count)
+                              : 0.0},
+      {"min", hist.min},
+      {"max", hist.max},
+      {"p50", hist.Percentile(0.50)},
+      {"p95", hist.Percentile(0.95)},
+      {"p99", hist.Percentile(0.99)},
+  };
+  for (const auto& [name, value] : stats) {
+    *out += ", \"";
+    *out += name;
+    *out += "\": ";
+    AppendDouble(out, value);
+  }
+  *out += "}";
+}
+
+std::string FormatSample(const Snapshot& window, double t_ms,
+                         double window_ms,
+                         const std::vector<HealthEval>& evals) {
+  std::string line = "{\"t_ms\": ";
+  AppendDouble(&line, t_ms);
+  line += ", \"window_ms\": ";
+  AppendDouble(&line, window_ms);
+  if (!window.counters.empty()) {
+    line += ", \"counters\": {";
+    bool sep = false;
+    for (const auto& [name, value] : window.counters) {
+      if (sep) line += ", ";
+      sep = true;
+      line += "\"" + JsonEscape(name) + "\": ";
+      AppendDouble(&line, value);
+    }
+    line += "}";
+  }
+  if (!window.gauges.empty()) {
+    line += ", \"gauges\": {";
+    bool sep = false;
+    for (const auto& [name, value] : window.gauges) {
+      if (sep) line += ", ";
+      sep = true;
+      line += "\"" + JsonEscape(name) + "\": ";
+      AppendDouble(&line, value);
+    }
+    line += "}";
+  }
+  if (!window.histograms.empty()) {
+    line += ", \"hists\": {";
+    bool sep = false;
+    for (const auto& [name, hist] : window.histograms) {
+      if (sep) line += ", ";
+      sep = true;
+      line += "\"" + JsonEscape(name) + "\": ";
+      AppendHistogram(&line, hist);
+    }
+    line += "}";
+  }
+  bool any_eval = false;
+  for (const HealthEval& eval : evals) {
+    if (eval.evaluated) any_eval = true;
+  }
+  if (any_eval) {
+    line += ", \"health\": [";
+    bool sep = false;
+    for (const HealthEval& eval : evals) {
+      if (!eval.evaluated) continue;
+      if (sep) line += ", ";
+      sep = true;
+      line += "{\"rule\": \"" + JsonEscape(eval.rule->raw) + "\", \"ok\": ";
+      line += eval.ok ? "true" : "false";
+      line += ", \"value\": ";
+      AppendDouble(&line, eval.value);
+      line += "}";
+    }
+    line += "]";
+  }
+  line += "}\n";
+  return line;
+}
+
+int64_t NowUnixMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+/// `<dir>/serve.stats.jsonl` → "serve": the stream basename is the
+/// natural process label (fabric workers inherit slot/gen identity from
+/// their redirected path).
+std::string ProcessFromPath(const std::string& path,
+                            const std::string& fallback) {
+  size_t slash = path.find_last_of('/');
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  for (const char* suffix : {".stats.jsonl", ".jsonl"}) {
+    size_t len = std::strlen(suffix);
+    if (base.size() > len &&
+        base.compare(base.size() - len, len, suffix) == 0) {
+      return base.substr(0, base.size() - len);
+    }
+  }
+  return fallback.empty() ? base : fallback;
+}
+
+}  // namespace
+
+struct StatsSampler::Impl {
+  SamplerOptions options;
+  int64_t sample_ms = 250;
+  int fd = -1;
+  bool write_ok = true;
+  // Evaluated on the sampling thread, read by `healthy()` / (possibly
+  // live) `HealthSummary()` on the owner thread.
+  mutable std::mutex monitor_mutex;
+  HealthMonitor monitor{{}};
+  Snapshot prev;
+  std::chrono::steady_clock::time_point start;
+
+  std::mutex mutex;
+  std::condition_variable not_full;
+  std::condition_variable not_empty;
+  std::condition_variable wake;
+  std::deque<std::string> queue;
+  bool stop_sampling = false;  ///< Sampling thread: emit final line, exit.
+  bool writer_closing = false;  ///< Writer thread: drain queue, exit.
+  bool stopped = false;
+  std::thread sampling_thread;
+  std::thread writer_thread;
+
+  void Enqueue(std::string line) {
+    std::unique_lock<std::mutex> lock(mutex);
+    not_full.wait(lock, [this] { return queue.size() < kQueueCapacity; });
+    queue.push_back(std::move(line));
+    lock.unlock();
+    not_empty.notify_one();
+  }
+
+  void SampleOnce(std::chrono::steady_clock::time_point now) {
+    Snapshot cur = TakeSnapshot();
+    Snapshot window = WindowView(prev, cur);
+    std::vector<HealthEval> evals;
+    {
+      std::lock_guard<std::mutex> lock(monitor_mutex);
+      evals = monitor.Evaluate(window);
+    }
+    double t_ms =
+        std::chrono::duration<double, std::milli>(now - start).count();
+    double window_ms = t_ms - last_t_ms;
+    last_t_ms = t_ms;
+    Enqueue(FormatSample(window, t_ms, window_ms, evals));
+    prev = std::move(cur);
+  }
+
+  void SamplingLoop() {
+    auto deadline = start;
+    for (;;) {
+      deadline += std::chrono::milliseconds(sample_ms);
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        wake.wait_until(lock, deadline, [this] { return stop_sampling; });
+        if (stop_sampling) break;
+      }
+      SampleOnce(std::chrono::steady_clock::now());
+    }
+    // Final (usually partial) window: short runs still get >= 1 sample.
+    SampleOnce(std::chrono::steady_clock::now());
+  }
+
+  void WriterLoop() {
+    for (;;) {
+      std::string line;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        not_empty.wait(lock,
+                       [this] { return !queue.empty() || writer_closing; });
+        if (queue.empty()) return;
+        line = std::move(queue.front());
+        queue.pop_front();
+      }
+      not_full.notify_one();
+      WriteLine(line);
+    }
+  }
+
+  /// One full-line write(2) per sample: a tailer never sees interleaved
+  /// fragments, only whole lines plus at most one in-flight partial.
+  void WriteLine(const std::string& line) {
+    size_t written = 0;
+    while (written < line.size()) {
+      ssize_t n = ::write(fd, line.data() + written, line.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        write_ok = false;
+        return;
+      }
+      written += static_cast<size_t>(n);
+    }
+  }
+
+  double last_t_ms = 0.0;
+};
+
+StatsSampler::StatsSampler(std::unique_ptr<Impl> impl)
+    : path_(impl->options.path), impl_(std::move(impl)) {}
+
+std::unique_ptr<StatsSampler> StatsSampler::Start(
+    const SamplerOptions& options) {
+  if (!Enabled() || options.path.empty()) return nullptr;
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->sample_ms = options.sample_ms > 0
+                        ? options.sample_ms
+                        : env::Int64Or("PPN_SAMPLE_MS", 250);
+  PPN_CHECK(impl->sample_ms >= 1)
+      << "PPN_SAMPLE_MS must be >= 1, got " << impl->sample_ms;
+  impl->monitor = HealthMonitor(options.health);
+  impl->fd = ::open(options.path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (impl->fd < 0) {
+    std::fprintf(stderr, "[obs] cannot open stats stream %s: %s\n",
+                 options.path.c_str(), std::strerror(errno));
+    return nullptr;
+  }
+  std::string process = ProcessFromPath(options.path, options.process);
+  std::string header = "{\"schema\": \"ppn.stats.v1\", \"process\": \"" +
+                       JsonEscape(process) + "\", \"sample_ms\": " +
+                       std::to_string(impl->sample_ms) +
+                       ", \"start_unix_ms\": " + std::to_string(NowUnixMs()) +
+                       "}\n";
+  impl->start = std::chrono::steady_clock::now();
+  impl->prev = TakeSnapshot();
+  impl->WriteLine(header);
+  Impl* raw = impl.get();
+  impl->writer_thread = std::thread([raw] { raw->WriterLoop(); });
+  impl->sampling_thread = std::thread([raw] { raw->SamplingLoop(); });
+  // unique_ptr via `new`: the constructor is private.
+  return std::unique_ptr<StatsSampler>(new StatsSampler(std::move(impl)));
+}
+
+bool StatsSampler::Stop() {
+  Impl& impl = *impl_;
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    if (impl.stopped) return impl.write_ok;
+    impl.stopped = true;
+    impl.stop_sampling = true;
+  }
+  impl.wake.notify_all();
+  // The sampling thread emits its final window before exiting, so the
+  // writer must only be closed after it joins.
+  if (impl.sampling_thread.joinable()) impl.sampling_thread.join();
+  {
+    std::unique_lock<std::mutex> lock(impl.mutex);
+    impl.writer_closing = true;
+  }
+  impl.not_empty.notify_all();
+  if (impl.writer_thread.joinable()) impl.writer_thread.join();
+  if (impl.fd >= 0) {
+    ::close(impl.fd);
+    impl.fd = -1;
+  }
+  return impl.write_ok;
+}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+bool StatsSampler::healthy() const {
+  std::lock_guard<std::mutex> lock(impl_->monitor_mutex);
+  return impl_->monitor.ok();
+}
+
+std::string StatsSampler::HealthSummary(bool color) const {
+  std::lock_guard<std::mutex> lock(impl_->monitor_mutex);
+  return impl_->monitor.Summary(color);
+}
+
+std::unique_ptr<StatsSampler> StartSamplerFromEnv(
+    const std::string& process) {
+  std::string path = env::StringOr("PPN_STATS_JSONL", "");
+  if (path.empty()) return nullptr;
+  SamplerOptions options;
+  options.path = path;
+  options.process = process;
+  options.health = HealthRulesFromEnv();
+  return StatsSampler::Start(options);
+}
+
+#else  // PPN_OBS_DISABLED
+
+struct StatsSampler::Impl {};
+
+StatsSampler::StatsSampler(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+std::unique_ptr<StatsSampler> StatsSampler::Start(const SamplerOptions&) {
+  return nullptr;
+}
+
+bool StatsSampler::Stop() { return true; }
+
+StatsSampler::~StatsSampler() = default;
+
+bool StatsSampler::healthy() const { return true; }
+
+std::string StatsSampler::HealthSummary(bool) const { return ""; }
+
+std::unique_ptr<StatsSampler> StartSamplerFromEnv(const std::string&) {
+  return nullptr;
+}
+
+#endif  // PPN_OBS_DISABLED
+
+}  // namespace ppn::obs

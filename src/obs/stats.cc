@@ -20,8 +20,8 @@ std::atomic<bool>& EnabledFlag() {
   // telemetry destination (profile, trace, or run-log) or PPN_OBS != "0"
   // turns instrumentation on.
   static std::atomic<bool> flag{[] {
-    for (const char* var :
-         {"PPN_PROFILE_JSON", "PPN_TRACE_JSON", "PPN_RUNLOG_DIR"}) {
+    for (const char* var : {"PPN_PROFILE_JSON", "PPN_TRACE_JSON",
+                            "PPN_RUNLOG_DIR", "PPN_STATS_JSONL"}) {
       if (env::HasValue(var)) return true;
     }
     return env::FlagSet("PPN_OBS");
@@ -137,26 +137,39 @@ struct HistogramAccess {
 };
 
 double HistogramSnapshot::Percentile(double q) const {
+  // Explicit empty case: no observations, every quantile is 0.
   if (count <= 0) return 0.0;
-  if (q <= 0.0) return min;
+  // `!(q > 0)` also catches NaN, which would otherwise poison the rank
+  // comparison below and skip every bucket.
+  if (!(q > 0.0)) return min;
   if (q >= 1.0) return max;
-  // Rank in (0, count]; find the bucket whose cumulative count reaches it.
+  // The result is monotone in q by construction: a larger q gives a
+  // larger rank, which lands in the same or a later bucket, and within a
+  // bucket the interpolated fraction grows with rank. The final clamp
+  // into the fixed interval [min, max] preserves that ordering, so
+  // p50 <= p95 <= p99 holds for every bucket shape.
   const double rank = q * static_cast<double>(count);
+  double value = max;  // Rank past the last bucket (or empty buckets
+                       // despite count > 0): degrade to the watermark.
   double cumulative = 0.0;
   for (int i = 0; i < kHistogramBuckets; ++i) {
-    if (buckets[i] == 0) continue;
+    if (buckets[i] <= 0) continue;
     const double next = cumulative + static_cast<double>(buckets[i]);
     if (next >= rank) {
       const double hi = HistogramBucketUpperBound(i);
       const double lo = hi * 0.5;
       const double fraction =
           (rank - cumulative) / static_cast<double>(buckets[i]);
-      const double value = lo + fraction * (hi - lo);
-      return std::min(std::max(value, min), max);
+      value = lo + fraction * (hi - lo);
+      break;
     }
     cumulative = next;
   }
-  return max;
+  // Clamp into the observed range — but only when the watermarks are
+  // coherent; a hand-built snapshot with min > max must not turn every
+  // quantile into the crossed bounds.
+  if (min <= max) value = std::min(std::max(value, min), max);
+  return value;
 }
 
 TraceRing::TraceRing(std::array<std::string, 4> fields, int64_t capacity)

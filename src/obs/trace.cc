@@ -107,12 +107,28 @@ TraceBuffer& LocalTraceBuffer() {
 }
 
 /// Common timebase for every thread: microseconds since the first trace
-/// touch in the process.
-std::chrono::steady_clock::time_point Epoch() {
-  static const std::chrono::steady_clock::time_point epoch =
-      std::chrono::steady_clock::now();
-  return epoch;
+/// touch in the process. The wall clock is captured at the same instant
+/// and exported as `otherData.ppn_epoch_unix_us`, so the cross-process
+/// trace merge (obs/trace_merge) can place each process's steady-clock
+/// timeline on one shared axis.
+struct EpochAnchor {
+  std::chrono::steady_clock::time_point steady;
+  int64_t unix_us = 0;
+};
+
+const EpochAnchor& Anchor() {
+  static const EpochAnchor anchor = [] {
+    EpochAnchor a;
+    a.steady = std::chrono::steady_clock::now();
+    a.unix_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+    return a;
+  }();
+  return anchor;
 }
+
+std::chrono::steady_clock::time_point Epoch() { return Anchor().steady; }
 
 double NowUs() {
   return std::chrono::duration<double, std::micro>(
@@ -301,7 +317,8 @@ std::string TraceToJson() {
   }
   out << (first ? "" : "\n") << "],\n";
   out << "\"displayTimeUnit\": \"ms\",\n";
-  out << "\"otherData\": {\"ppn_dropped_events\": " << dropped << "}\n}\n";
+  out << "\"otherData\": {\"ppn_dropped_events\": " << dropped
+      << ", \"ppn_epoch_unix_us\": " << Anchor().unix_us << "}\n}\n";
   return out.str();
 }
 
@@ -343,7 +360,8 @@ int64_t TraceDroppedEvents() { return 0; }
 
 std::string TraceToJson() {
   return "{\n\"traceEvents\": [],\n\"displayTimeUnit\": \"ms\",\n"
-         "\"otherData\": {\"ppn_dropped_events\": 0}\n}\n";
+         "\"otherData\": {\"ppn_dropped_events\": 0, "
+         "\"ppn_epoch_unix_us\": 0}\n}\n";
 }
 
 bool WriteTraceJson(const std::string& path) {

@@ -90,6 +90,9 @@ TEST(InferenceModeTest, BackwardThroughGuardedGraphReachesNoParameter) {
 }
 
 TEST(InferenceModeTest, NoTapeNodeCounterTicksUnderGuard) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   obs::ScopedObsEnable obs_on;
   const Var weight = Parameter(RampTensor({6, 6}, 0.1f));
   const Var input = Constant(RampTensor({2, 6}, 0.2f));

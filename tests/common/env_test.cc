@@ -44,7 +44,8 @@ TEST(EnvRegistryTest, ListsEveryKnownKnob) {
        {"PPN_WORKERS", "PPN_SCALE", "PPN_OBS", "PPN_PROFILE_JSON",
         "PPN_TRACE_JSON", "PPN_TRACE_CAPACITY", "PPN_TRACE_MIN_US",
         "PPN_RUNLOG_DIR", "PPN_RESULTS_JSON", "PPN_NO_POOL",
-        "PPN_BENCH_GATE", "PPN_BENCH_REPS"}) {
+        "PPN_BENCH_GATE", "PPN_BENCH_REPS", "PPN_STATS_JSONL",
+        "PPN_SAMPLE_MS", "PPN_HEALTH"}) {
     bool found = false;
     for (const VarInfo& info : registry) {
       if (std::string(info.name) == required) {
@@ -125,6 +126,12 @@ TEST(EnvDeathTest, MalformedDoubleAborts) {
   ScopedEnvVar var("PPN_TRACE_MIN_US");
   var.Set("fast");
   EXPECT_DEATH(DoubleOr("PPN_TRACE_MIN_US", 0.0), "PPN_TRACE_MIN_US");
+}
+
+TEST(EnvDeathTest, MalformedSampleIntervalAborts) {
+  ScopedEnvVar var("PPN_SAMPLE_MS");
+  var.Set("abc");
+  EXPECT_DEATH(Int64Or("PPN_SAMPLE_MS", 250), "PPN_SAMPLE_MS");
 }
 
 TEST(EnvDeathTest, UnregisteredNameAborts) {

@@ -160,6 +160,62 @@ TEST_F(ObsStatsTest, PercentileOfEmptyHistogramIsZero) {
   EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
 }
 
+TEST_F(ObsStatsTest, PercentileSurvivesAdversarialQuantiles) {
+  Histogram& histogram = GetHistogram("t.pct.adversarial");
+  histogram.Observe(2.0);
+  histogram.Observe(8.0);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.pct.adversarial");
+  // Out-of-range quantiles degrade to the watermarks instead of
+  // extrapolating past the observed data.
+  EXPECT_DOUBLE_EQ(merged.Percentile(-0.25), merged.min);
+  EXPECT_DOUBLE_EQ(merged.Percentile(1.5), merged.max);
+  // NaN must not poison the rank comparison into skipping every bucket:
+  // it resolves like q <= 0 (the min watermark).
+  EXPECT_DOUBLE_EQ(merged.Percentile(std::nan("")), merged.min);
+}
+
+TEST_F(ObsStatsTest, PercentileOfInconsistentSnapshotsDoesNotExplode) {
+  // Hand-built snapshots can be internally inconsistent (torn reads of a
+  // live histogram, or corrupted inputs): Percentile must stay finite.
+  HistogramSnapshot torn;
+  torn.count = 5;  // count > 0 but every bucket empty...
+  torn.min = 1.0;
+  torn.max = 4.0;
+  // ...degrades to the max watermark (rank never reached), clamped.
+  EXPECT_DOUBLE_EQ(torn.Percentile(0.5), 4.0);
+
+  HistogramSnapshot crossed;
+  crossed.count = 2;
+  crossed.buckets[10] = 2;
+  crossed.min = 100.0;  // min > max: the clamp must NOT apply, or every
+  crossed.max = 1.0;    // quantile collapses onto the crossed bounds.
+  const double value = crossed.Percentile(0.5);
+  EXPECT_TRUE(std::isfinite(value));
+  const double hi = HistogramBucketUpperBound(10);
+  EXPECT_GE(value, hi * 0.5);
+  EXPECT_LE(value, hi);
+}
+
+TEST_F(ObsStatsTest, PercentileIsMonotoneAcrossAFineQuantileSweep) {
+  Histogram& histogram = GetHistogram("t.pct.sweep");
+  // A lumpy multi-bucket shape: clusters near 0.01, 3, and 500.
+  for (int i = 0; i < 40; ++i) histogram.Observe(0.01);
+  for (int i = 0; i < 15; ++i) histogram.Observe(3.0);
+  for (int i = 0; i < 5; ++i) histogram.Observe(500.0);
+  const HistogramSnapshot merged =
+      TakeSnapshot().histograms.at("t.pct.sweep");
+  double previous = merged.Percentile(0.0);
+  for (int step = 1; step <= 1000; ++step) {
+    const double q = static_cast<double>(step) / 1000.0;
+    const double value = merged.Percentile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    EXPECT_GE(value, merged.min);
+    EXPECT_LE(value, merged.max);
+    previous = value;
+  }
+}
+
 TEST_F(ObsStatsTest, ScopedTimerObservesElapsedSeconds) {
 #ifdef PPN_OBS_DISABLED
   GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";

@@ -220,6 +220,9 @@ TEST(PortfolioServerTest, CloseIntakeRejectsAndDrains) {
 }
 
 TEST(PortfolioServerTest, MetricsReachTheObsLayer) {
+#ifdef PPN_OBS_DISABLED
+  GTEST_SKIP() << "obs compiled out (-DPPN_OBS_COMPILED=OFF)";
+#endif
   obs::ScopedObsEnable obs_on;
   obs::ResetAll();
   const market::OhlcPanel panel = TestPanel();

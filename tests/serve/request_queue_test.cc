@@ -68,18 +68,32 @@ TEST(RequestQueueTest, PopBatchBlocksUntilWork) {
 TEST(RequestQueueTest, CloseWakesBlockedProducerAndConsumer) {
   RequestQueue queue(1);
   ASSERT_TRUE(queue.TryPush(Req(0)));
+  // Nothing drains the queue before Close(), so it stays FULL: the
+  // producer can only be released by the close and must report
+  // rejection. (A concurrent consumer here would race the close and
+  // could legitimately free the slot first, making Push succeed.)
   std::thread producer([&queue] { EXPECT_FALSE(queue.Push(Req(1))); });
-  std::thread consumer([&queue] {
-    std::vector<TickRequest> out;
-    // Admitted work drains even after close; a second pop reports done.
-    while (queue.PopBatch(&out, 1) > 0) {
-    }
-  });
   queue.Close();
   producer.join();
-  consumer.join();
+  // Admitted work drains even after close; the next pop reports done.
+  std::vector<TickRequest> out;
+  EXPECT_EQ(queue.PopBatch(&out, 1), 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].user_id, 0);
+  EXPECT_EQ(queue.PopBatch(&out, 1), 0);
   EXPECT_TRUE(queue.closed());
   EXPECT_FALSE(queue.TryPush(Req(2)));
+
+  // A consumer blocked on an EMPTY queue is likewise woken by close:
+  // whether the pop starts before or after it, a closed empty queue
+  // reports done rather than blocking forever.
+  RequestQueue empty(1);
+  std::thread consumer([&empty] {
+    std::vector<TickRequest> drained;
+    EXPECT_EQ(empty.PopBatch(&drained, 1), 0);
+  });
+  empty.Close();
+  consumer.join();
 }
 
 TEST(RequestQueueTest, ManyProducersDeliverEverything) {

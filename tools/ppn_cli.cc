@@ -17,7 +17,10 @@
 //                      --workers 4 --json results.json
 //                      --checkpoint-dir ckpt --telemetry-dir telemetry
 //                      --processes 4 --fabric-dir scratch]
-//   ppn_cli report    --dir telemetry [--window 50 --trace trace.json]
+//   ppn_cli report    --dir telemetry [--window 50 --trace trace.json
+//                      --merge-trace fabric_dir --out merged.json]
+//   ppn_cli top       --dir <fabric_dir|telemetry_dir|stats.jsonl>
+//                     [--refresh-ms 250 --iterations 0]
 //   ppn_cli stress    --dataset crypto-a
 //                     [--packs flash-crash,jump-cluster,corr-break,
 //                      liquidity-hole,delisting | all]
@@ -58,6 +61,16 @@
 // timing), and `report --trace <file>` lists the slowest spans of a
 // Chrome trace captured via PPN_TRACE_JSON=<file> (open the file itself
 // in ui.perfetto.dev for the timeline).
+//
+// Observability plane (see obs/sampler.h, obs/trace_merge.h,
+// obs/health.h): PPN_STATS_JSONL=<file> streams periodic ppn.stats.v1
+// samples every PPN_SAMPLE_MS from ANY command; `top --dir <target>`
+// tails those streams (plus a fabric dir's queue/done counts) as an
+// in-place refreshing table. A traced multi-process sweep
+// (`sweep --processes N` with PPN_TRACE_JSON) stitches coordinator and
+// worker timelines into one Perfetto JSON automatically — or on demand
+// via `report --merge-trace <fabric_dir>`. PPN_HEALTH=<rules> turns SLO
+// violations into a red end-of-run summary and a nonzero exit.
 
 #include <unistd.h>
 
@@ -70,6 +83,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "backtest/backtester.h"
@@ -84,9 +98,12 @@
 #include "market/presets.h"
 #include "market/replay_io.h"
 #include "market/stress.h"
+#include "obs/health.h"
 #include "obs/report.h"
+#include "obs/sampler.h"
 #include "obs/stats.h"
 #include "obs/trace.h"
+#include "obs/trace_merge.h"
 #include "ppn/strategy_adapter.h"
 #include "ppn/trainer.h"
 #include "serve/portfolio_server.h"
@@ -399,6 +416,12 @@ int CmdServe(const Flags& flags) {
               1e3 * ExactPercentile(latencies, 0.50),
               1e3 * ExactPercentile(latencies, 0.95),
               1e3 * ExactPercentile(latencies, 0.99));
+  if (env::HasValue("PPN_STATS_JSONL")) {
+    std::printf("rolling p50/p95/p99 sampled every %lld ms -> %s "
+                "(watch live with `ppn_cli top --dir <that file>`)\n",
+                static_cast<long long>(env::Int64Or("PPN_SAMPLE_MS", 250)),
+                env::StringOr("PPN_STATS_JSONL", "").c_str());
+  }
   std::printf("final wealth: mean %.4f, min %.4f, max %.4f\n",
               wealth_sum / static_cast<double>(num_users), wealth_min,
               wealth_max);
@@ -594,13 +617,22 @@ int CmdSweep(const Flags& flags) {
     rows = exec::RunSweepFabric(spec, options, &stats);
     ckpt_write_failures = stats.ckpt_write_failures;
     std::printf("fabric: %lld workers spawned (%lld died, %lld restarted), "
-                "%lld cells stolen, %lld re-dispatched, %lld restored\n\n",
+                "%lld cells stolen, %lld re-dispatched, %lld restored, "
+                "%lld profile merges failed\n\n",
                 static_cast<long long>(stats.workers_spawned),
                 static_cast<long long>(stats.workers_died),
                 static_cast<long long>(stats.workers_restarted),
                 static_cast<long long>(stats.cells_stolen),
                 static_cast<long long>(stats.cells_redispatched),
-                static_cast<long long>(stats.cells_restored));
+                static_cast<long long>(stats.cells_restored),
+                static_cast<long long>(stats.profile_merge_failed));
+    if (stats.profile_merge_failed > 0) {
+      std::fprintf(stderr,
+                   "WARNING: %lld worker profile(s) could not be merged — "
+                   "results are complete, but the aggregated obs counters "
+                   "undercount that worker's activity\n",
+                   static_cast<long long>(stats.profile_merge_failed));
+    }
   } else {
     const int workers = static_cast<int>(NumFlagOr(flags, "workers", -1.0));
     const exec::ExperimentRunner runner(
@@ -799,10 +831,32 @@ int CmdStress(const Flags& flags) {
 int CmdReport(const Flags& flags) {
   const std::string dir = FlagOr(flags, "dir", "");
   const std::string trace = FlagOr(flags, "trace", "");
+  const std::string merge_dir = FlagOr(flags, "merge-trace", "");
+  if (!merge_dir.empty()) {
+    const std::string out = FlagOr(
+        flags, "out",
+        (std::filesystem::path(merge_dir) / "obs" / "merged.trace.json")
+            .string());
+    obs::TraceMergeStats stats;
+    std::string error;
+    if (!obs::MergeFabricTraces(merge_dir, out, &error, &stats)) {
+      std::fprintf(stderr, "trace merge failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("merged trace: %d processes, %lld events, %lld cross-process "
+                "flow pairs -> %s (open in ui.perfetto.dev)\n",
+                stats.processes, static_cast<long long>(stats.events),
+                static_cast<long long>(stats.flow_pairs), out.c_str());
+    if (stats.skipped_files > 0) {
+      std::fprintf(stderr, "warning: %d unreadable trace file(s) skipped\n",
+                   stats.skipped_files);
+    }
+    if (dir.empty() && trace.empty()) return 0;
+  }
   if (dir.empty() && trace.empty()) {
     std::fprintf(stderr,
-                 "report needs --dir <telemetry-dir> and/or --trace "
-                 "<trace.json>\n");
+                 "report needs --dir <telemetry-dir>, --trace <trace.json>, "
+                 "and/or --merge-trace <fabric_dir>\n");
     return 2;
   }
   const int64_t window =
@@ -833,10 +887,161 @@ int CmdReport(const Flags& flags) {
   return 0;
 }
 
+/// Collects the `ppn.stats.v1` stream paths a `top --dir` target holds: a
+/// stream file itself, a directory of streams, or a fabric scratch dir
+/// (whose per-worker streams live under obs/).
+std::vector<std::string> CollectStatsStreams(const std::string& target) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> paths;
+  std::error_code ec;
+  if (fs::is_regular_file(target, ec)) {
+    paths.push_back(target);
+    return paths;
+  }
+  for (const fs::path dir : {fs::path(target), fs::path(target) / "obs"}) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      const std::string suffix = ".stats.jsonl";
+      if (name.size() > suffix.size() &&
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+              0 &&
+          name.rfind(".workers.jsonl") == std::string::npos) {
+        paths.push_back(entry.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+/// One refresh of the live monitor: parses every stream and renders a
+/// per-process table plus (for fabric dirs) the queue/claim/done counts.
+std::string RenderTopFrame(const std::string& target) {
+  namespace fs = std::filesystem;
+  std::string out;
+  const std::vector<std::string> streams = CollectStatsStreams(target);
+  TablePrinter table({"process", "up(s)", "dec/s", "p99(ms)", "cells",
+                      "nonconv%", "hlth_fail"});
+  for (const std::string& path : streams) {
+    obs::StatsStream stream;
+    if (!obs::ReadStatsStream(path, &stream)) continue;
+    double decisions_per_s = 0.0;
+    double p99_ms = 0.0;
+    double cells = 0.0;
+    double solver_calls = 0.0;
+    double solver_nonconv = 0.0;
+    double up_s = 0.0;
+    double health_fail = 0.0;
+    for (const obs::StatsSample& sample : stream.samples) {
+      for (const auto& [name, delta] : sample.counters) {
+        if (name == "exec.cells.completed" || name == "exec.cells.restored") {
+          cells += delta;
+        } else if (name == "backtest.solver.calls") {
+          solver_calls += delta;
+        } else if (name == "backtest.solver.nonconverged") {
+          solver_nonconv += delta;
+        }
+      }
+      health_fail += sample.health_failed;
+      up_s = sample.t_ms / 1e3;
+    }
+    if (!stream.samples.empty()) {
+      const obs::StatsSample& last = stream.samples.back();
+      if (last.window_ms > 0.0) {
+        auto it = last.counters.find("serve.decisions");
+        if (it != last.counters.end()) {
+          decisions_per_s = it->second / (last.window_ms / 1e3);
+        }
+      }
+      for (const char* hist :
+           {"serve.decide.latency.seconds", "exec.cell.seconds"}) {
+        auto it = last.hists.find(hist);
+        if (it != last.hists.end()) {
+          p99_ms = it->second.p99 * 1e3;
+          break;
+        }
+      }
+    }
+    const double nonconv_pct =
+        solver_calls > 0.0 ? 100.0 * solver_nonconv / solver_calls : 0.0;
+    table.AddRow(stream.process.empty() ? path : stream.process,
+                 {up_s, decisions_per_s, p99_ms, cells, nonconv_pct,
+                  health_fail},
+                 2);
+  }
+  if (streams.empty()) {
+    out += "no *.stats.jsonl streams under " + target +
+           " (set PPN_STATS_JSONL on the run you want to watch)\n";
+  } else {
+    out += table.ToString();
+  }
+
+  // A fabric scratch dir also tells us queue depth and completion
+  // directly from the file protocol — live even between sample windows.
+  std::error_code ec;
+  if (fs::is_directory(fs::path(target) / "queue", ec)) {
+    auto count_entries = [](const fs::path& dir) {
+      std::error_code count_ec;
+      int64_t n = 0;
+      for ([[maybe_unused]] const fs::directory_entry& entry :
+           fs::directory_iterator(dir, count_ec)) {
+        ++n;
+      }
+      return n;
+    };
+    int64_t queued = 0;
+    for (const fs::directory_entry& shard :
+         fs::directory_iterator(fs::path(target) / "queue", ec)) {
+      queued += count_entries(shard.path());
+    }
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "fabric: %lld done, %lld running, %lld queued, %lld "
+                  "failed\n",
+                  static_cast<long long>(
+                      count_entries(fs::path(target) / "done")),
+                  static_cast<long long>(
+                      count_entries(fs::path(target) / "claims")),
+                  static_cast<long long>(queued),
+                  static_cast<long long>(
+                      count_entries(fs::path(target) / "failed")));
+    out += line;
+  }
+  return out;
+}
+
+int CmdTop(const Flags& flags) {
+  const std::string target = FlagOr(flags, "dir", "");
+  if (target.empty()) {
+    std::fprintf(stderr,
+                 "top needs --dir <fabric_dir|telemetry_dir|stats.jsonl> "
+                 "[--refresh-ms N] [--iterations N]\n");
+    return 2;
+  }
+  const int64_t sample_ms = env::Int64Or("PPN_SAMPLE_MS", 250);
+  const int64_t refresh_ms = static_cast<int64_t>(NumFlagOr(
+      flags, "refresh-ms",
+      static_cast<double>(std::max<int64_t>(250, sample_ms))));
+  // 0 = watch until interrupted; tests and scripts pass a finite count.
+  const int64_t iterations =
+      static_cast<int64_t>(NumFlagOr(flags, "iterations", 0));
+  const bool interactive = ::isatty(1) != 0 && iterations != 1;
+  for (int64_t frame = 0; iterations <= 0 || frame < iterations; ++frame) {
+    const std::string rendered = RenderTopFrame(target);
+    if (interactive) std::printf("\x1b[2J\x1b[H");
+    std::printf("ppn top — %s (refresh %lldms)\n%s", target.c_str(),
+                static_cast<long long>(refresh_ms), rendered.c_str());
+    std::fflush(stdout);
+    if (iterations > 0 && frame + 1 >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(refresh_ms));
+  }
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
                "usage: ppn_cli <generate|train|backtest|serve|baselines|"
-               "sweep|stress|report|help-env> [--flag value ...]\n"
+               "sweep|stress|report|top|help-env> [--flag value ...]\n"
                "see the header comment of tools/ppn_cli.cc for details\n");
 }
 
@@ -849,6 +1054,11 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Flags flags = ParseFlags(argc, argv, 2);
+  // Periodic sampler (PPN_STATS_JSONL): covers the whole command — serve
+  // ticks, trainer steps, fabric workers (each re-exec'd `sweep-worker`
+  // reaches this same line with a per-worker redirected path).
+  std::unique_ptr<ppn::obs::StatsSampler> sampler =
+      ppn::obs::StartSamplerFromEnv(command);
   int status = 2;
   if (command == "generate") status = CmdGenerate(flags);
   else if (command == "train") status = CmdTrain(flags);
@@ -859,8 +1069,20 @@ int main(int argc, char** argv) {
   else if (command == "sweep-worker") status = CmdSweepWorker(flags);
   else if (command == "stress") status = CmdStress(flags);
   else if (command == "report") status = CmdReport(flags);
+  else if (command == "top") status = CmdTop(flags);
   else if (command == "help-env") status = CmdHelpEnv();
   else Usage();
+  if (sampler != nullptr) {
+    const bool sampler_ok = sampler->Stop();
+    if (sampler_ok) {
+      std::fprintf(stderr, "stats stream written to %s\n",
+                   sampler->path().c_str());
+    } else {
+      std::fprintf(stderr, "WARNING: stats stream %s lost writes\n",
+                   sampler->path().c_str());
+    }
+    sampler.reset();
+  }
   if (ppn::obs::WriteProfileIfRequested()) {
     std::fprintf(stderr, "profile written to %s\n",
                  ppn::env::StringOr("PPN_PROFILE_JSON", "").c_str());
@@ -869,5 +1091,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace written to %s (open in ui.perfetto.dev)\n",
                  ppn::env::StringOr("PPN_TRACE_JSON", "").c_str());
   }
+  // SLO gate: a violated PPN_HEALTH rule makes an otherwise-clean run
+  // exit nonzero (consumed by run_benches.sh and CI).
+  const int health_status = ppn::obs::ReportHealthIfRequested();
+  if (status == 0 && health_status != 0) status = health_status;
   return status;
 }
